@@ -1,0 +1,60 @@
+// Don't-care-edge study — the paper's outlook (§5): "We also investigate
+// the influence of don't care-edges and different operators on the
+// performance." Sweeps the per-attribute don't-care probability and the
+// operator family (equality vs range tests) and reports exact expected
+// cost plus tree shape (TV4 over a 3-attribute workload).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/text.hpp"
+
+int main() {
+  using namespace genas;
+  using namespace genas::bench;
+
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a1", 0, 59)
+                               .add_integer("a2", 0, 59)
+                               .add_integer("a3", 0, 59)
+                               .build();
+  const JointDistribution joint = make_event_distribution(schema, {"gauss"});
+
+  sim::print_heading(std::cout,
+                     "Don't-care edges and operator families — 3 attributes, "
+                     "domain 60, p = 400 (TV4, exact; V1 + A2-desc policy)");
+
+  sim::Table table({"don't-care prob", "operators", "ops/event",
+                    "match prob", "nodes", "leaves"});
+  for (const bool equality : {true, false}) {
+    for (const double dc : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      ProfileWorkloadOptions options;
+      options.count = 400;
+      options.dont_care_probability = dc;
+      options.equality_only = equality;
+      options.range_width_mean = 0.08;
+      options.seed = 31;
+      const ProfileSet profiles = generate_profiles(
+          schema, make_profile_distributions(schema, {"95% high"}), options);
+
+      OrderingPolicy policy;
+      policy.value_order = ValueOrder::kEventProbability;
+      policy.attribute_measure = AttributeMeasure::kA2;
+      policy.direction = OrderDirection::kDescending;
+      const ProfileTree tree = build_tree(profiles, policy, joint);
+      const CostReport report = expected_cost(tree, joint);
+
+      table.add_row({format_double(dc, 1),
+                     equality ? "equality" : "ranges",
+                     format_double(report.ops_per_event, 3),
+                     format_double(report.match_probability, 4),
+                     std::to_string(tree.build_stats().node_count),
+                     std::to_string(tree.build_stats().leaf_count)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nMore don't-care edges shrink the zero-subdomains (a '*' "
+               "profile accepts everything), weakening early rejection: "
+               "ops/event and match probability rise together; range "
+               "operators widen cells and amplify the effect.\n";
+  return 0;
+}

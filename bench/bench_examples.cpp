@@ -1,0 +1,161 @@
+// Reproduces the paper's worked Examples 2-4 (its numeric "tables"):
+//   Example 2 — single-attribute expected costs (exact reproduction)
+//   Example 3 — attribute reordering on the Example 1 toy system
+//   Example 4 — combined value + attribute reordering
+#include <iostream>
+
+#include "core/analytical.hpp"
+#include "core/ordering_policy.hpp"
+#include "dist/distribution.hpp"
+#include "sim/report.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace {
+
+using namespace genas;
+
+SchemaPtr example1_schema() {
+  return SchemaBuilder()
+      .add_integer("temperature", -30, 50)
+      .add_integer("humidity", 0, 100)
+      .add_integer("radiation", 1, 100)
+      .build();
+}
+
+ProfileSet example1_profiles(const SchemaPtr& schema) {
+  ProfileSet set(schema);
+  set.add(ProfileBuilder(schema)
+              .where("temperature", Op::kGe, 35)
+              .where("humidity", Op::kGe, 90)
+              .build());
+  set.add(ProfileBuilder(schema)
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 90)
+              .build());
+  set.add(ProfileBuilder(schema)
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 90)
+              .between("radiation", 35, 50)
+              .build());
+  set.add(ProfileBuilder(schema)
+              .between("temperature", -30, -20)
+              .where("humidity", Op::kLe, 5)
+              .between("radiation", 40, 100)
+              .build());
+  set.add(ProfileBuilder(schema)
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 80)
+              .build());
+  return set;
+}
+
+void spread(std::vector<double>& w, DomainIndex lo, DomainIndex hi,
+            double mass) {
+  for (DomainIndex v = lo; v <= hi; ++v) {
+    w[static_cast<std::size_t>(v)] = mass / static_cast<double>(hi - lo + 1);
+  }
+}
+
+JointDistribution example3_distribution(const SchemaPtr& schema) {
+  std::vector<double> t(81, 0.0);
+  spread(t, 0, 10, 0.02);
+  spread(t, 11, 59, 0.17);
+  spread(t, 60, 64, 0.01);
+  spread(t, 65, 80, 0.80);
+  std::vector<double> h(101, 0.0);
+  spread(h, 0, 29, 0.05);
+  spread(h, 30, 79, 0.60);
+  spread(h, 80, 89, 0.25);
+  spread(h, 90, 100, 0.10);
+  std::vector<double> r(100, 0.0);
+  spread(r, 0, 33, 0.90);
+  spread(r, 34, 38, 0.05);
+  spread(r, 39, 48, 0.02);
+  spread(r, 49, 99, 0.03);
+  return JointDistribution::independent(
+      schema, {DiscreteDistribution::from_weights(t),
+               DiscreteDistribution::from_weights(h),
+               DiscreteDistribution::from_weights(r)});
+}
+
+void example2() {
+  sim::print_heading(std::cout, "Example 2 — single-attribute model (exact)");
+  const std::vector<ModelCell> cells = {
+      {{0, 10}, 0.02, 1.0 / 3, true},
+      {{11, 59}, 0.17, 0.0, false},
+      {{60, 64}, 0.01, 1.0 / 3, true},
+      {{65, 80}, 0.80, 1.0 / 3, true},
+  };
+  const auto v1 = response_time(cells, ValueOrder::kEventProbability,
+                                SearchStrategy::kLinear);
+  const auto binary = response_time(cells, ValueOrder::kNaturalAscending,
+                                    SearchStrategy::kBinary);
+  sim::Table table({"ordering", "E(X)", "R0", "R", "paper R"});
+  table.add_row("event order (V1)",
+                {v1.expectation, v1.r0, v1.total(), 1.21});
+  table.add_row("binary search", {binary.expectation, binary.r0,
+                                  binary.total(), 1.99});
+  table.print(std::cout);
+}
+
+void examples34() {
+  const SchemaPtr schema = example1_schema();
+  const ProfileSet profiles = example1_profiles(schema);
+  const JointDistribution joint = example3_distribution(schema);
+
+  const auto cost = [&](const OrderingPolicy& policy) {
+    return expected_cost(build_tree(profiles, policy, joint), joint)
+        .ops_per_event;
+  };
+
+  OrderingPolicy natural;
+
+  OrderingPolicy a1;
+  a1.attribute_measure = AttributeMeasure::kA1;
+
+  OrderingPolicy a2;
+  a2.attribute_measure = AttributeMeasure::kA2;
+
+  OrderingPolicy v1_a2 = a2;
+  v1_a2.value_order = ValueOrder::kEventProbability;
+
+  OrderingPolicy binary_a2 = a2;
+  binary_a2.strategy = SearchStrategy::kBinary;
+
+  sim::print_heading(
+      std::cout, "Examples 3 & 4 — reordering the Example 1 profile tree");
+  std::cout << "(paper values use continuous-measure bucket arithmetic; our\n"
+               " discrete model reproduces the effect and ranking, see\n"
+               " EXPERIMENTS.md)\n\n";
+  sim::Table table({"tree configuration", "E[#ops/event]", "paper"});
+  table.add_row("natural order (Fig. 1 tree)", {cost(natural), 3.371});
+  table.add_row("attribute reorder A1 desc", {cost(a1), 1.91});
+  table.add_row("attribute reorder A2 desc", {cost(a2), 1.91});
+  table.add_row("V1 + A2 (Example 4, Fig. 2 tree)", {cost(v1_a2), 1.08});
+  table.add_row("binary search + A2", {cost(binary_a2), 1.616});
+  table.print(std::cout);
+
+  // Per-level decomposition E(X_j | ...) — the terms Example 3 sums.
+  std::cout << "\nper-attribute decomposition (E contribution per level):\n";
+  sim::Table levels({"tree configuration", "temperature", "humidity",
+                     "radiation"});
+  const auto decompose_row = [&](const std::string& label,
+                                 const OrderingPolicy& policy) {
+    const CostReport report =
+        expected_cost(build_tree(profiles, policy, joint), joint);
+    levels.add_row(label, {report.per_attribute_ops[0],
+                           report.per_attribute_ops[1],
+                           report.per_attribute_ops[2]});
+  };
+  decompose_row("natural order", natural);
+  decompose_row("A2 desc (humidity at root)", a2);
+  levels.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  example2();
+  examples34();
+  return 0;
+}

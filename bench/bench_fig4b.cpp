@@ -1,0 +1,41 @@
+// Reproduces Fig. 4(b): Measures V1–V3 vs binary search — average operations
+// per event for eight P_e/P_p combinations (TV4).
+//
+// Expected shape: V1 (event order) best for peaked event distributions;
+// V2 (profile order) trades average event cost for profile priority; V3
+// follows a middle course; binary search stays balanced.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace genas;
+  using namespace genas::bench;
+
+  constexpr std::int64_t kDomain = 100;
+  constexpr std::size_t kProfiles = 250;
+
+  const std::vector<std::pair<std::string, std::string>> combos = {
+      {"d14", "gauss"}, {"d2", "gauss"},  {"d4", "gauss"}, {"d16", "d39"},
+      {"d9", "gauss"},  {"d39", "gauss"}, {"d4", "d37"},   {"d17", "d34"},
+  };
+
+  sim::print_heading(std::cout,
+                     "Fig. 4(b) — value reordering, Measures V1-V3 (TV4)");
+  std::cout << "single attribute, domain " << kDomain << ", p = " << kProfiles
+            << " equality profiles; exact expected #operations per event\n\n";
+
+  const auto columns = fig4b_columns();
+  sim::Table table(headers_for(columns));
+  for (const auto& [pe, pp] : combos) {
+    const sim::Workload workload =
+        sim::single_attribute(kDomain, kProfiles, pe, pp, 2);
+    add_policy_row(table, workload, columns,
+                   [](const CostReport& r) { return r.ops_per_event; });
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

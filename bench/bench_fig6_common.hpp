@@ -1,0 +1,51 @@
+// Shared harness for Fig. 6(a)/(b): attribute reordering under Measure A2
+// with three event-distribution families and three level orders.
+#pragma once
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/selectivity.hpp"
+
+namespace genas::bench {
+
+/// Runs one Fig. 6 experiment (TA1 when `wide`, else TA2) and prints the
+/// table: rows = event family × attribute order (natural / ascending /
+/// descending by A2), columns = event-descending-order linear search and
+/// binary search.
+inline void run_fig6(bool wide, std::size_t profiles_per_attribute) {
+  const sim::EventFamily families[] = {sim::EventFamily::kEqual,
+                                       sim::EventFamily::kGauss,
+                                       sim::EventFamily::kRelocatedGauss};
+  const OrderDirection directions[] = {OrderDirection::kNatural,
+                                       OrderDirection::kAscending,
+                                       OrderDirection::kDescending};
+  const char* direction_names[] = {"natur.", "asc.", "desc."};
+
+  sim::Table table({"events / tree-order", "event desc order search",
+                    "binary search"});
+  for (const sim::EventFamily family : families) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      const sim::Workload workload = sim::attribute_scenario(
+          wide, family, profiles_per_attribute, 60, 1);
+
+      OrderingPolicy linear;
+      linear.value_order = ValueOrder::kEventProbability;
+      linear.attribute_measure = AttributeMeasure::kA2;
+      linear.direction = directions[d];
+
+      OrderingPolicy binary = linear;
+      binary.strategy = SearchStrategy::kBinary;
+
+      table.add_row(
+          std::string(sim::to_string(family)) + " / " + direction_names[d],
+          {run_policy(workload, linear).ops_per_event,
+           run_policy(workload, binary).ops_per_event});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+}
+
+}  // namespace genas::bench

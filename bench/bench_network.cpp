@@ -1,0 +1,102 @@
+// Distributed filtering extension (the Siena-style setting of the paper's
+// related work, §2): a chain-of-stars broker overlay where subscriptions
+// cluster at the edge brokers. Compares flooding, content-based routing,
+// and routing with covering-based subscription propagation, all using the
+// distribution-based profile trees at every broker.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "dist/sampler.hpp"
+#include "net/overlay.hpp"
+#include "profile/parser.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace genas;
+
+net::OverlayNetwork build_network(const SchemaPtr& schema,
+                                  net::RoutingMode mode,
+                                  const JointDistribution& joint) {
+  net::OverlayOptions options;
+  options.mode = mode;
+  options.policy.value_order = ValueOrder::kEventProbability;
+  options.event_distribution = joint;
+  net::OverlayNetwork network(schema, options);
+
+  // Backbone chain of 4 hubs, each with 3 edge brokers.
+  std::vector<net::NodeId> hubs;
+  std::vector<net::NodeId> edges;
+  for (int h = 0; h < 4; ++h) {
+    const net::NodeId hub = network.add_broker();
+    if (!hubs.empty()) network.connect(hubs.back(), hub);
+    hubs.push_back(hub);
+    for (int e = 0; e < 3; ++e) {
+      const net::NodeId edge = network.add_broker();
+      network.connect(hub, edge);
+      edges.push_back(edge);
+    }
+  }
+
+  // Subscriptions at edge brokers: clustered interest in high temperatures,
+  // with many narrow profiles covered by broader ones at the same site.
+  Rng rng(99);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::string attr = "a" + std::to_string(1 + i % 3);
+    const std::int64_t base = 60 + static_cast<std::int64_t>(rng.below(20));
+    network.subscribe(edges[i],
+                      parse_profile(schema, attr + " >= " +
+                                                std::to_string(base)));
+    for (int k = 0; k < 6; ++k) {
+      const std::int64_t lo = base + static_cast<std::int64_t>(rng.below(30));
+      network.subscribe(
+          edges[i], parse_profile(schema, attr + " >= " + std::to_string(
+                                              std::min<std::int64_t>(lo, 99))));
+    }
+  }
+  return network;
+}
+
+}  // namespace
+
+int main() {
+  using namespace genas;
+
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a1", 0, 99)
+                               .add_integer("a2", 0, 99)
+                               .add_integer("a3", 0, 99)
+                               .build();
+  const JointDistribution joint = make_event_distribution(schema, {"gauss"});
+
+  sim::print_heading(std::cout,
+                     "Distributed filtering — 16-broker overlay (4-hub "
+                     "backbone, 12 edge brokers), 4,000 events");
+  sim::Table table({"mode", "profile msgs", "event msgs", "filter ops/event",
+                    "deliveries"});
+
+  for (const auto mode :
+       {net::RoutingMode::kFlooding, net::RoutingMode::kRouting,
+        net::RoutingMode::kRoutingCovered}) {
+    net::OverlayNetwork network = build_network(schema, mode, joint);
+    const std::uint64_t profile_msgs = network.stats().profile_messages;
+
+    EventSampler sampler(joint, 7);
+    constexpr int kEvents = 4000;
+    for (int i = 0; i < kEvents; ++i) {
+      network.publish(i % network.broker_count(), sampler.sample());
+    }
+    const net::OverlayStats& stats = network.stats();
+    table.add_row(std::string(net::to_string(mode)),
+                  {static_cast<double>(profile_msgs),
+                   static_cast<double>(stats.event_messages),
+                   static_cast<double>(stats.filter_operations) / kEvents,
+                   static_cast<double>(stats.deliveries)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAll modes deliver identical notifications; routing trades "
+               "subscription state for event traffic, covering shrinks that "
+               "state without changing semantics.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Runs the paper's test scenarios TV1-TV3 (§4.3):
+//   TV1 — tree creation over n attributes with 10,000 profiles from a given
+//         distribution, then event tests until 95% precision is reached
+//   TV2 — full profile tree, event tests until 95% precision
+//   TV3 — single-attribute tree, 4,000 events from the given distribution,
+//         cross-checked against the exact TV4 expectation
+#include <iostream>
+
+#include "core/ordering_policy.hpp"
+#include "sim/report.hpp"
+#include "sim/scenarios.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace {
+
+using namespace genas;
+
+void tv1() {
+  sim::print_heading(std::cout,
+                     "TV1 — tree creation, 10,000 profiles, then event "
+                     "tests to 95% precision");
+  sim::Table table({"profile distr.", "nodes", "leaves", "memo hits",
+                    "max width", "events to 95% prec.", "ops/event"});
+  for (const char* pp : {"equal", "gauss", "95% high", "d21"}) {
+    const sim::Workload workload =
+        sim::multi_attribute(3, 80, 10000, "gauss", pp, 0.4, 7);
+    OrderingPolicy policy;
+    policy.value_order = ValueOrder::kEventProbability;
+    const ProfileTree tree =
+        build_tree(workload.profiles, policy, workload.events);
+    const TreeBuildStats& stats = tree.build_stats();
+
+    EventSampler sampler(workload.events, 11);
+    const PrecisionRun run = empirical_cost_to_precision(tree, sampler, 0.05);
+    table.add_row(pp, {static_cast<double>(stats.node_count),
+                       static_cast<double>(stats.leaf_count),
+                       static_cast<double>(stats.memo_hits),
+                       static_cast<double>(stats.max_node_width),
+                       static_cast<double>(run.events_posted),
+                       run.report.ops_per_event});
+  }
+  table.print(std::cout);
+}
+
+void tv2() {
+  sim::print_heading(
+      std::cout, "TV2 — full profile tree, event tests to 95% precision");
+  sim::Table table({"P_e / P_p", "events posted", "ops/event (measured)",
+                    "ops/event (exact TV4)"});
+  const std::vector<std::pair<std::string, std::string>> combos = {
+      {"gauss", "equal"}, {"equal", "95% high"}, {"d39", "d18"}};
+  for (const auto& [pe, pp] : combos) {
+    const sim::Workload workload =
+        sim::multi_attribute(3, 60, 2000, pe, pp, 0.3, 5);
+    OrderingPolicy policy;
+    policy.value_order = ValueOrder::kEventProbability;
+    const ProfileTree tree =
+        build_tree(workload.profiles, policy, workload.events);
+    EventSampler sampler(workload.events, 13);
+    const PrecisionRun run = empirical_cost_to_precision(tree, sampler, 0.05);
+    table.add_row(pe + "/" + pp,
+                  {static_cast<double>(run.events_posted),
+                   run.report.ops_per_event,
+                   expected_cost(tree, workload.events).ops_per_event});
+  }
+  table.print(std::cout);
+}
+
+void tv3() {
+  sim::print_heading(std::cout,
+                     "TV3 — single attribute, 4,000 events vs exact TV4");
+  sim::Table table({"P_e / P_p", "ops/event (4000 events)",
+                    "ops/event (exact TV4)", "match rate"});
+  const std::vector<std::pair<std::string, std::string>> combos = {
+      {"d37", "equal"}, {"d39", "d1"}, {"gauss", "95% high"}};
+  for (const auto& [pe, pp] : combos) {
+    const sim::Workload workload = sim::single_attribute(100, 250, pe, pp, 9);
+    OrderingPolicy policy;
+    policy.value_order = ValueOrder::kEventProbability;
+    const ProfileTree tree =
+        build_tree(workload.profiles, policy, workload.events);
+    EventSampler sampler(workload.events, 17);
+    const CostReport measured = empirical_cost(tree, sampler, 4000);
+    table.add_row(workload.label,
+                  {measured.ops_per_event,
+                   expected_cost(tree, workload.events).ops_per_event,
+                   measured.match_probability});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  tv1();
+  tv2();
+  tv3();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the figure benches: run a set of ordering policies over
+// a workload and collect the paper's cost metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ordering_policy.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/report.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace genas::bench {
+
+/// A named policy column of a figure.
+struct PolicyColumn {
+  std::string name;
+  OrderingPolicy policy;
+};
+
+/// The strategy columns of Fig. 4(a): natural order scan, event-order scan
+/// (V1), binary search.
+inline std::vector<PolicyColumn> fig4a_columns() {
+  OrderingPolicy natural;
+  OrderingPolicy event;
+  event.value_order = ValueOrder::kEventProbability;
+  OrderingPolicy binary;
+  binary.strategy = SearchStrategy::kBinary;
+  return {{"natural order search", natural},
+          {"event order search", event},
+          {"binary search", binary}};
+}
+
+/// The strategy columns of Figs. 4(b)/5: V2, V3, V1, binary.
+inline std::vector<PolicyColumn> fig4b_columns() {
+  OrderingPolicy v2;
+  v2.value_order = ValueOrder::kProfileProbability;
+  OrderingPolicy v3;
+  v3.value_order = ValueOrder::kCombinedProbability;
+  OrderingPolicy v1;
+  v1.value_order = ValueOrder::kEventProbability;
+  OrderingPolicy binary;
+  binary.strategy = SearchStrategy::kBinary;
+  return {{"profile order search", v2},
+          {"event * profile order search", v3},
+          {"events order search", v1},
+          {"binary search", binary}};
+}
+
+/// Exact TV4 cost of one policy on one workload.
+inline CostReport run_policy(const sim::Workload& workload,
+                             const OrderingPolicy& policy) {
+  const ProfileTree tree =
+      build_tree(workload.profiles, policy, workload.events);
+  return expected_cost(tree, workload.events);
+}
+
+/// Fills one table row: the metric selected by `select` per policy column.
+template <typename Select>
+void add_policy_row(sim::Table& table, const sim::Workload& workload,
+                    const std::vector<PolicyColumn>& columns,
+                    const Select& select) {
+  std::vector<double> values;
+  values.reserve(columns.size());
+  for (const PolicyColumn& column : columns) {
+    values.push_back(select(run_policy(workload, column.policy)));
+  }
+  table.add_row(workload.label, values);
+}
+
+/// Header row: "combination" + policy names.
+inline std::vector<std::string> headers_for(
+    const std::vector<PolicyColumn>& columns) {
+  std::vector<std::string> headers = {"P_e / P_p"};
+  for (const PolicyColumn& column : columns) headers.push_back(column.name);
+  return headers;
+}
+
+}  // namespace genas::bench

@@ -1,0 +1,82 @@
+// Environmental monitoring with catastrophe warnings — the paper's
+// motivating scenario (§1): sensor data are roughly uniform, but users
+// subscribe to a narrow range of dangerous readings. The distribution-based
+// tree rejects harmless readings early (attribute reordering, Measure A2)
+// and orders edge scans by event probability (Measure V1).
+//
+// The example compares the default tree against the distribution-optimized
+// tree on the same sensor feed and prints the paper's cost metric.
+#include <iostream>
+
+#include "core/filter_engine.hpp"
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace genas;
+
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("temperature", -30, 50)
+                               .add_integer("humidity", 0, 100)
+                               .add_integer("radiation", 1, 100)
+                               .add_integer("wind_speed", 0, 150)
+                               .build();
+
+  // Sensor characteristics: temperature and humidity roughly Gaussian
+  // around seasonal means, radiation mostly low, wind mostly calm.
+  const JointDistribution sensor_feed = JointDistribution::independent(
+      schema, {shapes::gauss(81, 0.55, 0.18),   // mild temperatures
+               shapes::gauss(101, 0.6, 0.2),    // moderate humidity
+               shapes::falling(100),            // radiation mostly low
+               shapes::falling(151)});          // wind mostly calm
+
+  // Catastrophe-warning subscriptions: narrow, extreme ranges.
+  const std::vector<std::string> warnings = {
+      "temperature >= 45",                       // heat wave
+      "temperature <= -25",                      // hard frost
+      "radiation >= 80",                         // UV warning
+      "wind_speed >= 110",                       // storm warning
+      "temperature >= 40 && humidity >= 85",     // tropical night
+      "radiation >= 60 && wind_speed >= 90",     // combined hazard
+      "humidity <= 5 && temperature >= 35",      // wildfire risk
+  };
+
+  const auto run = [&](const char* label, const EngineOptions& options) {
+    FilterEngine engine(schema, options);
+    for (const std::string& w : warnings) engine.subscribe(w);
+
+    EventSampler sampler(sensor_feed, 2024);
+    std::uint64_t ops = 0;
+    std::size_t alerts = 0;
+    constexpr int kReadings = 50000;
+    for (int i = 0; i < kReadings; ++i) {
+      const EngineMatch match = engine.match(sampler.sample());
+      ops += match.operations;
+      alerts += match.matched.size();
+    }
+    std::cout << label << ": "
+              << static_cast<double>(ops) / kReadings
+              << " ops/reading, " << alerts << " alerts over " << kReadings
+              << " readings\n";
+    return static_cast<double>(ops) / kReadings;
+  };
+
+  std::cout << "Environmental monitoring: " << warnings.size()
+            << " catastrophe-warning profiles, 50,000 sensor readings\n\n";
+
+  EngineOptions plain;  // natural order, schema-order attributes
+  const double baseline = run("default tree              ", plain);
+
+  EngineOptions optimized;
+  optimized.prior = sensor_feed;  // known sensor characteristics
+  optimized.policy.value_order = ValueOrder::kEventProbability;   // V1
+  optimized.policy.attribute_measure = AttributeMeasure::kA2;     // A2
+  optimized.policy.direction = OrderDirection::kDescending;
+  const double tuned = run("distribution-based tree   ", optimized);
+
+  std::cout << "\nearly rejection saves "
+            << 100.0 * (1.0 - tuned / baseline)
+            << "% of filter operations on this workload\n";
+  return 0;
+}

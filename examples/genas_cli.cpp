@@ -1,0 +1,215 @@
+// genas_cli — the "generic parameterized event notification system" shell
+// (the paper's prototype is a generic service whose events, attributes,
+// domains and operators are specified at runtime, §4.2). Reads commands from
+// stdin (or the built-in demo script when stdin is a terminal-less pipe is
+// absent) and drives a broker interactively:
+//
+//   attr <name> int <lo> <hi>        declare an integer attribute
+//   attr <name> cat <a,b,c>          declare a categorical attribute
+//   done                             freeze the schema, start the broker
+//   sub <profile expression>         subscribe (prints the assigned id)
+//   unsub <id>                       unsubscribe
+//   pub <event expression>           publish ("a=1; b=2")
+//   policy <natural|v1|v2|v3> <linear|binary|interpolation|hash> [a1|a2|a3]
+//   tree                             dump the current profile tree
+//   stats                            service counters
+//   quit
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "core/filter_engine.hpp"
+#include "ens/broker.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace genas;
+
+struct CliState {
+  SchemaBuilder builder;
+  SchemaPtr schema;
+  std::unique_ptr<Broker> broker;
+  OrderingPolicy policy;
+  std::map<SubscriptionId, std::string> expressions;  // live subscriptions
+
+  /// (Re)creates the broker with the current policy and re-subscribes all
+  /// live expressions (they receive fresh subscription ids).
+  void start_broker() {
+    EngineOptions options;
+    options.policy = policy;
+    broker = std::make_unique<Broker>(schema, std::move(options));
+    std::map<SubscriptionId, std::string> renewed;
+    for (const auto& [old_id, expression] : expressions) {
+      const SubscriptionId id =
+          broker->subscribe(expression, [](const Notification& n) {
+            std::cout << "  notify sub#" << n.subscription << ": "
+                      << n.event.to_string() << "\n";
+          });
+      renewed.emplace(id, expression);
+    }
+    expressions = std::move(renewed);
+  }
+};
+
+OrderingPolicy parse_policy(const std::vector<std::string_view>& words) {
+  OrderingPolicy policy;
+  if (words.size() > 1) {
+    const std::string order = to_lower(words[1]);
+    if (order == "v1") policy.value_order = ValueOrder::kEventProbability;
+    else if (order == "v2") policy.value_order = ValueOrder::kProfileProbability;
+    else if (order == "v3") policy.value_order = ValueOrder::kCombinedProbability;
+  }
+  if (words.size() > 2) {
+    const std::string strat = to_lower(words[2]);
+    if (strat == "binary") policy.strategy = SearchStrategy::kBinary;
+    else if (strat == "interpolation") policy.strategy = SearchStrategy::kInterpolation;
+    else if (strat == "hash") policy.strategy = SearchStrategy::kHash;
+  }
+  if (words.size() > 3) {
+    const std::string measure = to_lower(words[3]);
+    if (measure == "a1") policy.attribute_measure = AttributeMeasure::kA1;
+    else if (measure == "a2") policy.attribute_measure = AttributeMeasure::kA2;
+    else if (measure == "a3") policy.attribute_measure = AttributeMeasure::kA3;
+  }
+  return policy;
+}
+
+bool handle(CliState& state, const std::string& line) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return true;
+
+  std::vector<std::string_view> words;
+  {
+    std::size_t pos = 0;
+    while (pos < trimmed.size()) {
+      const std::size_t next = trimmed.find(' ', pos);
+      if (next == std::string_view::npos) {
+        words.push_back(trimmed.substr(pos));
+        break;
+      }
+      if (next > pos) words.push_back(trimmed.substr(pos, next - pos));
+      pos = next + 1;
+    }
+  }
+  const std::string cmd = to_lower(words[0]);
+  const std::string rest =
+      words.size() > 1
+          ? std::string(trim(trimmed.substr(words[0].size())))
+          : std::string();
+
+  try {
+    if (cmd == "quit" || cmd == "exit") return false;
+
+    if (cmd == "attr") {
+      if (words.size() < 3) throw Error(ErrorCode::kParse, "attr needs args");
+      const std::string name(words[1]);
+      const std::string kind = to_lower(words[2]);
+      if (kind == "int" && words.size() >= 5) {
+        state.builder.add_integer(name, std::stoll(std::string(words[3])),
+                                  std::stoll(std::string(words[4])));
+      } else if (kind == "cat" && words.size() >= 4) {
+        std::vector<std::string> cats;
+        for (const auto piece : split(words[3], ',')) {
+          cats.emplace_back(piece);
+        }
+        state.builder.add_categorical(name, std::move(cats));
+      } else {
+        throw Error(ErrorCode::kParse, "attr <name> int <lo> <hi> | cat <a,b>");
+      }
+      std::cout << "ok: attribute " << name << "\n";
+      return true;
+    }
+
+    if (cmd == "done") {
+      state.schema = state.builder.build();
+      state.start_broker();
+      std::cout << "schema: " << state.schema->to_string() << "\n";
+      return true;
+    }
+
+    if (state.broker == nullptr) {
+      std::cout << "error: declare attributes first, then 'done'\n";
+      return true;
+    }
+
+    if (cmd == "sub") {
+      const SubscriptionId id = state.broker->subscribe(
+          rest, [](const Notification& n) {
+            std::cout << "  notify sub#" << n.subscription << ": "
+                      << n.event.to_string() << "\n";
+          });
+      state.expressions.emplace(id, rest);
+      std::cout << "ok: subscription " << id << "\n";
+    } else if (cmd == "unsub") {
+      const SubscriptionId id = std::stoull(rest);
+      state.broker->unsubscribe(id);
+      state.expressions.erase(id);
+      std::cout << "ok\n";
+    } else if (cmd == "policy") {
+      state.policy = parse_policy(words);
+      state.start_broker();  // rebuild with the new ordering policy
+      std::cout << "ok: policy " << state.policy.label()
+                << " (subscriptions re-registered)\n";
+    } else if (cmd == "pub") {
+      const PublishResult result = state.broker->publish(rest);
+      std::cout << "ok: " << result.notified << " notifications, "
+                << result.operations << " ops\n";
+    } else if (cmd == "stats") {
+      const ServiceCounters counters = state.broker->counters();
+      std::cout << "events=" << counters.events_published
+                << " matched=" << counters.events_matched
+                << " notifications=" << counters.notifications
+                << " ops/event=" << counters.ops_per_event() << "\n";
+    } else {
+      std::cout << "error: unknown command '" << cmd << "'\n";
+    }
+  } catch (const std::exception& e) {
+    std::cout << "error: " << e.what() << "\n";
+  }
+  return true;
+}
+
+constexpr const char* kDemoScript = R"(# GENAS demo session
+attr temperature int -30 50
+attr humidity int 0 100
+attr state cat ok,warn,err
+done
+sub temperature >= 35 && humidity >= 90
+sub state = err
+sub temperature in [-30, -20]
+pub temperature = 40; humidity = 95; state = ok
+pub temperature = 0; humidity = 10; state = err
+pub temperature = -25; humidity = 5; state = ok
+pub temperature = 10; humidity = 50; state = ok
+stats
+quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliState state;
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+
+  if (demo) {
+    std::istringstream script((std::string(kDemoScript)));
+    std::string line;
+    while (std::getline(script, line)) {
+      std::cout << "genas> " << line << "\n";
+      if (!handle(state, line)) break;
+    }
+    return 0;
+  }
+
+  std::cout << "GENAS interactive shell (try --demo for a scripted tour)\n";
+  std::string line;
+  while (std::cout << "genas> " && std::getline(std::cin, line)) {
+    if (!handle(state, line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace genas {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound:        return "not_found";
+    case ErrorCode::kDomainViolation: return "domain_violation";
+    case ErrorCode::kParse:           return "parse_error";
+    case ErrorCode::kState:           return "invalid_state";
+    case ErrorCode::kInternal:        return "internal_error";
+  }
+  return "unknown_error";
+}
+
+namespace {
+std::string decorate(ErrorCode code, const std::string& message) {
+  std::ostringstream os;
+  os << "genas: [" << to_string(code) << "] " << message;
+  return os.str();
+}
+}  // namespace
+
+Error::Error(ErrorCode code, std::string message)
+    : std::runtime_error(decorate(code, message)), code_(code) {}
+
+void throw_error(ErrorCode code, std::string message) {
+  throw Error(code, std::move(message));
+}
+
+namespace detail {
+void fail_check(const char* expr, const char* file, int line,
+                std::string message) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line << " — "
+     << message;
+  throw Error(ErrorCode::kInternal, os.str());
+}
+}  // namespace detail
+
+}  // namespace genas

@@ -1,0 +1,65 @@
+// GENAS — error handling.
+//
+// All API-misuse and configuration failures are reported via genas::Error,
+// which carries a category and a formatted message. Hot-path filtering code
+// never throws; errors are confined to construction / configuration time.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace genas {
+
+/// Broad classification of a failure, used by callers that want to react
+/// differently to user mistakes vs. internal invariant violations.
+enum class ErrorCode {
+  kInvalidArgument,  ///< caller passed a value that violates a precondition
+  kNotFound,         ///< named entity (attribute, profile, ...) does not exist
+  kDomainViolation,  ///< value lies outside the declared attribute domain
+  kParse,            ///< text could not be parsed as schema/profile/event
+  kState,            ///< operation invalid in the object's current state
+  kInternal,         ///< invariant violation inside the library (a bug)
+};
+
+/// Human-readable name of an ErrorCode ("invalid_argument", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// Exception type thrown by all GENAS components.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, std::string message);
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Throws Error{code, message}. Out-of-line so call sites stay small.
+[[noreturn]] void throw_error(ErrorCode code, std::string message);
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             std::string message);
+}  // namespace detail
+
+/// Internal invariant check: throws ErrorCode::kInternal when violated.
+/// Used for conditions that indicate a bug in GENAS itself, never for
+/// validating user input.
+#define GENAS_CHECK(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::genas::detail::fail_check(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+/// Validates user input; throws the given ErrorCode when violated.
+#define GENAS_REQUIRE(expr, code, msg)         \
+  do {                                         \
+    if (!(expr)) {                             \
+      ::genas::throw_error((code), (msg));     \
+    }                                          \
+  } while (false)
+
+}  // namespace genas

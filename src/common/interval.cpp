@@ -1,0 +1,19 @@
+#include "common/interval.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace genas {
+
+std::string Interval::to_string() const {
+  if (empty()) return "[]";
+  std::ostringstream os;
+  os << '[' << lo << ',' << hi << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.to_string();
+}
+
+}  // namespace genas

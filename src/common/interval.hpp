@@ -1,0 +1,75 @@
+// GENAS — closed integer intervals over domain index space.
+//
+// Every attribute domain is mapped to dense indices [0, d). Predicates,
+// tree-edge labels, elementary subranges, and zero-subdomains are all
+// expressed as closed intervals [lo, hi] (inclusive on both ends) over that
+// index space. Keeping a single interval vocabulary throughout the library
+// avoids off-by-one translation bugs between modules.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace genas {
+
+/// Index of a value within a domain: dense, 0-based.
+using DomainIndex = std::int64_t;
+
+/// Closed interval [lo, hi] over domain indices. Empty iff lo > hi.
+struct Interval {
+  DomainIndex lo = 0;
+  DomainIndex hi = -1;  // default-constructed interval is empty
+
+  constexpr Interval() = default;
+  constexpr Interval(DomainIndex lo_in, DomainIndex hi_in) noexcept
+      : lo(lo_in), hi(hi_in) {}
+
+  /// Single-point interval [v, v].
+  static constexpr Interval point(DomainIndex v) noexcept { return {v, v}; }
+
+  constexpr bool empty() const noexcept { return lo > hi; }
+
+  /// Number of indices covered; 0 for empty intervals.
+  constexpr std::int64_t size() const noexcept {
+    return empty() ? 0 : hi - lo + 1;
+  }
+
+  constexpr bool contains(DomainIndex v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+
+  constexpr bool contains(const Interval& other) const noexcept {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+
+  constexpr bool overlaps(const Interval& other) const noexcept {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Intersection; empty when the intervals do not overlap.
+  constexpr Interval intersect(const Interval& other) const noexcept {
+    return {lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+  }
+
+  /// True when `other` starts exactly where this interval ends (so the two
+  /// can be merged into a single interval without a gap).
+  constexpr bool adjacent_before(const Interval& other) const noexcept {
+    return !empty() && !other.empty() && hi + 1 == other.lo;
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+  /// Orders by lo, then hi; empty intervals sort first.
+  friend constexpr bool operator<(const Interval& a,
+                                  const Interval& b) noexcept {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  }
+
+  /// Renders as "[lo,hi]", or "[]" when empty.
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace genas

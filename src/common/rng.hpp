@@ -1,0 +1,90 @@
+// GENAS — deterministic pseudo-random number generation.
+//
+// All stochastic machinery in GENAS (workload generation, samplers, the
+// distribution catalog) uses this RNG so that every test, example, and
+// benchmark is bit-reproducible across runs and platforms. The generator is
+// xoshiro256**, seeded through SplitMix64 — both are public-domain
+// algorithms with excellent statistical quality and trivial state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace genas {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it can
+/// be plugged into <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's unbiased method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace genas

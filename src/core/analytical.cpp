@@ -1,0 +1,59 @@
+#include "core/analytical.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+ResponseTime response_time(const std::vector<ModelCell>& cells,
+                           ValueOrder order, SearchStrategy strategy) {
+  GENAS_REQUIRE(!cells.empty(), ErrorCode::kInvalidArgument,
+                "response_time requires at least one cell");
+
+  CellLayout layout;
+  layout.cells.reserve(cells.size());
+  layout.is_edge.reserve(cells.size());
+  layout.order_key.reserve(cells.size());
+  for (const ModelCell& cell : cells) {
+    layout.cells.push_back(cell.interval);
+    layout.is_edge.push_back(cell.referenced);
+    switch (order) {
+      case ValueOrder::kNaturalAscending:
+        layout.order_key.push_back(0.0);
+        break;
+      case ValueOrder::kNaturalDescending:
+        layout.order_key.push_back(static_cast<double>(cell.interval.lo));
+        break;
+      case ValueOrder::kEventProbability:
+        layout.order_key.push_back(cell.event_mass);
+        break;
+      case ValueOrder::kProfileProbability:
+        layout.order_key.push_back(cell.profile_mass);
+        break;
+      case ValueOrder::kCombinedProbability:
+        layout.order_key.push_back(cell.event_mass * cell.profile_mass);
+        break;
+    }
+  }
+
+  const CellCosts costs = plan_costs(layout, strategy);
+  ResponseTime rt;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double contribution =
+        cells[i].event_mass * static_cast<double>(costs.cost[i]);
+    if (cells[i].referenced) {
+      rt.expectation += contribution;
+    } else {
+      rt.r0 += contribution;
+    }
+  }
+  return rt;
+}
+
+double binary_threshold(std::size_t profile_count) noexcept {
+  if (profile_count == 0) return 0.0;
+  return std::log2(static_cast<double>(2 * profile_count - 1));
+}
+
+}  // namespace genas

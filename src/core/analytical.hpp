@@ -1,0 +1,45 @@
+// GENAS — the closed-form single-attribute response-time model (Eq. 2).
+//
+// R(a, P_p, P_e) = E(X) + R_0(P_e, x_0),  E(X) = Σ x_o(i) P_e(x_o(i))
+//
+// This standalone model works directly on an explicit cell structure (the
+// (≤2p−1) subranges W plus zero cells) without building a tree. It exists
+// for three reasons: it reproduces the paper's worked Example 2 exactly
+// (tests pin those numbers), it powers the formal comparison "event-based
+// order is faster than binary search iff E(X) < log2(2p−1)" (§4.3), and it
+// documents the cost accounting the tree engine implements per node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/profile_tree.hpp"
+#include "tree/search.hpp"
+
+namespace genas {
+
+/// One subrange of the single-attribute model.
+struct ModelCell {
+  Interval interval;       ///< elementary subrange (index space)
+  double event_mass = 0.0; ///< P_e of the subrange
+  double profile_mass = 0.0;  ///< P_p of the subrange (0 for zero cells)
+  bool referenced = false; ///< true for W-cells, false for zero cells (D_0)
+};
+
+/// Decomposed response time of one attribute.
+struct ResponseTime {
+  double expectation = 0.0;  ///< E(X): expected ops of referenced events
+  double r0 = 0.0;           ///< R_0(P_e, x_0): expected ops of zero events
+  double total() const noexcept { return expectation + r0; }
+};
+
+/// Evaluates Eq. 2 for the cells under a value order and search strategy.
+/// Cells must be contiguous (partition of the attribute's index space).
+ResponseTime response_time(const std::vector<ModelCell>& cells,
+                           ValueOrder order, SearchStrategy strategy);
+
+/// The paper's binary-search break-even bound log2(2p−1): event-probability
+/// order beats binary search when E(X) < binary_threshold(p).
+double binary_threshold(std::size_t profile_count) noexcept;
+
+}  // namespace genas

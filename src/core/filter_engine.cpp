@@ -1,0 +1,98 @@
+#include "core/filter_engine.hpp"
+
+#include "common/error.hpp"
+#include "dist/shapes.hpp"
+
+namespace genas {
+
+FilterEngine::FilterEngine(SchemaPtr schema, EngineOptions options)
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      profiles_(schema_) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "filter engine requires a schema");
+  if (options_.prior.has_value()) {
+    GENAS_REQUIRE(options_.prior->schema() == schema_,
+                  ErrorCode::kInvalidArgument,
+                  "prior distribution schema differs from engine schema");
+  }
+  if (options_.adaptive.has_value()) {
+    adaptive_.emplace(schema_, *options_.adaptive);
+  }
+}
+
+ProfileId FilterEngine::subscribe(Profile profile) {
+  return profiles_.add(std::move(profile));
+}
+
+ProfileId FilterEngine::subscribe(std::string_view expression) {
+  return subscribe(parse_profile(schema_, expression));
+}
+
+void FilterEngine::unsubscribe(ProfileId id) { profiles_.remove(id); }
+
+void FilterEngine::set_priority(ProfileId id, double weight) {
+  profiles_.set_weight(id, weight);
+}
+
+JointDistribution FilterEngine::effective_distribution() const {
+  if (adaptive_.has_value() &&
+      adaptive_->observations() >= adaptive_->options().min_observations) {
+    return adaptive_->estimate();
+  }
+  if (options_.prior.has_value()) return *options_.prior;
+  std::vector<DiscreteDistribution> marginals;
+  marginals.reserve(schema_->attribute_count());
+  for (const Attribute& attribute : schema_->attributes()) {
+    marginals.push_back(shapes::equal(attribute.domain.size()));
+  }
+  return JointDistribution::independent(schema_, std::move(marginals));
+}
+
+void FilterEngine::rebuild_locked(const JointDistribution& distribution) {
+  tree_ = std::make_shared<const ProfileTree>(
+      build_tree(profiles_, options_.policy, distribution));
+  ++rebuild_count_;
+  if (adaptive_.has_value()) adaptive_->mark_rebuilt(distribution);
+}
+
+void FilterEngine::rebuild() { rebuild_locked(effective_distribution()); }
+
+void FilterEngine::ensure_fresh() {
+  if (tree_ == nullptr || tree_->source_version() != profiles_.version()) {
+    rebuild();
+  }
+}
+
+const ProfileTree& FilterEngine::tree() {
+  ensure_fresh();
+  return *tree_;
+}
+
+EngineMatch FilterEngine::match(const Event& event) {
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event schema differs from engine schema");
+  ensure_fresh();
+
+  EngineMatch outcome;
+  const TreeMatch result = tree_->match(event);
+  outcome.operations = result.operations;
+  if (result.matched != nullptr) outcome.matched = *result.matched;
+  ++events_matched_;
+
+  if (adaptive_.has_value()) {
+    adaptive_->observe(event);
+    if (adaptive_->should_rebuild()) {
+      rebuild_locked(adaptive_->estimate());
+      outcome.rebuilt = true;
+    }
+  }
+  return outcome;
+}
+
+void FilterEngine::set_policy(OrderingPolicy policy) {
+  options_.policy = std::move(policy);
+  tree_.reset();  // force rebuild on next use
+}
+
+}  // namespace genas

@@ -1,0 +1,101 @@
+// GENAS — FilterEngine: the library's primary facade.
+//
+// Owns the profile set and the current profile tree, applies an
+// OrderingPolicy, and optionally runs the adaptive loop: observe events,
+// detect distribution drift, restructure the tree. The engine rebuilds
+// lazily — subscription changes mark the tree stale and the next match (or
+// an explicit rebuild()) refreshes it.
+//
+// Thread-safety: FilterEngine is single-threaded by design; the ENS broker
+// (src/ens/broker.hpp) adds synchronization and atomic tree swapping on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/adaptive_filter.hpp"
+#include "core/ordering_policy.hpp"
+#include "profile/parser.hpp"
+#include "tree/profile_tree.hpp"
+
+namespace genas {
+
+/// Engine construction options.
+struct EngineOptions {
+  OrderingPolicy policy;
+  /// Prior event distribution (e.g., known sensor characteristics). Used
+  /// until the adaptive estimate (if enabled) takes over.
+  std::optional<JointDistribution> prior;
+  /// Adaptive restructuring; disabled when nullopt.
+  std::optional<AdaptiveOptions> adaptive;
+};
+
+/// Outcome of matching one event through the engine.
+struct EngineMatch {
+  std::vector<ProfileId> matched;  ///< owned copy, safe across rebuilds
+  std::uint64_t operations = 0;
+  bool rebuilt = false;  ///< this match triggered an adaptive rebuild
+};
+
+/// High-level distribution-based filter (the paper's "adaptive filter
+/// component", §1).
+class FilterEngine {
+ public:
+  explicit FilterEngine(SchemaPtr schema, EngineOptions options = {});
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+  const ProfileSet& profiles() const noexcept { return profiles_; }
+
+  /// Registers a profile; the tree refreshes lazily.
+  ProfileId subscribe(Profile profile);
+  /// Parses and registers a profile expression ("temp >= 35 && hum = 90").
+  ProfileId subscribe(std::string_view expression);
+  void unsubscribe(ProfileId id);
+
+  /// Sets a subscription's priority weight (V2/V3 value ordering scans the
+  /// subranges of heavier profiles earlier). The tree refreshes lazily.
+  void set_priority(ProfileId id, double weight);
+
+  /// Matches an event: refreshes a stale tree, feeds the adaptive
+  /// controller, and rebuilds when drift demands it.
+  EngineMatch match(const Event& event);
+
+  /// Forces an immediate rebuild against the best-known distribution.
+  void rebuild();
+
+  /// Replaces the ordering policy (takes effect on the next rebuild).
+  void set_policy(OrderingPolicy policy);
+  const OrderingPolicy& policy() const noexcept { return options_.policy; }
+
+  /// Distribution the engine would build against right now: the adaptive
+  /// estimate when available, else the prior, else uniform.
+  JointDistribution effective_distribution() const;
+
+  /// Current tree (rebuilds first if stale).
+  const ProfileTree& tree();
+
+  std::uint64_t rebuild_count() const noexcept { return rebuild_count_; }
+  std::uint64_t events_matched() const noexcept { return events_matched_; }
+
+  /// Adaptive controller, when enabled (for diagnostics).
+  const AdaptiveController* adaptive() const noexcept {
+    return adaptive_ ? &*adaptive_ : nullptr;
+  }
+
+ private:
+  void ensure_fresh();
+  void rebuild_locked(const JointDistribution& distribution);
+
+  SchemaPtr schema_;
+  EngineOptions options_;
+  ProfileSet profiles_;
+  std::optional<AdaptiveController> adaptive_;
+  std::shared_ptr<const ProfileTree> tree_;
+  std::uint64_t rebuild_count_ = 0;
+  std::uint64_t events_matched_ = 0;
+};
+
+}  // namespace genas

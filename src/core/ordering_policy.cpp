@@ -1,0 +1,70 @@
+#include "core/ordering_policy.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+std::string OrderingPolicy::label() const {
+  std::ostringstream os;
+  os << to_string(value_order) << '/' << to_string(strategy);
+  if (attribute_measure.has_value()) {
+    os << " + " << to_string(*attribute_measure) << '-'
+       << to_string(direction);
+  }
+  return os.str();
+}
+
+TreeConfig make_tree_config(
+    const ProfileSet& profiles, const OrderingPolicy& policy,
+    std::optional<JointDistribution> event_distribution) {
+  const bool needs_dist =
+      needs_event_distribution(policy.value_order) ||
+      (policy.attribute_measure.has_value() &&
+       *policy.attribute_measure != AttributeMeasure::kA1);
+  GENAS_REQUIRE(!needs_dist || event_distribution.has_value(),
+                ErrorCode::kInvalidArgument,
+                "policy '" + policy.label() + "' requires an event distribution");
+
+  TreeConfig config;
+  config.value_order = policy.value_order;
+  config.strategy = policy.strategy;
+
+  if (policy.attribute_measure.has_value()) {
+    switch (*policy.attribute_measure) {
+      case AttributeMeasure::kA1:
+      case AttributeMeasure::kA2: {
+        const auto selectivities = attribute_selectivities(
+            profiles, *policy.attribute_measure,
+            event_distribution.has_value() ? &*event_distribution : nullptr);
+        config.attribute_order =
+            attribute_order(selectivities, policy.direction);
+        break;
+      }
+      case AttributeMeasure::kA3: {
+        config.attribute_order = best_attribute_order_exhaustive(
+            profiles, *event_distribution, policy.value_order,
+            policy.strategy);
+        // A3 always optimizes; ascending direction inverts the result to
+        // expose the worst case (used by the Fig. 6 worst-case bars).
+        if (policy.direction == OrderDirection::kAscending) {
+          std::reverse(config.attribute_order.begin(),
+                       config.attribute_order.end());
+        }
+        break;
+      }
+    }
+  }
+  config.event_distribution = std::move(event_distribution);
+  return config;
+}
+
+ProfileTree build_tree(const ProfileSet& profiles, const OrderingPolicy& policy,
+                       std::optional<JointDistribution> event_distribution) {
+  return ProfileTree::build(
+      profiles,
+      make_tree_config(profiles, policy, std::move(event_distribution)));
+}
+
+}  // namespace genas

@@ -1,0 +1,41 @@
+// GENAS — ordering policies: the full strategy surface of the paper.
+//
+// A policy bundles the three independent choices §4 studies — value order
+// (natural / V1 / V2 / V3), attribute order (natural / A1 / A2 / A3,
+// ascending or descending), and node search strategy (linear / binary /
+// interpolation / hash) — and materializes them into a TreeConfig for a
+// concrete profile set and event distribution.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/selectivity.hpp"
+#include "tree/profile_tree.hpp"
+
+namespace genas {
+
+/// Complete filter-ordering strategy.
+struct OrderingPolicy {
+  ValueOrder value_order = ValueOrder::kNaturalAscending;
+  SearchStrategy strategy = SearchStrategy::kLinear;
+  /// Attribute reordering; nullopt keeps the schema order.
+  std::optional<AttributeMeasure> attribute_measure;
+  OrderDirection direction = OrderDirection::kDescending;
+
+  /// Short label such as "V1/linear + A2-desc" for reports.
+  std::string label() const;
+};
+
+/// Materializes the policy. The event distribution is required whenever the
+/// value order (V1/V3) or attribute measure (A2/A3) depends on it; pass the
+/// best available estimate otherwise (it is stored for cost accounting).
+TreeConfig make_tree_config(const ProfileSet& profiles,
+                            const OrderingPolicy& policy,
+                            std::optional<JointDistribution> event_distribution);
+
+/// Convenience: build a tree directly from a policy.
+ProfileTree build_tree(const ProfileSet& profiles, const OrderingPolicy& policy,
+                       std::optional<JointDistribution> event_distribution);
+
+}  // namespace genas

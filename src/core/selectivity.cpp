@@ -1,0 +1,129 @@
+#include "core/selectivity.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace genas {
+
+std::string_view to_string(AttributeMeasure measure) noexcept {
+  switch (measure) {
+    case AttributeMeasure::kA1: return "A1";
+    case AttributeMeasure::kA2: return "A2";
+    case AttributeMeasure::kA3: return "A3";
+  }
+  return "?";
+}
+
+std::string_view to_string(OrderDirection direction) noexcept {
+  switch (direction) {
+    case OrderDirection::kNatural:    return "natural";
+    case OrderDirection::kAscending:  return "ascending";
+    case OrderDirection::kDescending: return "descending";
+  }
+  return "?";
+}
+
+IntervalSet zero_subdomain(const ProfileSet& profiles, AttributeId attribute) {
+  const Domain& domain = profiles.schema()->attribute(attribute).domain;
+  const Interval full = domain.full();
+
+  // With no profiles at all, every value is unreferenced.
+  if (profiles.active_count() == 0) return IntervalSet::single(full);
+
+  IntervalSet referenced;
+  for (const ProfileId id : profiles.active_ids()) {
+    const Predicate* predicate = profiles.profile(id).predicate(attribute);
+    if (predicate == nullptr) {
+      // A don't-care profile accepts every value: D_0 collapses to empty
+      // (no event can be rejected early on this attribute).
+      return IntervalSet::empty();
+    }
+    referenced = referenced.unite(predicate->accepted());
+    if (referenced.covers(full)) return IntervalSet::empty();
+  }
+  return referenced.complement(full);
+}
+
+std::vector<AttributeSelectivity> attribute_selectivities(
+    const ProfileSet& profiles, AttributeMeasure measure,
+    const JointDistribution* event_distribution) {
+  GENAS_REQUIRE(measure != AttributeMeasure::kA3, ErrorCode::kInvalidArgument,
+                "A3 is a search, use best_attribute_order_exhaustive");
+  GENAS_REQUIRE(
+      measure == AttributeMeasure::kA1 || event_distribution != nullptr,
+      ErrorCode::kInvalidArgument, "measure A2 requires an event distribution");
+
+  const Schema& schema = *profiles.schema();
+  std::vector<AttributeSelectivity> out;
+  out.reserve(schema.attribute_count());
+  for (AttributeId id = 0; id < schema.attribute_count(); ++id) {
+    AttributeSelectivity s;
+    s.attribute = id;
+    s.domain_size = schema.attribute(id).domain.size();
+    const IntervalSet zero = zero_subdomain(profiles, id);
+    s.zero_size = zero.size();
+    if (event_distribution != nullptr) {
+      s.zero_probability = event_distribution->marginal(id).mass(zero);
+    }
+    const double ratio =
+        static_cast<double>(s.zero_size) / static_cast<double>(s.domain_size);
+    s.selectivity =
+        measure == AttributeMeasure::kA1 ? ratio : ratio * s.zero_probability;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<AttributeId> attribute_order(
+    const std::vector<AttributeSelectivity>& selectivities,
+    OrderDirection direction) {
+  std::vector<AttributeId> order(selectivities.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (direction == OrderDirection::kNatural) return order;
+
+  // Stable sort keeps schema order among equal selectivities, matching the
+  // paper's "order of values with equal selectivity is arbitrary".
+  std::stable_sort(order.begin(), order.end(),
+                   [&](AttributeId a, AttributeId b) {
+                     const double sa = selectivities[a].selectivity;
+                     const double sb = selectivities[b].selectivity;
+                     return direction == OrderDirection::kDescending ? sa > sb
+                                                                     : sa < sb;
+                   });
+  return order;
+}
+
+std::vector<AttributeId> best_attribute_order_exhaustive(
+    const ProfileSet& profiles, const JointDistribution& joint,
+    ValueOrder value_order, SearchStrategy strategy,
+    std::size_t max_attributes) {
+  const std::size_t n = profiles.schema()->attribute_count();
+  GENAS_REQUIRE(n <= max_attributes, ErrorCode::kInvalidArgument,
+                "A3 exhaustive search limited to " +
+                    std::to_string(max_attributes) + " attributes (n! cost)");
+
+  std::vector<AttributeId> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  std::vector<AttributeId> best = permutation;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  do {
+    TreeConfig config;
+    config.attribute_order = permutation;
+    config.value_order = value_order;
+    config.strategy = strategy;
+    config.event_distribution = joint;
+    const ProfileTree tree = ProfileTree::build(profiles, std::move(config));
+    const double cost = expected_cost(tree, joint).ops_per_event;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = permutation;
+    }
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  return best;
+}
+
+}  // namespace genas

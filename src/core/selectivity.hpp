@@ -1,0 +1,74 @@
+// GENAS — selectivity measures (the paper's core contribution, §4.1).
+//
+// Attribute selectivity decides the vertical shape of the tree: attributes
+// whose zero-subdomain D_0 is large (many event values no profile accepts)
+// should sit near the root so non-matching events are rejected early.
+//
+//   A1: s(a_j) = d_0(a_j) / d_j                    (structure only)
+//   A2: s(a_j) = d_0(a_j) · P_e(D_0(a_j)) / d_j    (event-distribution aware)
+//   A3: exhaustive search over attribute permutations minimizing the exact
+//       expected cost — O(n! · (2p−1)), "only sensible for applications
+//       with stable distributions".
+//
+// D_0(a) is the set of values accepted by no profile, where a don't-care
+// profile accepts every value — hence D_0 = ∅ as soon as one active profile
+// leaves the attribute unspecified (this reproduces d_0(a_3) = 0 in the
+// paper's Example 3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dist/joint.hpp"
+#include "profile/profile.hpp"
+#include "tree/profile_tree.hpp"
+
+namespace genas {
+
+/// Attribute-selectivity measure.
+enum class AttributeMeasure : std::uint8_t { kA1, kA2, kA3 };
+
+std::string_view to_string(AttributeMeasure measure) noexcept;
+
+/// How the computed selectivities translate into a level order.
+enum class OrderDirection : std::uint8_t {
+  kNatural,     ///< schema order (the "natur." bars of Fig. 6)
+  kAscending,   ///< least selective first — the paper's worst case
+  kDescending,  ///< most selective first — the proposed ordering
+};
+
+std::string_view to_string(OrderDirection direction) noexcept;
+
+/// Per-attribute selectivity summary.
+struct AttributeSelectivity {
+  AttributeId attribute = 0;
+  std::int64_t domain_size = 0;   ///< d_j
+  std::int64_t zero_size = 0;     ///< d_0(a_j)
+  double zero_probability = 0.0;  ///< P_e(D_0(a_j)); 0 when no distribution
+  double selectivity = 0.0;       ///< the measure's value
+};
+
+/// Zero-subdomain of one attribute under the active profiles.
+IntervalSet zero_subdomain(const ProfileSet& profiles, AttributeId attribute);
+
+/// Computes A1 or A2 for every attribute. A2 requires `event_distribution`.
+std::vector<AttributeSelectivity> attribute_selectivities(
+    const ProfileSet& profiles, AttributeMeasure measure,
+    const JointDistribution* event_distribution = nullptr);
+
+/// Orders attribute ids by the given selectivities and direction.
+std::vector<AttributeId> attribute_order(
+    const std::vector<AttributeSelectivity>& selectivities,
+    OrderDirection direction);
+
+/// Measure A3: exhaustively searches attribute permutations for the one
+/// minimizing exact expected operations per event under `joint`, building a
+/// tree per permutation with the given value order / strategy. Throws when
+/// the schema has more than `max_attributes` attributes (n! blow-up guard).
+std::vector<AttributeId> best_attribute_order_exhaustive(
+    const ProfileSet& profiles, const JointDistribution& joint,
+    ValueOrder value_order, SearchStrategy strategy,
+    std::size_t max_attributes = 8);
+
+}  // namespace genas

@@ -1,0 +1,93 @@
+#include "ens/broker.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+Broker::Broker(SchemaPtr schema, EngineOptions options)
+    : schema_(schema), engine_(schema, std::move(options)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "broker requires a schema");
+}
+
+SubscriptionId Broker::subscribe(Profile profile,
+                                 NotificationCallback callback) {
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "subscription requires a callback");
+  const std::scoped_lock lock(mutex_);
+  const ProfileId profile_id = engine_.subscribe(std::move(profile));
+  const SubscriptionId id = next_id_++;
+  subscriptions_.emplace(id, Subscription{profile_id, std::move(callback)});
+  by_profile_.emplace(profile_id, id);
+  return id;
+}
+
+SubscriptionId Broker::subscribe(std::string_view expression,
+                                 NotificationCallback callback) {
+  return subscribe(parse_profile(schema_, expression), std::move(callback));
+}
+
+void Broker::unsubscribe(SubscriptionId id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  GENAS_REQUIRE(it != subscriptions_.end(), ErrorCode::kNotFound,
+                "unknown subscription id " + std::to_string(id));
+  engine_.unsubscribe(it->second.profile);
+  by_profile_.erase(it->second.profile);
+  subscriptions_.erase(it);
+}
+
+PublishResult Broker::publish(const Event& event) {
+  PublishResult result;
+  // Collect deliveries under the lock, invoke callbacks outside it.
+  std::vector<std::pair<NotificationCallback, Notification>> deliveries;
+  {
+    const std::scoped_lock lock(mutex_);
+    const EngineMatch outcome = engine_.match(event);
+    result.operations = outcome.operations;
+    result.rebuilt = outcome.rebuilt;
+
+    counters_.events_published += 1;
+    counters_.operations += outcome.operations;
+    if (!outcome.matched.empty()) counters_.events_matched += 1;
+
+    deliveries.reserve(outcome.matched.size());
+    for (const ProfileId profile : outcome.matched) {
+      const auto sub_it = by_profile_.find(profile);
+      if (sub_it == by_profile_.end()) continue;  // racing unsubscribe
+      const Subscription& sub = subscriptions_.at(sub_it->second);
+      deliveries.emplace_back(sub.callback,
+                              Notification{sub_it->second, event});
+    }
+    counters_.notifications += deliveries.size();
+  }
+
+  for (const auto& [callback, notification] : deliveries) {
+    callback(notification);
+  }
+  result.notified = deliveries.size();
+  return result;
+}
+
+PublishResult Broker::publish(std::string_view event_text, Timestamp time) {
+  return publish(parse_event(schema_, event_text, time));
+}
+
+ServiceCounters Broker::counters() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
+std::size_t Broker::subscription_count() const {
+  const std::scoped_lock lock(mutex_);
+  return subscriptions_.size();
+}
+
+ProfileStatistics Broker::profile_statistics() const {
+  const std::scoped_lock lock(mutex_);
+  ProfileStatistics stats(schema_);
+  stats.rebuild(engine_.profiles());
+  return stats;
+}
+
+}  // namespace genas

@@ -1,0 +1,80 @@
+// GENAS — the event notification broker.
+//
+// The service surface of an ENS (paper §1): users register profiles with a
+// callback; providers publish events; the broker filters through the
+// distribution-based engine and delivers notifications. Mutations and
+// matching are serialized behind one mutex (the engine itself is
+// single-threaded); callbacks are invoked outside the lock so subscribers
+// may call back into the broker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/filter_engine.hpp"
+#include "ens/statistics.hpp"
+
+namespace genas {
+
+/// Handle of one subscription.
+using SubscriptionId = std::uint64_t;
+
+/// Delivered to a subscriber when an event matches its profile.
+struct Notification {
+  SubscriptionId subscription = 0;
+  Event event;
+};
+
+using NotificationCallback = std::function<void(const Notification&)>;
+
+/// Result of one publish call.
+struct PublishResult {
+  std::size_t notified = 0;        ///< notifications delivered
+  std::uint64_t operations = 0;    ///< filter comparisons
+  bool rebuilt = false;            ///< adaptive rebuild happened
+};
+
+class Broker {
+ public:
+  explicit Broker(SchemaPtr schema, EngineOptions options = {});
+
+  /// Registers a profile with its delivery callback.
+  SubscriptionId subscribe(Profile profile, NotificationCallback callback);
+  /// Parses the expression, then registers it.
+  SubscriptionId subscribe(std::string_view expression,
+                           NotificationCallback callback);
+
+  void unsubscribe(SubscriptionId id);
+
+  /// Filters and delivers one event.
+  PublishResult publish(const Event& event);
+  /// Parses "a=1; b=2" and publishes.
+  PublishResult publish(std::string_view event_text, Timestamp time = 0);
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+
+  ServiceCounters counters() const;
+  std::size_t subscription_count() const;
+
+  /// Profile-side statistics (P_p) over the current subscriptions.
+  ProfileStatistics profile_statistics() const;
+
+ private:
+  struct Subscription {
+    ProfileId profile;
+    NotificationCallback callback;
+  };
+
+  SchemaPtr schema_;
+  mutable std::mutex mutex_;
+  FilterEngine engine_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  std::unordered_map<ProfileId, SubscriptionId> by_profile_;
+  SubscriptionId next_id_ = 1;
+  ServiceCounters counters_;
+};
+
+}  // namespace genas

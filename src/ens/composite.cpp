@@ -1,0 +1,226 @@
+#include "ens/composite.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+namespace {
+CompositeExprPtr make_node(CompositeExpr&& node) {
+  return std::make_shared<const CompositeExpr>(std::move(node));
+}
+}  // namespace
+
+CompositeExprPtr primitive(ProfileId profile) {
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kPrimitive;
+  node.profile_ = profile;
+  return make_node(std::move(node));
+}
+
+CompositeExprPtr seq(CompositeExprPtr a, CompositeExprPtr b,
+                     Timestamp window) {
+  GENAS_REQUIRE(a != nullptr && b != nullptr, ErrorCode::kInvalidArgument,
+                "seq requires two operands");
+  GENAS_REQUIRE(window > 0, ErrorCode::kInvalidArgument,
+                "seq requires a positive window");
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kSeq;
+  node.left_ = std::move(a);
+  node.right_ = std::move(b);
+  node.window_ = window;
+  return make_node(std::move(node));
+}
+
+CompositeExprPtr conj(CompositeExprPtr a, CompositeExprPtr b,
+                      Timestamp window) {
+  GENAS_REQUIRE(a != nullptr && b != nullptr, ErrorCode::kInvalidArgument,
+                "conj requires two operands");
+  GENAS_REQUIRE(window > 0, ErrorCode::kInvalidArgument,
+                "conj requires a positive window");
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kConj;
+  node.left_ = std::move(a);
+  node.right_ = std::move(b);
+  node.window_ = window;
+  return make_node(std::move(node));
+}
+
+CompositeExprPtr disj(CompositeExprPtr a, CompositeExprPtr b) {
+  GENAS_REQUIRE(a != nullptr && b != nullptr, ErrorCode::kInvalidArgument,
+                "disj requires two operands");
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kDisj;
+  node.left_ = std::move(a);
+  node.right_ = std::move(b);
+  return make_node(std::move(node));
+}
+
+CompositeExprPtr neg(CompositeExprPtr absent, CompositeExprPtr then,
+                     Timestamp window) {
+  GENAS_REQUIRE(absent != nullptr && then != nullptr,
+                ErrorCode::kInvalidArgument, "neg requires two operands");
+  GENAS_REQUIRE(window > 0, ErrorCode::kInvalidArgument,
+                "neg requires a positive window");
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kNeg;
+  node.left_ = std::move(absent);
+  node.right_ = std::move(then);
+  node.window_ = window;
+  return make_node(std::move(node));
+}
+
+std::string CompositeExpr::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kPrimitive:
+      os << 'p' << profile_;
+      break;
+    case Kind::kSeq:
+      os << "seq(" << left_->to_string() << ", " << right_->to_string()
+         << ", w=" << window_ << ')';
+      break;
+    case Kind::kConj:
+      os << "conj(" << left_->to_string() << ", " << right_->to_string()
+         << ", w=" << window_ << ')';
+      break;
+    case Kind::kDisj:
+      os << "disj(" << left_->to_string() << ", " << right_->to_string()
+         << ')';
+      break;
+    case Kind::kNeg:
+      os << "neg(!" << left_->to_string() << " before " << right_->to_string()
+         << ", w=" << window_ << ')';
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+/// Flattens the expression tree, returning the index of `expr`'s slot.
+std::int32_t flatten(const CompositeExpr* expr,
+                     std::vector<const CompositeExpr*>& nodes,
+                     std::vector<std::int32_t>& left,
+                     std::vector<std::int32_t>& right) {
+  const auto index = static_cast<std::int32_t>(nodes.size());
+  nodes.push_back(expr);
+  left.push_back(-1);
+  right.push_back(-1);
+  if (expr->left() != nullptr) {
+    left[static_cast<std::size_t>(index)] =
+        flatten(expr->left().get(), nodes, left, right);
+  }
+  if (expr->right() != nullptr) {
+    right[static_cast<std::size_t>(index)] =
+        flatten(expr->right().get(), nodes, left, right);
+  }
+  return index;
+}
+}  // namespace
+
+CompositeId CompositeDetector::add(CompositeExprPtr expression,
+                                   CompositeCallback callback) {
+  GENAS_REQUIRE(expression != nullptr, ErrorCode::kInvalidArgument,
+                "composite subscription requires an expression");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "composite subscription requires a callback");
+  EntryData entry;
+  entry.id = next_id_++;
+  entry.expression = std::move(expression);
+  entry.callback = std::move(callback);
+  flatten(entry.expression.get(), entry.nodes, entry.left_child,
+          entry.right_child);
+  entry.states.resize(entry.nodes.size());
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void CompositeDetector::remove(CompositeId id) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [id](const EntryData& e) { return e.id == id; });
+  GENAS_REQUIRE(it != entries_.end(), ErrorCode::kNotFound,
+                "unknown composite subscription " + std::to_string(id));
+  entries_.erase(it);
+}
+
+Timestamp CompositeDetector::evaluate(EntryData& entry, std::size_t node,
+                                      ProfileId profile, Timestamp time) {
+  const CompositeExpr& expr = *entry.nodes[node];
+  NodeState& state = entry.states[node];
+
+  // Evaluate children first (bottom-up stimulus propagation).
+  Timestamp left_now = -1;
+  Timestamp right_now = -1;
+  if (entry.left_child[node] >= 0) {
+    left_now = evaluate(entry, static_cast<std::size_t>(entry.left_child[node]),
+                        profile, time);
+  }
+  if (entry.right_child[node] >= 0) {
+    right_now = evaluate(
+        entry, static_cast<std::size_t>(entry.right_child[node]), profile,
+        time);
+  }
+
+  Timestamp fired = -1;
+  switch (expr.kind()) {
+    case CompositeExpr::Kind::kPrimitive:
+      if (expr.profile() == profile) fired = time;
+      break;
+
+    case CompositeExpr::Kind::kSeq:
+      // "A then B": B strictly after A, within the window; A is consumed.
+      if (left_now >= 0) state.left_fired = left_now;
+      if (right_now >= 0 && state.left_fired >= 0 &&
+          state.left_fired < right_now &&
+          right_now - state.left_fired <= expr.window()) {
+        fired = right_now;
+        state.left_fired = -1;
+      }
+      break;
+
+    case CompositeExpr::Kind::kConj:
+      // Both within the window, any order; both are consumed.
+      if (left_now >= 0) state.left_fired = left_now;
+      if (right_now >= 0) state.right_fired = right_now;
+      if (state.left_fired >= 0 && state.right_fired >= 0 &&
+          std::max(state.left_fired, state.right_fired) -
+                  std::min(state.left_fired, state.right_fired) <=
+              expr.window()) {
+        fired = std::max(state.left_fired, state.right_fired);
+        state.left_fired = -1;
+        state.right_fired = -1;
+      }
+      break;
+
+    case CompositeExpr::Kind::kDisj:
+      fired = std::max(left_now, right_now);
+      break;
+
+    case CompositeExpr::Kind::kNeg:
+      // `then` fires with no `absent` in the preceding window. The blocker
+      // is not consumed: it suppresses every completion inside its window.
+      if (left_now >= 0) state.left_fired = left_now;
+      if (right_now >= 0 &&
+          (state.left_fired < 0 || right_now - state.left_fired > expr.window())) {
+        fired = right_now;
+      }
+      break;
+  }
+
+  if (fired >= 0) state.last_fired = fired;
+  return fired;
+}
+
+void CompositeDetector::on_match(ProfileId profile, Timestamp time) {
+  for (EntryData& entry : entries_) {
+    const Timestamp fired = evaluate(entry, 0, profile, time);
+    if (fired >= 0) {
+      entry.callback(CompositeFiring{entry.id, fired});
+    }
+  }
+}
+
+}  // namespace genas

@@ -1,0 +1,123 @@
+// GENAS — composite events (the paper's stated extension, §5).
+//
+// "We will extend the filter to handle composite events" — temporal
+// combinations of primitive profile matches. The algebra here covers the
+// standard operators of the active-database literature the paper builds on
+// (SAMOS et al.):
+//
+//   primitive(P)            fires when profile P matches an event
+//   seq(A, B, window)       A then B, with time(B) - time(A) <= window
+//   conj(A, B, window)      both A and B within `window`, any order
+//   disj(A, B)              either A or B
+//   neg(A, B, window)       B fires with no A in the preceding `window`
+//
+// The detector consumes the broker's (profile, timestamp) notification
+// stream and evaluates each composite subscription's expression tree
+// incrementally; each operator node keeps only the last relevant child
+// timestamps, so detection is O(expression size) per primitive firing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "event/event.hpp"
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// Expression tree of a composite subscription. Build with the factory
+/// functions below; expressions are immutable and shareable.
+class CompositeExpr;
+using CompositeExprPtr = std::shared_ptr<const CompositeExpr>;
+
+class CompositeExpr {
+ public:
+  enum class Kind : std::uint8_t { kPrimitive, kSeq, kConj, kDisj, kNeg };
+
+  Kind kind() const noexcept { return kind_; }
+  ProfileId profile() const noexcept { return profile_; }
+  const CompositeExprPtr& left() const noexcept { return left_; }
+  const CompositeExprPtr& right() const noexcept { return right_; }
+  Timestamp window() const noexcept { return window_; }
+
+  std::string to_string() const;
+
+ private:
+  friend CompositeExprPtr primitive(ProfileId profile);
+  friend CompositeExprPtr seq(CompositeExprPtr a, CompositeExprPtr b,
+                              Timestamp window);
+  friend CompositeExprPtr conj(CompositeExprPtr a, CompositeExprPtr b,
+                               Timestamp window);
+  friend CompositeExprPtr disj(CompositeExprPtr a, CompositeExprPtr b);
+  friend CompositeExprPtr neg(CompositeExprPtr absent, CompositeExprPtr then,
+                              Timestamp window);
+
+  CompositeExpr() = default;
+
+  Kind kind_ = Kind::kPrimitive;
+  ProfileId profile_ = 0;
+  CompositeExprPtr left_;
+  CompositeExprPtr right_;
+  Timestamp window_ = 0;
+};
+
+CompositeExprPtr primitive(ProfileId profile);
+CompositeExprPtr seq(CompositeExprPtr a, CompositeExprPtr b, Timestamp window);
+CompositeExprPtr conj(CompositeExprPtr a, CompositeExprPtr b,
+                      Timestamp window);
+CompositeExprPtr disj(CompositeExprPtr a, CompositeExprPtr b);
+CompositeExprPtr neg(CompositeExprPtr absent, CompositeExprPtr then,
+                     Timestamp window);
+
+/// Handle of one composite subscription.
+using CompositeId = std::uint64_t;
+
+/// Fired when a composite expression completes.
+struct CompositeFiring {
+  CompositeId subscription = 0;
+  Timestamp time = 0;  ///< timestamp of the completing primitive
+};
+
+using CompositeCallback = std::function<void(const CompositeFiring&)>;
+
+/// Incremental composite-event detector.
+class CompositeDetector {
+ public:
+  CompositeId add(CompositeExprPtr expression, CompositeCallback callback);
+  void remove(CompositeId id);
+
+  /// Feeds one primitive firing: profile `profile` matched at `time`.
+  /// Timestamps must be non-decreasing across calls.
+  void on_match(ProfileId profile, Timestamp time);
+
+  std::size_t subscription_count() const noexcept { return entries_.size(); }
+
+ private:
+  /// Per-subscription evaluation state: one slot per expression node.
+  struct NodeState {
+    Timestamp last_fired = -1;  ///< most recent completion, -1 = never
+    Timestamp left_fired = -1;  ///< operator bookkeeping (seq/conj)
+    Timestamp right_fired = -1;
+  };
+
+  struct EntryData {
+    CompositeId id = 0;
+    CompositeExprPtr expression;
+    CompositeCallback callback;
+    std::vector<const CompositeExpr*> nodes;  // flattened expression
+    std::vector<std::int32_t> left_child;     // per node, -1 = none
+    std::vector<std::int32_t> right_child;
+    std::vector<NodeState> states;
+  };
+
+  /// Returns the firing time if the node completed on this stimulus.
+  Timestamp evaluate(EntryData& entry, std::size_t node, ProfileId profile,
+                     Timestamp time);
+
+  std::vector<EntryData> entries_;
+  CompositeId next_id_ = 1;
+};
+
+}  // namespace genas

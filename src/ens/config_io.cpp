@@ -1,0 +1,171 @@
+#include "ens/config_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "profile/parser.hpp"
+
+namespace genas {
+
+void save_config(std::ostream& os, const ProfileSet& profiles) {
+  const Schema& schema = *profiles.schema();
+  os << "# GENAS service configuration\n";
+  for (const Attribute& attribute : schema.attributes()) {
+    os << "attr " << attribute.name << ' ';
+    const Domain& domain = attribute.domain;
+    switch (domain.kind()) {
+      case ValueKind::kInt:
+        os << "int " << static_cast<std::int64_t>(domain.numeric_lo()) << ' '
+           << static_cast<std::int64_t>(domain.numeric_hi());
+        break;
+      case ValueKind::kReal:
+        os << "real " << format_double(domain.numeric_lo(), 9) << ' '
+           << format_double(domain.numeric_hi(), 9) << ' '
+           << format_double(domain.resolution(), 9);
+        break;
+      case ValueKind::kCategory: {
+        os << "cat ";
+        for (DomainIndex i = 0; i < domain.size(); ++i) {
+          if (i > 0) os << ',';
+          os << domain.value_at(i).as_category();
+        }
+        break;
+      }
+    }
+    os << '\n';
+  }
+  for (const ProfileId id : profiles.active_ids()) {
+    os << "profile";
+    if (profiles.weight(id) != 1.0) {
+      os << " weight=" << format_double(profiles.weight(id), 6);
+    }
+    os << ' ' << format_profile(profiles.profile(id)) << '\n';
+  }
+}
+
+namespace {
+
+[[noreturn]] void config_fail(std::size_t line_no, const std::string& what) {
+  throw_error(ErrorCode::kParse,
+              "config line " + std::to_string(line_no) + ": " + what);
+}
+
+double parse_number(std::string_view token, std::size_t line_no) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    config_fail(line_no, "expected a number, got '" + std::string(token) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+ServiceConfig load_config(std::istream& is) {
+  SchemaBuilder builder;
+  struct PendingProfile {
+    std::string expression;
+    double weight;
+    std::size_t line_no;
+  };
+  std::vector<PendingProfile> pending;
+  bool saw_attribute = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+
+    if (starts_with(body, "attr ")) {
+      if (!pending.empty()) {
+        config_fail(line_no, "attribute lines must precede profiles");
+      }
+      const auto words = split(body.substr(5), ' ');
+      // split() on ' ' keeps empties for double spaces; filter them.
+      std::vector<std::string_view> tokens;
+      for (const auto w : words) {
+        if (!w.empty()) tokens.push_back(w);
+      }
+      if (tokens.size() < 2) config_fail(line_no, "malformed attr line");
+      const std::string name(tokens[0]);
+      const std::string kind = to_lower(tokens[1]);
+      if (kind == "int" && tokens.size() == 4) {
+        builder.add_integer(name,
+                            static_cast<std::int64_t>(
+                                parse_number(tokens[2], line_no)),
+                            static_cast<std::int64_t>(
+                                parse_number(tokens[3], line_no)));
+      } else if (kind == "real" && tokens.size() == 5) {
+        builder.add_real(name, parse_number(tokens[2], line_no),
+                         parse_number(tokens[3], line_no),
+                         parse_number(tokens[4], line_no));
+      } else if (kind == "cat" && tokens.size() == 3) {
+        std::vector<std::string> cats;
+        for (const auto piece : split(tokens[2], ',')) {
+          cats.emplace_back(piece);
+        }
+        builder.add_categorical(name, std::move(cats));
+      } else {
+        config_fail(line_no, "malformed attr line");
+      }
+      saw_attribute = true;
+      continue;
+    }
+
+    if (starts_with(body, "profile")) {
+      if (!saw_attribute) {
+        config_fail(line_no, "attribute lines must precede profiles");
+      }
+      std::string_view rest = trim(body.substr(7));
+      double weight = 1.0;
+      if (starts_with(rest, "weight=")) {
+        const std::size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          config_fail(line_no, "profile line missing expression");
+        }
+        weight = parse_number(rest.substr(7, space - 7), line_no);
+        rest = trim(rest.substr(space));
+      }
+      pending.push_back(PendingProfile{std::string(rest), weight, line_no});
+      continue;
+    }
+
+    config_fail(line_no, "unknown directive '" + std::string(body) + "'");
+  }
+
+  if (!saw_attribute) {
+    config_fail(line_no, "configuration declares no attributes");
+  }
+  SchemaPtr schema = builder.build();
+  ServiceConfig config{schema, ProfileSet(schema)};
+  for (const PendingProfile& p : pending) {
+    try {
+      const ProfileId id =
+          config.profiles.add(parse_profile(schema, p.expression));
+      if (p.weight != 1.0) config.profiles.set_weight(id, p.weight);
+    } catch (const Error& e) {
+      config_fail(p.line_no, e.what());
+    }
+  }
+  return config;
+}
+
+std::string config_to_string(const ProfileSet& profiles) {
+  std::ostringstream os;
+  save_config(os, profiles);
+  return os.str();
+}
+
+ServiceConfig config_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_config(is);
+}
+
+}  // namespace genas

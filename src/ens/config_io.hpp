@@ -1,0 +1,41 @@
+// GENAS — service-configuration persistence.
+//
+// The generic service's schema and subscriptions (paper §4.2: everything is
+// specified at runtime) can be saved to and restored from a line-oriented
+// text format, so a deployment survives restarts and configurations can be
+// version-controlled and diffed:
+//
+//   # comment
+//   attr <name> int <lo> <hi>
+//   attr <name> real <lo> <hi> <resolution>
+//   attr <name> cat <c1,c2,...>
+//   profile [weight=<w>] <expression>      # parse_profile grammar
+//
+// Attribute lines must precede profile lines. Loading returns the schema
+// plus the profile set (with priority weights).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// A restorable service configuration.
+struct ServiceConfig {
+  SchemaPtr schema;
+  ProfileSet profiles;
+};
+
+/// Writes the schema and all active profiles (including weights).
+void save_config(std::ostream& os, const ProfileSet& profiles);
+
+/// Parses a configuration; throws Error{kParse} with the offending line.
+ServiceConfig load_config(std::istream& is);
+
+/// Convenience round-trip through strings.
+std::string config_to_string(const ProfileSet& profiles);
+ServiceConfig config_from_string(const std::string& text);
+
+}  // namespace genas

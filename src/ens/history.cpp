@@ -1,0 +1,53 @@
+#include "ens/history.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+EventHistory::EventHistory(SchemaPtr schema, std::size_t capacity)
+    : schema_(std::move(schema)), capacity_(capacity) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "event history requires a schema");
+  GENAS_REQUIRE(capacity_ > 0, ErrorCode::kInvalidArgument,
+                "event history requires a positive capacity");
+  events_.reserve(capacity_);
+}
+
+void EventHistory::record(Event event) {
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event schema differs from history schema");
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void EventHistory::for_each(
+    const std::function<void(const Event&)>& fn) const {
+  GENAS_REQUIRE(fn != nullptr, ErrorCode::kInvalidArgument,
+                "for_each requires a callable");
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    fn(events_[(head_ + i) % events_.size()]);
+  }
+}
+
+void EventHistory::replay_into(SchemaEstimator& estimator) const {
+  for_each([&estimator](const Event& event) { estimator.observe(event); });
+}
+
+JointDistribution EventHistory::empirical_distribution(
+    double smoothing) const {
+  SchemaEstimator estimator(schema_);
+  replay_into(estimator);
+  return estimator.estimate_joint(smoothing);
+}
+
+void EventHistory::clear() noexcept {
+  events_.clear();
+  head_ = 0;
+}
+
+}  // namespace genas

@@ -1,0 +1,59 @@
+// GENAS — bounded event history.
+//
+// "The algorithm can either work based on predefined distributions for the
+// observed events, or it has to maintain a history of events in order to
+// determine the event distribution" (paper §5). EventHistory is that
+// history: a fixed-capacity ring buffer of recent events that can be
+// replayed into estimators (e.g., to warm up a freshly created
+// AdaptiveController or to re-derive the distribution after a policy
+// change) and summarized into an empirical joint distribution directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "dist/estimator.hpp"
+#include "event/event.hpp"
+
+namespace genas {
+
+/// Fixed-capacity ring buffer of events over one schema.
+class EventHistory {
+ public:
+  EventHistory(SchemaPtr schema, std::size_t capacity);
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of events currently retained (≤ capacity).
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Total events ever recorded (retained + evicted).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Appends an event, evicting the oldest once at capacity.
+  void record(Event event);
+
+  /// Oldest-to-newest iteration over the retained window.
+  void for_each(const std::function<void(const Event&)>& fn) const;
+
+  /// Replays the retained window into an estimator (oldest first, so decay
+  /// weights the newest events most).
+  void replay_into(SchemaEstimator& estimator) const;
+
+  /// Empirical independent joint distribution of the retained window.
+  /// Throws when the history is empty and smoothing is zero.
+  JointDistribution empirical_distribution(double smoothing = 0.5) const;
+
+  void clear() noexcept;
+
+ private:
+  SchemaPtr schema_;
+  std::size_t capacity_;
+  std::vector<Event> events_;  // ring buffer
+  std::size_t head_ = 0;       // index of the oldest element
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace genas

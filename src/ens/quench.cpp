@@ -1,0 +1,86 @@
+#include "ens/quench.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+EventSpace::EventSpace(SchemaPtr schema) : schema_(std::move(schema)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "event space requires a schema");
+  sets_.reserve(schema_->attribute_count());
+  for (const Attribute& attribute : schema_->attributes()) {
+    sets_.push_back(IntervalSet::single(attribute.domain.full()));
+  }
+}
+
+EventSpace& EventSpace::restrict(std::string_view attribute,
+                                 IntervalSet accepted) {
+  GENAS_REQUIRE(!accepted.is_empty(), ErrorCode::kInvalidArgument,
+                "event-space restriction must be non-empty");
+  const AttributeId id = schema_->id_of(attribute);
+  const Interval full = schema_->attribute(id).domain.full();
+  for (const Interval& iv : accepted.intervals()) {
+    GENAS_REQUIRE(full.contains(iv), ErrorCode::kDomainViolation,
+                  "event-space restriction outside the attribute domain");
+  }
+  sets_[id] = std::move(accepted);
+  return *this;
+}
+
+EventSpace& EventSpace::restrict_value(std::string_view attribute,
+                                       const Value& value) {
+  const AttributeId id = schema_->id_of(attribute);
+  return restrict(attribute, IntervalSet::point(
+                                 schema_->attribute(id).domain.index_of(value)));
+}
+
+void Quencher::rebuild(const ProfileSet& profiles) {
+  schema_ = profiles.schema();
+  entries_.clear();
+  entries_.reserve(profiles.active_count());
+  for (const ProfileId id : profiles.active_ids()) {
+    Entry entry;
+    entry.id = id;
+    entry.accepted.reserve(schema_->attribute_count());
+    const Profile& profile = profiles.profile(id);
+    for (AttributeId a = 0; a < schema_->attribute_count(); ++a) {
+      const Predicate* predicate = profile.predicate(a);
+      entry.accepted.push_back(
+          predicate != nullptr
+              ? predicate->accepted()
+              : IntervalSet::single(schema_->attribute(a).domain.full()));
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+namespace {
+bool entry_overlaps(const std::vector<IntervalSet>& accepted,
+                    const EventSpace& space) {
+  for (AttributeId a = 0; a < accepted.size(); ++a) {
+    if (accepted[a].intersect(space.accepted(a)).is_empty()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Quencher::any_interest(const EventSpace& space) const {
+  GENAS_REQUIRE(space.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event-space schema differs from quencher schema");
+  for (const Entry& entry : entries_) {
+    if (entry_overlaps(entry.accepted, space)) return true;
+  }
+  return false;
+}
+
+std::vector<ProfileId> Quencher::interested(const EventSpace& space) const {
+  GENAS_REQUIRE(space.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event-space schema differs from quencher schema");
+  std::vector<ProfileId> out;
+  for (const Entry& entry : entries_) {
+    if (entry_overlaps(entry.accepted, space)) out.push_back(entry.id);
+  }
+  return out;
+}
+
+}  // namespace genas

@@ -1,0 +1,64 @@
+// GENAS — quenching (Elvin-style provider-side suppression).
+//
+// The paper cites Elvin's "quenching mechanism that discards unneeded
+// information without consuming resources" (§2) and motivates early
+// rejection for resource-critical environments (§5). A Quencher answers the
+// provider-side question: "would any current subscription possibly match an
+// event from this region of event space?" Providers describe the region as
+// one interval set per attribute (unconstrained = full domain); if no
+// profile overlaps the region on every attribute, the provider can skip
+// generating the event altogether.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// A rectangular region of event space: one accepted set per attribute.
+class EventSpace {
+ public:
+  explicit EventSpace(SchemaPtr schema);
+
+  /// Restricts an attribute to `accepted` (index space, must be non-empty).
+  EventSpace& restrict(std::string_view attribute, IntervalSet accepted);
+
+  /// Restricts an attribute to a single value.
+  EventSpace& restrict_value(std::string_view attribute, const Value& value);
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+  const IntervalSet& accepted(AttributeId id) const noexcept {
+    return sets_[id];
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<IntervalSet> sets_;  // default: full domain per attribute
+};
+
+/// Provider-side interest oracle over a profile snapshot.
+class Quencher {
+ public:
+  explicit Quencher(const ProfileSet& profiles) { rebuild(profiles); }
+
+  void rebuild(const ProfileSet& profiles);
+
+  /// True when at least one profile could match some event in the space.
+  bool any_interest(const EventSpace& space) const;
+
+  /// All profiles that could match some event in the space.
+  std::vector<ProfileId> interested(const EventSpace& space) const;
+
+ private:
+  SchemaPtr schema_;
+  struct Entry {
+    ProfileId id;
+    /// Accepted set per attribute; don't-care stored as the full domain.
+    std::vector<IntervalSet> accepted;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace genas

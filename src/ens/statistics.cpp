@@ -1,0 +1,93 @@
+#include "ens/statistics.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+ProfileStatistics::ProfileStatistics(SchemaPtr schema)
+    : schema_(std::move(schema)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "profile statistics require a schema");
+  references_.reserve(schema_->attribute_count());
+  for (const Attribute& attribute : schema_->attributes()) {
+    references_.emplace_back(
+        static_cast<std::size_t>(attribute.domain.size()), 0.0);
+  }
+  constrained_.assign(schema_->attribute_count(), 0);
+}
+
+void ProfileStatistics::rebuild(const ProfileSet& profiles) {
+  GENAS_REQUIRE(profiles.schema() == schema_, ErrorCode::kInvalidArgument,
+                "profile set schema differs from statistics schema");
+  for (auto& row : references_) std::fill(row.begin(), row.end(), 0.0);
+  std::fill(constrained_.begin(), constrained_.end(), 0);
+  operators_.fill(0);
+  for (const ProfileId id : profiles.active_ids()) {
+    add(profiles.profile(id));
+  }
+}
+
+void ProfileStatistics::add(const Profile& profile) {
+  GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
+                "profile schema differs from statistics schema");
+  for (const Predicate& predicate : profile.predicates()) {
+    const AttributeId a = predicate.attribute();
+    ++constrained_[a];
+    ++operators_[static_cast<std::size_t>(predicate.op())];
+    for (const Interval& iv : predicate.accepted().intervals()) {
+      for (DomainIndex v = iv.lo; v <= iv.hi; ++v) {
+        references_[a][static_cast<std::size_t>(v)] += 1.0;
+      }
+    }
+  }
+}
+
+double ProfileStatistics::reference_count(AttributeId attribute,
+                                          DomainIndex value) const {
+  GENAS_REQUIRE(attribute < references_.size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  const auto& row = references_[attribute];
+  GENAS_REQUIRE(value >= 0 && value < static_cast<DomainIndex>(row.size()),
+                ErrorCode::kInvalidArgument, "domain index out of range");
+  return row[static_cast<std::size_t>(value)];
+}
+
+std::uint64_t ProfileStatistics::constrained_profiles(
+    AttributeId attribute) const {
+  GENAS_REQUIRE(attribute < constrained_.size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  return constrained_[attribute];
+}
+
+std::uint64_t ProfileStatistics::operator_count(Op op) const {
+  return operators_[static_cast<std::size_t>(op)];
+}
+
+DiscreteDistribution ProfileStatistics::profile_distribution(
+    AttributeId attribute) const {
+  GENAS_REQUIRE(attribute < references_.size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  const auto& row = references_[attribute];
+  double total = 0.0;
+  for (const double w : row) total += w;
+  if (total == 0.0) {
+    return DiscreteDistribution::uniform(
+        static_cast<std::int64_t>(row.size()));
+  }
+  return DiscreteDistribution::from_weights(row);
+}
+
+void ProfileStatistics::set_reference_weight(AttributeId attribute,
+                                             DomainIndex value,
+                                             double weight) {
+  GENAS_REQUIRE(attribute < references_.size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  GENAS_REQUIRE(weight >= 0.0, ErrorCode::kInvalidArgument,
+                "reference weight must be non-negative");
+  auto& row = references_[attribute];
+  GENAS_REQUIRE(value >= 0 && value < static_cast<DomainIndex>(row.size()),
+                ErrorCode::kInvalidArgument, "domain index out of range");
+  row[static_cast<std::size_t>(value)] = weight;
+}
+
+}  // namespace genas

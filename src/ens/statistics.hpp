@@ -1,0 +1,85 @@
+// GENAS — statistic objects (paper §4.2).
+//
+// "We implemented statistic objects with counters for events, attributes,
+// operators, and values. If a profile specifies a certain value that
+// element-counter is incremented. For the tests, we manipulate the counters
+// in order to simulate a distribution."
+//
+// ProfileStatistics derives the profile distribution P_p from the registered
+// profiles (per-attribute reference counts per domain value and per-operator
+// counts). ServiceCounters aggregates the service-level counters the broker
+// reports. Counters are plain and mutable on purpose: the benchmark harness
+// "manipulates" them exactly like the paper's prototype to simulate
+// distributions without posting millions of events.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// Profile-side distribution statistics (P_p).
+class ProfileStatistics {
+ public:
+  explicit ProfileStatistics(SchemaPtr schema);
+
+  /// Recomputes all counters from the active profiles.
+  void rebuild(const ProfileSet& profiles);
+
+  /// Folds one profile in incrementally.
+  void add(const Profile& profile);
+
+  /// reference_count(a, v): number of folded-in profiles whose predicate on
+  /// `a` accepts domain index v (don't-care profiles are not counted — they
+  /// express no value preference).
+  double reference_count(AttributeId attribute, DomainIndex value) const;
+
+  /// Number of profiles with any predicate on the attribute.
+  std::uint64_t constrained_profiles(AttributeId attribute) const;
+
+  /// Per-operator usage count (indexed by Op).
+  std::uint64_t operator_count(Op op) const;
+
+  /// Normalized profile distribution P_p over one attribute; uniform when
+  /// no profile constrains the attribute.
+  DiscreteDistribution profile_distribution(AttributeId attribute) const;
+
+  /// Direct counter access for the simulation workflow of the paper: set a
+  /// synthetic reference weight for a value.
+  void set_reference_weight(AttributeId attribute, DomainIndex value,
+                            double weight);
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::vector<double>> references_;  // [attribute][value]
+  std::vector<std::uint64_t> constrained_;
+  std::array<std::uint64_t, 9> operators_{};  // one slot per Op enumerator
+};
+
+/// Service-level counters (events seen, notifications, operations).
+struct ServiceCounters {
+  std::uint64_t events_published = 0;
+  std::uint64_t events_matched = 0;      ///< matched ≥ 1 profile
+  std::uint64_t notifications = 0;       ///< (event, profile) pairs
+  std::uint64_t operations = 0;          ///< filter comparisons
+  std::uint64_t quench_suppressed = 0;   ///< events never generated
+
+  double ops_per_event() const noexcept {
+    return events_published > 0
+               ? static_cast<double>(operations) /
+                     static_cast<double>(events_published)
+               : 0.0;
+  }
+  double match_rate() const noexcept {
+    return events_published > 0
+               ? static_cast<double>(events_matched) /
+                     static_cast<double>(events_published)
+               : 0.0;
+  }
+};
+
+}  // namespace genas

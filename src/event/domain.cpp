@@ -1,0 +1,133 @@
+#include "event/domain.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+Domain Domain::integer(std::int64_t lo, std::int64_t hi) {
+  GENAS_REQUIRE(lo <= hi, ErrorCode::kInvalidArgument,
+                "integer domain requires lo <= hi");
+  Domain d;
+  d.kind_ = ValueKind::kInt;
+  d.lo_ = static_cast<double>(lo);
+  d.hi_ = static_cast<double>(hi);
+  d.size_ = hi - lo + 1;
+  return d;
+}
+
+Domain Domain::real(double lo, double hi, double resolution) {
+  GENAS_REQUIRE(lo <= hi, ErrorCode::kInvalidArgument,
+                "real domain requires lo <= hi");
+  GENAS_REQUIRE(resolution > 0.0, ErrorCode::kInvalidArgument,
+                "real domain requires a positive resolution");
+  Domain d;
+  d.kind_ = ValueKind::kReal;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  d.resolution_ = resolution;
+  d.size_ = static_cast<std::int64_t>(std::llround((hi - lo) / resolution)) + 1;
+  return d;
+}
+
+Domain Domain::categorical(std::vector<std::string> categories) {
+  GENAS_REQUIRE(!categories.empty(), ErrorCode::kInvalidArgument,
+                "categorical domain requires at least one category");
+  std::unordered_set<std::string> seen;
+  for (const auto& c : categories) {
+    GENAS_REQUIRE(seen.insert(c).second, ErrorCode::kInvalidArgument,
+                  "duplicate category '" + c + "' in domain");
+  }
+  Domain d;
+  d.kind_ = ValueKind::kCategory;
+  d.size_ = static_cast<std::int64_t>(categories.size());
+  d.categories_ = std::move(categories);
+  return d;
+}
+
+bool Domain::contains(const Value& v) const noexcept {
+  switch (kind_) {
+    case ValueKind::kInt: {
+      if (!v.is_int()) return false;
+      const auto x = static_cast<double>(v.as_int());
+      return x >= lo_ && x <= hi_;
+    }
+    case ValueKind::kReal: {
+      if (!v.is_real() && !v.is_int()) return false;
+      const double x = v.numeric();
+      return x >= lo_ - resolution_ / 2 && x <= hi_ + resolution_ / 2;
+    }
+    case ValueKind::kCategory: {
+      if (!v.is_category()) return false;
+      for (const auto& c : categories_) {
+        if (c == v.as_category()) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+DomainIndex Domain::index_of(const Value& v) const {
+  GENAS_REQUIRE(contains(v), ErrorCode::kDomainViolation,
+                "value " + v.to_string() + " outside domain " + to_string());
+  switch (kind_) {
+    case ValueKind::kInt:
+      return v.as_int() - static_cast<std::int64_t>(lo_);
+    case ValueKind::kReal:
+      return static_cast<DomainIndex>(
+          std::llround((v.numeric() - lo_) / resolution_));
+    case ValueKind::kCategory: {
+      for (std::size_t i = 0; i < categories_.size(); ++i) {
+        if (categories_[i] == v.as_category()) {
+          return static_cast<DomainIndex>(i);
+        }
+      }
+      break;
+    }
+  }
+  throw_error(ErrorCode::kInternal, "index_of: unreachable");
+}
+
+Value Domain::value_at(DomainIndex index) const {
+  GENAS_REQUIRE(index >= 0 && index < size_, ErrorCode::kInvalidArgument,
+                "domain index " + std::to_string(index) + " out of range for " +
+                    to_string());
+  switch (kind_) {
+    case ValueKind::kInt:
+      return Value(static_cast<std::int64_t>(lo_) + index);
+    case ValueKind::kReal:
+      return Value(lo_ + static_cast<double>(index) * resolution_);
+    case ValueKind::kCategory:
+      return Value(categories_[static_cast<std::size_t>(index)]);
+  }
+  throw_error(ErrorCode::kInternal, "value_at: unreachable");
+}
+
+std::string Domain::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ValueKind::kInt:
+      os << "int[" << static_cast<std::int64_t>(lo_) << ","
+         << static_cast<std::int64_t>(hi_) << "]";
+      break;
+    case ValueKind::kReal:
+      os << "real[" << lo_ << "," << hi_ << " @" << resolution_ << "]";
+      break;
+    case ValueKind::kCategory: {
+      os << '{';
+      for (std::size_t i = 0; i < categories_.size(); ++i) {
+        if (i > 0) os << ',';
+        os << categories_[i];
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace genas

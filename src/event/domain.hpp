@@ -1,0 +1,77 @@
+// GENAS — attribute domains.
+//
+// A Domain defines the finite, ordered set of values an attribute can take
+// and the bijection between those values and dense indices [0, d). Three
+// flavours exist (paper §3 uses integer-bounded numeric domains; the
+// "generic service" requirement of §4.2 adds categories):
+//
+//   * integer domains  [lo, hi], index = v - lo
+//   * real domains     [lo, hi] at resolution r, index = round((v - lo)/r)
+//   * categorical domains, index = position in the declared category list
+//
+// The domain size d_j and the index mapping are what the rest of the library
+// consumes; distributions, trees and selectivity measures never see raw
+// values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "event/value.hpp"
+
+namespace genas {
+
+/// Finite ordered value set with a dense index mapping.
+class Domain {
+ public:
+  /// Integer domain covering [lo, hi] inclusive.
+  static Domain integer(std::int64_t lo, std::int64_t hi);
+
+  /// Real domain covering [lo, hi] discretized at `resolution` (> 0). The
+  /// domain has round((hi-lo)/resolution) + 1 representable points.
+  static Domain real(double lo, double hi, double resolution);
+
+  /// Categorical domain over the given distinct names (order = index order).
+  static Domain categorical(std::vector<std::string> categories);
+
+  ValueKind kind() const noexcept { return kind_; }
+
+  /// Number of representable values, d_j in the paper.
+  std::int64_t size() const noexcept { return size_; }
+
+  /// Whole domain as an index interval [0, size-1].
+  Interval full() const noexcept { return {0, size_ - 1}; }
+
+  /// True when the value belongs to the domain (kind matches and the value
+  /// is within bounds / a known category).
+  bool contains(const Value& v) const noexcept;
+
+  /// Value -> dense index. Throws Error{kDomainViolation} when !contains(v).
+  DomainIndex index_of(const Value& v) const;
+
+  /// Dense index -> value. Throws Error{kInvalidArgument} out of range.
+  Value value_at(DomainIndex index) const;
+
+  /// For numeric domains: lower/upper bounds as declared.
+  double numeric_lo() const noexcept { return lo_; }
+  double numeric_hi() const noexcept { return hi_; }
+  double resolution() const noexcept { return resolution_; }
+
+  /// Renders "[lo,hi]" / "{a,b,c}" for diagnostics.
+  std::string to_string() const;
+
+ private:
+  Domain() = default;
+
+  ValueKind kind_ = ValueKind::kInt;
+  std::int64_t size_ = 0;
+  double lo_ = 0.0;          // numeric domains
+  double hi_ = 0.0;          // numeric domains
+  double resolution_ = 1.0;  // real domains
+  std::vector<std::string> categories_;  // categorical domains
+};
+
+}  // namespace genas

@@ -1,0 +1,68 @@
+#include "event/event.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+Event Event::from_pairs(
+    const SchemaPtr& schema,
+    const std::vector<std::pair<std::string, Value>>& pairs, Timestamp time) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "event requires a schema");
+  const std::size_t n = schema->attribute_count();
+  std::vector<DomainIndex> indices(n, -1);
+  for (const auto& [name, value] : pairs) {
+    const AttributeId id = schema->id_of(name);
+    GENAS_REQUIRE(indices[id] < 0, ErrorCode::kInvalidArgument,
+                  "attribute '" + name + "' assigned twice in event");
+    indices[id] = schema->attribute(id).domain.index_of(value);
+  }
+  for (AttributeId id = 0; id < n; ++id) {
+    GENAS_REQUIRE(indices[id] >= 0, ErrorCode::kInvalidArgument,
+                  "event missing value for attribute '" +
+                      schema->attribute(id).name + "'");
+  }
+  return Event(schema, std::move(indices), time);
+}
+
+Event Event::from_indices(SchemaPtr schema, std::vector<DomainIndex> indices,
+                          Timestamp time) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "event requires a schema");
+  GENAS_REQUIRE(indices.size() == schema->attribute_count(),
+                ErrorCode::kInvalidArgument,
+                "event index vector size does not match schema");
+  for (AttributeId id = 0; id < indices.size(); ++id) {
+    const auto size = schema->attribute(id).domain.size();
+    GENAS_REQUIRE(indices[id] >= 0 && indices[id] < size,
+                  ErrorCode::kDomainViolation,
+                  "event index out of domain for attribute '" +
+                      schema->attribute(id).name + "'");
+  }
+  return Event(std::move(schema), std::move(indices), time);
+}
+
+Value Event::value(AttributeId id) const {
+  GENAS_REQUIRE(id < indices_.size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  return schema_->attribute(id).domain.value_at(indices_[id]);
+}
+
+Value Event::value(std::string_view name) const {
+  return value(schema_->id_of(name));
+}
+
+std::string Event::to_string() const {
+  std::ostringstream os;
+  os << "event(";
+  for (AttributeId id = 0; id < indices_.size(); ++id) {
+    if (id > 0) os << "; ";
+    os << schema_->attribute(id).name << "=" << value(id).to_string();
+  }
+  os << ")@" << time_;
+  return os.str();
+}
+
+}  // namespace genas

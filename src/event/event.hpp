@@ -1,0 +1,62 @@
+// GENAS — primitive events.
+//
+// An event is "the occurrence of a state transition at a certain point in
+// time", described as a full assignment of values to the schema's attributes
+// (paper §3, Eq. (1)). Internally an event stores the dense domain index per
+// attribute; a logical timestamp supports the composite-event detector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/schema.hpp"
+
+namespace genas {
+
+/// Monotonic logical timestamp (broker-assigned sequence number or
+/// user-provided clock reading).
+using Timestamp = std::int64_t;
+
+/// Fully-specified primitive event over a schema.
+class Event {
+ public:
+  /// Builds an event from (attribute name, value) pairs. Every schema
+  /// attribute must be assigned exactly once.
+  static Event from_pairs(
+      const SchemaPtr& schema,
+      const std::vector<std::pair<std::string, Value>>& pairs,
+      Timestamp time = 0);
+
+  /// Builds an event directly from per-attribute domain indices (the fast
+  /// path used by samplers and workload generators).
+  static Event from_indices(SchemaPtr schema, std::vector<DomainIndex> indices,
+                            Timestamp time = 0);
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+  Timestamp time() const noexcept { return time_; }
+  void set_time(Timestamp t) noexcept { time_ = t; }
+
+  /// Dense index of the value for attribute `id`.
+  DomainIndex index(AttributeId id) const noexcept { return indices_[id]; }
+
+  const std::vector<DomainIndex>& indices() const noexcept { return indices_; }
+
+  /// Typed value for attribute `id` (reconstructed from the index).
+  Value value(AttributeId id) const;
+
+  /// Typed value by attribute name.
+  Value value(std::string_view name) const;
+
+  std::string to_string() const;
+
+ private:
+  Event(SchemaPtr schema, std::vector<DomainIndex> indices, Timestamp time)
+      : schema_(std::move(schema)), indices_(std::move(indices)), time_(time) {}
+
+  SchemaPtr schema_;
+  std::vector<DomainIndex> indices_;
+  Timestamp time_ = 0;
+};
+
+}  // namespace genas

@@ -1,0 +1,59 @@
+#include "event/schema.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+const Attribute& Schema::attribute(AttributeId id) const {
+  GENAS_REQUIRE(id < attributes_.size(), ErrorCode::kInvalidArgument,
+                "attribute id " + std::to_string(id) + " out of range");
+  return attributes_[id];
+}
+
+AttributeId Schema::id_of(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  GENAS_REQUIRE(it != by_name_.end(), ErrorCode::kNotFound,
+                "unknown attribute '" + std::string(name) + "'");
+  return it->second;
+}
+
+bool Schema::has_attribute(std::string_view name) const noexcept {
+  return by_name_.find(std::string(name)) != by_name_.end();
+}
+
+std::string Schema::to_string() const {
+  std::ostringstream os;
+  os << "schema(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << attributes_[i].name << ": " << attributes_[i].domain.to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+SchemaBuilder& SchemaBuilder::add(std::string name, Domain domain) {
+  GENAS_REQUIRE(!built_, ErrorCode::kState,
+                "SchemaBuilder already consumed by build()");
+  GENAS_REQUIRE(!name.empty(), ErrorCode::kInvalidArgument,
+                "attribute name must not be empty");
+  GENAS_REQUIRE(!schema_->has_attribute(name), ErrorCode::kInvalidArgument,
+                "duplicate attribute '" + name + "'");
+  const AttributeId id = schema_->attributes_.size();
+  schema_->by_name_.emplace(name, id);
+  schema_->attributes_.push_back(Attribute{std::move(name), std::move(domain)});
+  return *this;
+}
+
+SchemaPtr SchemaBuilder::build() {
+  GENAS_REQUIRE(!built_, ErrorCode::kState,
+                "SchemaBuilder already consumed by build()");
+  GENAS_REQUIRE(schema_->attribute_count() > 0, ErrorCode::kInvalidArgument,
+                "schema requires at least one attribute");
+  built_ = true;
+  return SchemaPtr(schema_.release());
+}
+
+}  // namespace genas

@@ -1,0 +1,87 @@
+// GENAS — runtime-definable event schemas.
+//
+// The paper's prototype is a "generic service: all events, attributes,
+// domains, and compare operators can be created and specified at runtime"
+// (§4.2). A Schema is the firm attribute set A = {a_1..a_n} with domains
+// D_1..D_n shared by events and profiles of one application. Schemas are
+// immutable once built and shared via std::shared_ptr, so trees and brokers
+// can hold them safely across threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "event/domain.hpp"
+
+namespace genas {
+
+/// Position of an attribute within a schema (j-1 for the paper's a_j).
+using AttributeId = std::size_t;
+
+/// Named attribute with its domain.
+struct Attribute {
+  std::string name;
+  Domain domain;
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable ordered attribute set. Build with SchemaBuilder.
+class Schema {
+ public:
+  std::size_t attribute_count() const noexcept { return attributes_.size(); }
+
+  const Attribute& attribute(AttributeId id) const;
+
+  /// Id lookup by name; throws Error{kNotFound} for unknown names.
+  AttributeId id_of(std::string_view name) const;
+
+  /// True when an attribute with this name exists.
+  bool has_attribute(std::string_view name) const noexcept;
+
+  const std::vector<Attribute>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  friend class SchemaBuilder;
+  Schema() = default;
+
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+};
+
+/// Incremental schema construction with validation.
+class SchemaBuilder {
+ public:
+  SchemaBuilder& add(std::string name, Domain domain);
+
+  SchemaBuilder& add_integer(std::string name, std::int64_t lo,
+                             std::int64_t hi) {
+    return add(std::move(name), Domain::integer(lo, hi));
+  }
+  SchemaBuilder& add_real(std::string name, double lo, double hi,
+                          double resolution) {
+    return add(std::move(name), Domain::real(lo, hi, resolution));
+  }
+  SchemaBuilder& add_categorical(std::string name,
+                                 std::vector<std::string> categories) {
+    return add(std::move(name), Domain::categorical(std::move(categories)));
+  }
+
+  /// Finalizes the schema; the builder may not be reused afterwards.
+  SchemaPtr build();
+
+ private:
+  std::unique_ptr<Schema> schema_ = std::unique_ptr<Schema>(new Schema());
+  bool built_ = false;
+};
+
+}  // namespace genas

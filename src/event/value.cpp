@@ -1,0 +1,68 @@
+#include "event/value.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace genas {
+
+std::string_view to_string(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kInt:      return "int";
+    case ValueKind::kReal:     return "real";
+    case ValueKind::kCategory: return "category";
+  }
+  return "unknown";
+}
+
+ValueKind Value::kind() const noexcept {
+  switch (data_.index()) {
+    case 0:  return ValueKind::kInt;
+    case 1:  return ValueKind::kReal;
+    default: return ValueKind::kCategory;
+  }
+}
+
+std::int64_t Value::as_int() const {
+  GENAS_REQUIRE(is_int(), ErrorCode::kInvalidArgument,
+                "value is not an integer: " + to_string());
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_real() const {
+  GENAS_REQUIRE(is_real(), ErrorCode::kInvalidArgument,
+                "value is not a real: " + to_string());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_category() const {
+  GENAS_REQUIRE(is_category(), ErrorCode::kInvalidArgument,
+                "value is not a category: " + to_string());
+  return std::get<std::string>(data_);
+}
+
+double Value::numeric() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  GENAS_REQUIRE(is_real(), ErrorCode::kInvalidArgument,
+                "value has no numeric interpretation: " + to_string());
+  return std::get<double>(data_);
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case ValueKind::kReal:
+      return format_double(std::get<double>(data_), 6);
+    case ValueKind::kCategory:
+      return std::get<std::string>(data_);
+  }
+  return {};
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.to_string();
+}
+
+}  // namespace genas

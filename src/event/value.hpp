@@ -1,0 +1,59 @@
+// GENAS — typed attribute values.
+//
+// The public API speaks typed values (integers, reals, category names); all
+// internal machinery (trees, distributions) works on dense domain indices.
+// Value is a small sum type with total ordering within a kind.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace genas {
+
+/// Kind of a value / domain. Real-valued attributes are discretized by their
+/// domain at a declared resolution, so ValueKind::kReal values are exact
+/// multiples of that resolution after round-tripping through a domain.
+enum class ValueKind : std::uint8_t { kInt, kReal, kCategory };
+
+std::string_view to_string(ValueKind kind) noexcept;
+
+/// A single typed attribute value.
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}                     // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}   // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}                           // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}           // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}         // NOLINT(google-explicit-constructor)
+
+  ValueKind kind() const noexcept;
+
+  bool is_int() const noexcept { return kind() == ValueKind::kInt; }
+  bool is_real() const noexcept { return kind() == ValueKind::kReal; }
+  bool is_category() const noexcept { return kind() == ValueKind::kCategory; }
+
+  /// Accessors throw Error{kInvalidArgument} when the kind does not match.
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_category() const;
+
+  /// Numeric view: int and real values as double; throws for categories.
+  double numeric() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::variant<std::int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace genas

@@ -1,0 +1,48 @@
+// GENAS — the counting-algorithm baseline.
+//
+// The classic predicate-index matcher of the publish/subscribe literature
+// (Yan & García-Molina's SIFT, Fabret et al. — the paper's refs [6,11,15],
+// "clustering" family): per attribute, the domain is decomposed into
+// elementary cells; each cell carries the posting list of profiles whose
+// predicate accepts it. Matching looks up one cell per attribute, walks the
+// posting lists incrementing per-profile hit counters, and reports profiles
+// whose counter reaches their predicate count. Don't-care-only profiles
+// match unconditionally.
+//
+// Operation accounting: one operation per posting visited (counter
+// increment), mirroring the tree's per-comparison accounting; the per-
+// attribute cell lookup is the same uncounted table access the tree uses.
+#pragma once
+
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "tree/decomposition.hpp"
+
+namespace genas {
+
+class CountingMatcher final : public Matcher {
+ public:
+  explicit CountingMatcher(const ProfileSet& profiles) { rebuild(profiles); }
+
+  std::string_view name() const noexcept override { return "counting"; }
+
+  MatchOutcome match(const Event& event) const override;
+
+  void rebuild(const ProfileSet& profiles) override;
+
+ private:
+  struct AttributeIndex {
+    Decomposition decomposition;
+    /// postings[cell]: profile ids accepting that cell.
+    std::vector<std::vector<ProfileId>> postings;
+  };
+
+  std::vector<AttributeIndex> attributes_;     // one per schema attribute
+  std::vector<std::uint8_t> required_;         // per profile id: #predicates
+  std::vector<ProfileId> match_all_;           // zero-predicate profiles
+  std::size_t capacity_ = 0;                   // profile id upper bound
+  mutable std::vector<std::uint8_t> counters_; // scratch, reset per match
+};
+
+}  // namespace genas

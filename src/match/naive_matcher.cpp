@@ -1,0 +1,29 @@
+#include "match/naive_matcher.hpp"
+
+namespace genas {
+
+void NaiveMatcher::rebuild(const ProfileSet& profiles) {
+  entries_.clear();
+  entries_.reserve(profiles.active_count());
+  for (const ProfileId id : profiles.active_ids()) {
+    entries_.push_back(Entry{id, profiles.profile(id).predicates()});
+  }
+}
+
+MatchOutcome NaiveMatcher::match(const Event& event) const {
+  MatchOutcome outcome;
+  for (const Entry& entry : entries_) {
+    bool ok = true;
+    for (const Predicate& predicate : entry.predicates) {
+      ++outcome.operations;
+      if (!predicate.matches_index(event.index(predicate.attribute()))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) outcome.matched.push_back(entry.id);
+  }
+  return outcome;
+}
+
+}  // namespace genas

@@ -1,0 +1,34 @@
+// GENAS — the naive baseline matcher.
+//
+// Evaluates every profile against every event, short-circuiting on the first
+// failing predicate ("simple algorithms" in the paper's taxonomy, §2). One
+// operation = one predicate evaluation. This is also the test oracle every
+// other matcher is validated against.
+#pragma once
+
+#include <vector>
+
+#include "match/matcher.hpp"
+
+namespace genas {
+
+class NaiveMatcher final : public Matcher {
+ public:
+  explicit NaiveMatcher(const ProfileSet& profiles) { rebuild(profiles); }
+
+  std::string_view name() const noexcept override { return "naive"; }
+
+  MatchOutcome match(const Event& event) const override;
+
+  void rebuild(const ProfileSet& profiles) override;
+
+ private:
+  /// Flat snapshot: (profile id, its predicates).
+  struct Entry {
+    ProfileId id;
+    std::vector<Predicate> predicates;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace genas

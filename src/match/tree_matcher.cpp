@@ -1,0 +1,25 @@
+#include "match/tree_matcher.hpp"
+
+namespace genas {
+
+TreeMatcher::TreeMatcher(const ProfileSet& profiles, OrderingPolicy policy,
+                         std::optional<JointDistribution> event_distribution)
+    : policy_(std::move(policy)),
+      distribution_(std::move(event_distribution)) {
+  rebuild(profiles);
+}
+
+void TreeMatcher::rebuild(const ProfileSet& profiles) {
+  tree_ = std::make_unique<const ProfileTree>(
+      build_tree(profiles, policy_, distribution_));
+}
+
+MatchOutcome TreeMatcher::match(const Event& event) const {
+  const TreeMatch result = tree_->match(event);
+  MatchOutcome outcome;
+  outcome.operations = result.operations;
+  if (result.matched != nullptr) outcome.matched = *result.matched;
+  return outcome;
+}
+
+}  // namespace genas

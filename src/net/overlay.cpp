@@ -1,0 +1,180 @@
+#include "net/overlay.hpp"
+
+#include "common/error.hpp"
+
+namespace genas::net {
+
+std::string_view to_string(RoutingMode mode) noexcept {
+  switch (mode) {
+    case RoutingMode::kFlooding:        return "flooding";
+    case RoutingMode::kRouting:         return "routing";
+    case RoutingMode::kRoutingCovered:  return "routing+covering";
+  }
+  return "?";
+}
+
+OverlayNetwork::OverlayNetwork(SchemaPtr schema, OverlayOptions options)
+    : schema_(std::move(schema)), options_(std::move(options)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "overlay requires a schema");
+}
+
+NodeId OverlayNetwork::add_broker() {
+  Broker broker;
+  broker.local = std::make_unique<ProfileSet>(schema_);
+  brokers_.push_back(std::move(broker));
+  forest_.push_back(forest_.size());  // own root
+  return brokers_.size() - 1;
+}
+
+void OverlayNetwork::validate_node(NodeId node) const {
+  GENAS_REQUIRE(node < brokers_.size(), ErrorCode::kNotFound,
+                "unknown broker id " + std::to_string(node));
+}
+
+namespace {
+NodeId find_root(std::vector<NodeId>& forest, NodeId x) {
+  while (forest[x] != x) {
+    forest[x] = forest[forest[x]];  // path halving
+    x = forest[x];
+  }
+  return x;
+}
+}  // namespace
+
+void OverlayNetwork::connect(NodeId a, NodeId b) {
+  validate_node(a);
+  validate_node(b);
+  GENAS_REQUIRE(a != b, ErrorCode::kInvalidArgument,
+                "cannot link a broker to itself");
+  const NodeId ra = find_root(forest_, a);
+  const NodeId rb = find_root(forest_, b);
+  GENAS_REQUIRE(ra != rb, ErrorCode::kInvalidArgument,
+                "link would close a cycle; the overlay must stay acyclic");
+  forest_[ra] = rb;
+
+  const auto make_link = [&](NodeId peer) {
+    Link link;
+    link.peer = peer;
+    link.forwarded = std::make_unique<ProfileSet>(schema_);
+    return link;
+  };
+  brokers_[a].links.push_back(make_link(b));
+  brokers_[b].links.push_back(make_link(a));
+}
+
+OverlayNetwork::Link& OverlayNetwork::link_to(NodeId from, NodeId to) {
+  for (Link& link : brokers_[from].links) {
+    if (link.peer == to) return link;
+  }
+  throw_error(ErrorCode::kInternal, "missing link in overlay");
+}
+
+void OverlayNetwork::propagate(NodeId from, NodeId to,
+                               const Profile& profile) {
+  // `to` learns that the subscriber is reachable via `from`: the routing
+  // entry lives at `to`, on its link back toward `from`, so that events
+  // arriving at `to` are forwarded toward the subscriber.
+  Link& link = link_to(to, from);
+  if (options_.mode == RoutingMode::kRoutingCovered) {
+    for (const Profile& existing : link.kept) {
+      if (covers(existing, profile)) return;  // suppressed
+    }
+  }
+  link.forwarded->add(profile);
+  link.kept.push_back(profile);
+  ++stats_.profile_messages;
+
+  // Brokers behind `to` learn the profile the same way.
+  for (const Link& onward : brokers_[to].links) {
+    if (onward.peer == from) continue;
+    propagate(to, onward.peer, profile);
+  }
+}
+
+std::uint64_t OverlayNetwork::subscribe(NodeId node, Profile profile) {
+  validate_node(node);
+  GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
+                "profile schema differs from overlay schema");
+  brokers_[node].local->add(profile);
+  if (options_.mode != RoutingMode::kFlooding) {
+    for (const Link& link : brokers_[node].links) {
+      propagate(node, link.peer, profile);
+    }
+  }
+  return next_subscription_++;
+}
+
+const TreeMatcher& OverlayNetwork::local_matcher(NodeId node) {
+  Broker& broker = brokers_[node];
+  if (broker.matcher == nullptr ||
+      broker.matcher_version != broker.local->version()) {
+    broker.matcher = std::make_unique<TreeMatcher>(
+        *broker.local, options_.policy, options_.event_distribution);
+    broker.matcher_version = broker.local->version();
+  }
+  return *broker.matcher;
+}
+
+const TreeMatcher& OverlayNetwork::link_matcher(NodeId node,
+                                                std::size_t link_index) {
+  Link& link = brokers_[node].links[link_index];
+  if (link.matcher == nullptr ||
+      link.matcher_version != link.forwarded->version()) {
+    link.matcher = std::make_unique<TreeMatcher>(
+        *link.forwarded, options_.policy, options_.event_distribution);
+    link.matcher_version = link.forwarded->version();
+  }
+  return *link.matcher;
+}
+
+void OverlayNetwork::forward(NodeId node, NodeId from, const Event& event,
+                             std::size_t& deliveries) {
+  // Local matching at this broker.
+  const MatchOutcome local = local_matcher(node).match(event);
+  stats_.filter_operations += local.operations;
+  deliveries += local.matched.size();
+  stats_.deliveries += local.matched.size();
+
+  // Forwarding decision per outgoing link.
+  for (std::size_t i = 0; i < brokers_[node].links.size(); ++i) {
+    const NodeId peer = brokers_[node].links[i].peer;
+    if (peer == from) continue;
+    bool send = true;
+    if (options_.mode != RoutingMode::kFlooding) {
+      const MatchOutcome routed = link_matcher(node, i).match(event);
+      stats_.filter_operations += routed.operations;
+      send = !routed.matched.empty();
+    }
+    if (send) {
+      ++stats_.event_messages;
+      forward(peer, node, event, deliveries);
+    }
+  }
+}
+
+std::size_t OverlayNetwork::publish(NodeId node, const Event& event) {
+  validate_node(node);
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event schema differs from overlay schema");
+  ++stats_.events_published;
+  std::size_t deliveries = 0;
+  forward(node, node, event, deliveries);
+  return deliveries;
+}
+
+std::size_t OverlayNetwork::routing_entries(NodeId node) const {
+  validate_node(node);
+  std::size_t total = 0;
+  for (const Link& link : brokers_[node].links) {
+    total += link.forwarded->active_count();
+  }
+  return total;
+}
+
+std::size_t OverlayNetwork::local_subscriptions(NodeId node) const {
+  validate_node(node);
+  return brokers_[node].local->active_count();
+}
+
+}  // namespace genas::net

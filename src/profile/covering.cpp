@@ -1,0 +1,49 @@
+#include "profile/covering.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+bool covers(const Profile& general, const Profile& specific) {
+  GENAS_REQUIRE(general.schema() == specific.schema(),
+                ErrorCode::kInvalidArgument,
+                "covering requires profiles over the same schema");
+  const Schema& schema = *general.schema();
+  for (AttributeId a = 0; a < schema.attribute_count(); ++a) {
+    const Predicate* g = general.predicate(a);
+    if (g == nullptr) continue;  // don't-care accepts everything
+    const Predicate* s = specific.predicate(a);
+    const Interval full = schema.attribute(a).domain.full();
+    if (s == nullptr) {
+      // specific accepts all values; general must too.
+      if (!g->accepted().covers(full)) return false;
+      continue;
+    }
+    for (const Interval& iv : s->accepted().intervals()) {
+      if (!g->accepted().covers(iv)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> covering_subset(
+    const std::vector<Profile>& profiles) {
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < profiles.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (!covers(profiles[j], profiles[i])) continue;
+      if (covers(profiles[i], profiles[j])) {
+        // Mutually covering (equivalent): keep only the first.
+        dominated = j < i;
+      } else {
+        dominated = true;
+      }
+    }
+    if (!dominated) kept.push_back(i);
+  }
+  return kept;
+}
+
+}  // namespace genas

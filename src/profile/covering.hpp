@@ -1,0 +1,26 @@
+// GENAS — profile covering (subsumption).
+//
+// Profile A covers profile B when every event matched by B is also matched
+// by A — per attribute, A's accepted set (the full domain for don't-care)
+// is a superset of B's. Covering is the relation distributed
+// publish/subscribe systems (Siena, the paper's ref [3]) use to propagate
+// only the most general profiles through the broker network: a broker that
+// already forwards A to a neighbour need not forward any B covered by A.
+#pragma once
+
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// True when `general` matches every event that `specific` matches.
+bool covers(const Profile& general, const Profile& specific);
+
+/// Indices of a minimal covering subset of `profiles`: every input profile
+/// is covered by some member of the result, and no member is covered by
+/// another (ties between mutually covering duplicates keep the first).
+/// Quadratic in the number of profiles — intended for routing-table sizes.
+std::vector<std::size_t> covering_subset(const std::vector<Profile>& profiles);
+
+}  // namespace genas

@@ -1,0 +1,98 @@
+#include "profile/interval_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace genas {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  std::sort(intervals.begin(), intervals.end());
+  for (const Interval& iv : intervals) {
+    if (!intervals_.empty() &&
+        (intervals_.back().overlaps(iv) || intervals_.back().adjacent_before(iv))) {
+      intervals_.back().hi = std::max(intervals_.back().hi, iv.hi);
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+std::int64_t IntervalSet::size() const noexcept {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.size();
+  return total;
+}
+
+bool IntervalSet::contains(DomainIndex v) const noexcept {
+  // Binary search for the first interval with hi >= v.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), v,
+      [](const Interval& iv, DomainIndex x) { return iv.hi < x; });
+  return it != intervals_.end() && it->contains(v);
+}
+
+bool IntervalSet::covers(const Interval& iv) const noexcept {
+  if (iv.empty()) return true;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv.lo,
+      [](const Interval& a, DomainIndex x) { return a.hi < x; });
+  return it != intervals_.end() && it->contains(iv);
+}
+
+bool IntervalSet::overlaps(const Interval& iv) const noexcept {
+  if (iv.empty()) return false;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv.lo,
+      [](const Interval& a, DomainIndex x) { return a.hi < x; });
+  return it != intervals_.end() && it->overlaps(iv);
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval cut = intervals_[i].intersect(other.intervals_[j]);
+    if (!cut.empty()) out.push_back(cut);
+    if (intervals_[i].hi < other.intervals_[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::complement(const Interval& universe) const {
+  if (universe.empty()) return IntervalSet();
+  std::vector<Interval> out;
+  DomainIndex cursor = universe.lo;
+  for (const Interval& iv : intervals_) {
+    const Interval clipped = iv.intersect(universe);
+    if (clipped.empty()) continue;
+    if (clipped.lo > cursor) out.push_back({cursor, clipped.lo - 1});
+    cursor = std::max(cursor, clipped.hi + 1);
+  }
+  if (cursor <= universe.hi) out.push_back({cursor, universe.hi});
+  return IntervalSet(std::move(out));
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << intervals_[i].to_string();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace genas

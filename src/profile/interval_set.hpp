@@ -1,0 +1,60 @@
+// GENAS — sets of disjoint intervals over domain index space.
+//
+// Every predicate normalizes to an IntervalSet: the subset of the attribute
+// domain it accepts. The profile-tree decomposition, selectivity measures
+// (zero-subdomain size d_0), and the counting matcher are all expressed in
+// terms of IntervalSet algebra.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+
+namespace genas {
+
+/// Canonical set of disjoint, non-adjacent, sorted closed intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds a canonical set from arbitrary (possibly overlapping, unsorted,
+  /// empty) intervals.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  static IntervalSet empty() { return IntervalSet(); }
+  static IntervalSet single(Interval iv) {
+    return IntervalSet(std::vector<Interval>{iv});
+  }
+  static IntervalSet point(DomainIndex v) { return single(Interval::point(v)); }
+
+  bool is_empty() const noexcept { return intervals_.empty(); }
+
+  /// Total number of indices covered.
+  std::int64_t size() const noexcept;
+
+  bool contains(DomainIndex v) const noexcept;
+
+  /// True when `iv` is entirely covered.
+  bool covers(const Interval& iv) const noexcept;
+
+  bool overlaps(const Interval& iv) const noexcept;
+
+  IntervalSet unite(const IntervalSet& other) const;
+  IntervalSet intersect(const IntervalSet& other) const;
+
+  /// Complement relative to `universe` (typically the domain's full()).
+  IntervalSet complement(const Interval& universe) const;
+
+  const std::vector<Interval>& intervals() const noexcept { return intervals_; }
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+  /// Renders "{[0,3],[7,7]}".
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> intervals_;  // canonical form
+};
+
+}  // namespace genas

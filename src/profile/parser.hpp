@@ -1,0 +1,41 @@
+// GENAS — text parser for profiles and events.
+//
+// The paper's prototype is a generic service whose events, attributes and
+// operators are specified at runtime; this parser provides the textual front
+// end used by the genas_cli example and by tests. Grammar (informal):
+//
+//   profile   := condition ("&&" condition)* | "*"
+//   condition := name op scalar
+//              | name "in" "[" scalar "," scalar "]"      (range test)
+//              | name "not" "in" "[" scalar "," scalar "]"
+//              | name "in" "{" scalar ("," scalar)* "}"   (set containment)
+//   op        := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//   event     := name "=" scalar (";" name "=" scalar)*
+//
+// Scalars are integers, reals, or category names depending on the attribute
+// domain. Parse failures throw Error{kParse} with the offending fragment.
+#pragma once
+
+#include <string_view>
+
+#include "event/event.hpp"
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// Parses a profile expression against the schema.
+Profile parse_profile(const SchemaPtr& schema, std::string_view text);
+
+/// Parses a fully-specified event ("a=1; b=2; ...").
+Event parse_event(const SchemaPtr& schema, std::string_view text,
+                  Timestamp time = 0);
+
+/// Renders a profile as an expression `parse_profile` accepts; the
+/// round-trip preserves the accepted sets exactly (operators may normalize,
+/// e.g. `a >= 5` over domain [0,9] re-renders as `a in [5, 9]`).
+std::string format_profile(const Profile& profile);
+
+/// Renders an event as text `parse_event` accepts.
+std::string format_event(const Event& event);
+
+}  // namespace genas

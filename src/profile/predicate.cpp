@@ -1,0 +1,134 @@
+#include "profile/predicate.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kEq:      return "=";
+    case Op::kNe:      return "!=";
+    case Op::kLt:      return "<";
+    case Op::kLe:      return "<=";
+    case Op::kGt:      return ">";
+    case Op::kGe:      return ">=";
+    case Op::kBetween: return "between";
+    case Op::kOutside: return "outside";
+    case Op::kIn:      return "in";
+  }
+  return "?";
+}
+
+namespace {
+
+const Domain& domain_of(const Schema& schema, AttributeId attribute) {
+  return schema.attribute(attribute).domain;
+}
+
+IntervalSet require_nonempty(IntervalSet set, const Schema& schema,
+                             AttributeId attribute) {
+  GENAS_REQUIRE(!set.is_empty(), ErrorCode::kInvalidArgument,
+                "predicate on '" + schema.attribute(attribute).name +
+                    "' accepts no value");
+  return set;
+}
+
+}  // namespace
+
+Predicate Predicate::make(const Schema& schema, AttributeId attribute, Op op,
+                          const Value& operand) {
+  const Domain& dom = domain_of(schema, attribute);
+  const Interval full = dom.full();
+  const DomainIndex v = dom.index_of(operand);
+
+  IntervalSet accepted;
+  switch (op) {
+    case Op::kEq:
+      accepted = IntervalSet::point(v);
+      break;
+    case Op::kNe:
+      accepted = IntervalSet::point(v).complement(full);
+      break;
+    case Op::kLt:
+      GENAS_REQUIRE(dom.kind() != ValueKind::kCategory,
+                    ErrorCode::kInvalidArgument,
+                    "ordering comparison on categorical attribute");
+      accepted = IntervalSet::single({full.lo, v - 1});
+      break;
+    case Op::kLe:
+      GENAS_REQUIRE(dom.kind() != ValueKind::kCategory,
+                    ErrorCode::kInvalidArgument,
+                    "ordering comparison on categorical attribute");
+      accepted = IntervalSet::single({full.lo, v});
+      break;
+    case Op::kGt:
+      GENAS_REQUIRE(dom.kind() != ValueKind::kCategory,
+                    ErrorCode::kInvalidArgument,
+                    "ordering comparison on categorical attribute");
+      accepted = IntervalSet::single({v + 1, full.hi});
+      break;
+    case Op::kGe:
+      GENAS_REQUIRE(dom.kind() != ValueKind::kCategory,
+                    ErrorCode::kInvalidArgument,
+                    "ordering comparison on categorical attribute");
+      accepted = IntervalSet::single({v, full.hi});
+      break;
+    default:
+      throw_error(ErrorCode::kInvalidArgument,
+                  "operator requires the range/set constructor");
+  }
+  return Predicate(attribute, op,
+                   require_nonempty(std::move(accepted), schema, attribute));
+}
+
+Predicate Predicate::make_range(const Schema& schema, AttributeId attribute,
+                                Op op, const Value& lo, const Value& hi) {
+  const Domain& dom = domain_of(schema, attribute);
+  GENAS_REQUIRE(dom.kind() != ValueKind::kCategory, ErrorCode::kInvalidArgument,
+                "range test on categorical attribute");
+  const DomainIndex a = dom.index_of(lo);
+  const DomainIndex b = dom.index_of(hi);
+  GENAS_REQUIRE(a <= b, ErrorCode::kInvalidArgument,
+                "range predicate requires lo <= hi");
+
+  IntervalSet accepted;
+  switch (op) {
+    case Op::kBetween:
+      accepted = IntervalSet::single({a, b});
+      break;
+    case Op::kOutside:
+      accepted = IntervalSet::single({a, b}).complement(dom.full());
+      break;
+    default:
+      throw_error(ErrorCode::kInvalidArgument,
+                  "operator is not a range operator");
+  }
+  return Predicate(attribute, op,
+                   require_nonempty(std::move(accepted), schema, attribute));
+}
+
+Predicate Predicate::make_in(const Schema& schema, AttributeId attribute,
+                             const std::vector<Value>& values) {
+  GENAS_REQUIRE(!values.empty(), ErrorCode::kInvalidArgument,
+                "set-containment predicate requires at least one value");
+  const Domain& dom = domain_of(schema, attribute);
+  std::vector<Interval> points;
+  points.reserve(values.size());
+  for (const Value& v : values) {
+    points.push_back(Interval::point(dom.index_of(v)));
+  }
+  return Predicate(
+      attribute, Op::kIn,
+      require_nonempty(IntervalSet(std::move(points)), schema, attribute));
+}
+
+std::string Predicate::to_string(const Schema& schema) const {
+  std::ostringstream os;
+  os << schema.attribute(attribute_).name << ' ' << genas::to_string(op_)
+     << ' ' << accepted_.to_string();
+  return os.str();
+}
+
+}  // namespace genas

@@ -1,0 +1,71 @@
+// GENAS — profile predicates.
+//
+// A predicate constrains one attribute. The paper's profiles use value and
+// range tests over (attribute, value) pairs; inequality tests "can be
+// translated to range tests" (§3), which is exactly what normalization to an
+// IntervalSet does here. Don't-care attributes simply carry no predicate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/schema.hpp"
+#include "profile/interval_set.hpp"
+
+namespace genas {
+
+/// Comparison operator of a predicate.
+enum class Op : std::uint8_t {
+  kEq,       ///< a = v
+  kNe,       ///< a != v
+  kLt,       ///< a < v
+  kLe,       ///< a <= v
+  kGt,       ///< a > v
+  kGe,       ///< a >= v
+  kBetween,  ///< a in [lo, hi]
+  kOutside,  ///< a not in [lo, hi]
+  kIn,       ///< a in {v1, v2, ...} (set containment)
+};
+
+std::string_view to_string(Op op) noexcept;
+
+/// Single-attribute constraint, normalized to an index-space IntervalSet at
+/// construction time.
+class Predicate {
+ public:
+  /// Unary operators (=, !=, <, <=, >, >=).
+  static Predicate make(const Schema& schema, AttributeId attribute, Op op,
+                        const Value& operand);
+
+  /// Binary-range operators (between / outside).
+  static Predicate make_range(const Schema& schema, AttributeId attribute,
+                              Op op, const Value& lo, const Value& hi);
+
+  /// Set containment.
+  static Predicate make_in(const Schema& schema, AttributeId attribute,
+                           const std::vector<Value>& values);
+
+  AttributeId attribute() const noexcept { return attribute_; }
+  Op op() const noexcept { return op_; }
+
+  /// Accepted subset of the attribute's index space. Never empty: predicates
+  /// that would accept nothing are rejected at construction.
+  const IntervalSet& accepted() const noexcept { return accepted_; }
+
+  bool matches_index(DomainIndex v) const noexcept {
+    return accepted_.contains(v);
+  }
+
+  std::string to_string(const Schema& schema) const;
+
+ private:
+  Predicate(AttributeId attribute, Op op, IntervalSet accepted)
+      : attribute_(attribute), op_(op), accepted_(std::move(accepted)) {}
+
+  AttributeId attribute_;
+  Op op_;
+  IntervalSet accepted_;
+};
+
+}  // namespace genas

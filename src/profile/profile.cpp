@@ -1,0 +1,129 @@
+#include "profile/profile.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+bool Profile::matches(const Event& event) const noexcept {
+  for (const Predicate& predicate : predicates_) {
+    if (!predicate.matches_index(event.index(predicate.attribute()))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Profile::to_string() const {
+  std::ostringstream os;
+  os << "profile(";
+  bool first = true;
+  for (const Predicate& predicate : predicates_) {
+    if (!first) os << "; ";
+    first = false;
+    os << predicate.to_string(*schema_);
+  }
+  if (first) os << "*";
+  os << ')';
+  return os.str();
+}
+
+ProfileBuilder::ProfileBuilder(SchemaPtr schema)
+    : schema_(std::move(schema)), profile_(schema_) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "profile requires a schema");
+}
+
+ProfileBuilder& ProfileBuilder::add(Predicate predicate) {
+  const AttributeId id = predicate.attribute();
+  GENAS_REQUIRE(profile_.is_dont_care(id), ErrorCode::kInvalidArgument,
+                "attribute '" + schema_->attribute(id).name +
+                    "' constrained twice; combine into one predicate");
+  profile_.slots_[id] = profile_.predicates_.size();
+  profile_.predicates_.push_back(std::move(predicate));
+  return *this;
+}
+
+ProfileBuilder& ProfileBuilder::where(std::string_view attribute, Op op,
+                                      const Value& v) {
+  return add(Predicate::make(*schema_, schema_->id_of(attribute), op, v));
+}
+
+ProfileBuilder& ProfileBuilder::between(std::string_view attribute,
+                                        const Value& lo, const Value& hi) {
+  return add(Predicate::make_range(*schema_, schema_->id_of(attribute),
+                                   Op::kBetween, lo, hi));
+}
+
+ProfileBuilder& ProfileBuilder::outside(std::string_view attribute,
+                                        const Value& lo, const Value& hi) {
+  return add(Predicate::make_range(*schema_, schema_->id_of(attribute),
+                                   Op::kOutside, lo, hi));
+}
+
+ProfileBuilder& ProfileBuilder::in(std::string_view attribute,
+                                   const std::vector<Value>& values) {
+  return add(Predicate::make_in(*schema_, schema_->id_of(attribute), values));
+}
+
+Profile ProfileBuilder::build() { return std::move(profile_); }
+
+ProfileSet::ProfileSet(SchemaPtr schema) : schema_(std::move(schema)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "profile set requires a schema");
+}
+
+ProfileId ProfileSet::add(Profile profile) {
+  GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
+                "profile schema differs from profile-set schema");
+  const auto id = static_cast<ProfileId>(profiles_.size());
+  profiles_.push_back(std::move(profile));
+  active_.push_back(true);
+  weights_.push_back(1.0);
+  ++active_count_;
+  ++version_;
+  return id;
+}
+
+void ProfileSet::set_weight(ProfileId id, double weight) {
+  GENAS_REQUIRE(id < profiles_.size() && active_[id], ErrorCode::kNotFound,
+                "profile id " + std::to_string(id) + " is not active");
+  GENAS_REQUIRE(weight > 0.0, ErrorCode::kInvalidArgument,
+                "profile weight must be positive");
+  weights_[id] = weight;
+  ++version_;  // trees keyed on profile weights become stale
+}
+
+double ProfileSet::weight(ProfileId id) const {
+  GENAS_REQUIRE(id < profiles_.size() && active_[id], ErrorCode::kNotFound,
+                "profile id " + std::to_string(id) + " is not active");
+  return weights_[id];
+}
+
+void ProfileSet::remove(ProfileId id) {
+  GENAS_REQUIRE(id < profiles_.size(), ErrorCode::kNotFound,
+                "profile id " + std::to_string(id) + " does not exist");
+  GENAS_REQUIRE(active_[id], ErrorCode::kState,
+                "profile id " + std::to_string(id) + " already removed");
+  active_[id] = false;
+  --active_count_;
+  ++version_;
+}
+
+const Profile& ProfileSet::profile(ProfileId id) const {
+  GENAS_REQUIRE(id < profiles_.size(), ErrorCode::kNotFound,
+                "profile id " + std::to_string(id) + " does not exist");
+  return profiles_[id];
+}
+
+std::vector<ProfileId> ProfileSet::active_ids() const {
+  std::vector<ProfileId> ids;
+  ids.reserve(active_count_);
+  for (ProfileId id = 0; id < profiles_.size(); ++id) {
+    if (active_[id]) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace genas

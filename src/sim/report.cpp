@@ -1,0 +1,69 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace genas::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GENAS_REQUIRE(!headers_.empty(), ErrorCode::kInvalidArgument,
+                "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  GENAS_REQUIRE(row.size() == headers_.size(), ErrorCode::kInvalidArgument,
+                "row width does not match header count");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row(const std::string& label,
+                    const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_heading(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace genas::sim

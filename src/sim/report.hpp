@@ -1,0 +1,43 @@
+// GENAS — report tables for the benchmark harness.
+//
+// Every figure bench prints the series the paper plots as an aligned text
+// table (rows = distribution combinations, columns = strategies) plus an
+// optional CSV block for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace genas::sim {
+
+/// Simple aligned-column table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have one entry per header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: first column label, remaining columns formatted doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (comma-separated, no quoting of commas — labels must
+  /// not contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section heading ("== Fig. 4(a) ... ==") used by all benches.
+void print_heading(std::ostream& os, const std::string& title);
+
+}  // namespace genas::sim

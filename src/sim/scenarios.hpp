@@ -1,0 +1,62 @@
+// GENAS — the paper's test scenarios (§4.3).
+//
+//   TV1  tree creation over n attributes, 10,000 profiles from a given
+//        distribution, then event tests to 95% precision
+//   TV2  full profile tree, event tests to 95% precision
+//   TV3  single-attribute tree, 4,000 sampled events
+//   TV4  single-attribute tree, all possible events — the exact expectation
+//        of Eq. 2 (this library computes it in closed form)
+//   TA1  5 attributes with widely differing selectivities (profile-value
+//        peak widths 10%–80%)
+//   TA2  5 attributes with lightly varying selectivities
+//
+// Scenario factories return a self-contained Workload (profile set + event
+// distribution + labels) that the figure benches and integration tests run
+// through the ordering policies under study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/joint.hpp"
+#include "profile/profile.hpp"
+#include "sim/workload.hpp"
+
+namespace genas::sim {
+
+/// A ready-to-run experiment input.
+struct Workload {
+  ProfileSet profiles;
+  JointDistribution events;
+  std::string label;
+};
+
+/// Single-attribute workload (TV3/TV4 style): `p` equality profiles over an
+/// integer domain of `domain_size` values; event values from the catalog
+/// entry `event_name`, profile values from `profile_name`.
+Workload single_attribute(std::int64_t domain_size, std::size_t p,
+                          const std::string& event_name,
+                          const std::string& profile_name,
+                          std::uint64_t seed = 1);
+
+/// Multi-attribute workload (TV1/TV2 style): `n` attributes, each with the
+/// same catalog names; `dont_care` probability per attribute.
+Workload multi_attribute(std::size_t n, std::int64_t domain_size,
+                         std::size_t p, const std::string& event_name,
+                         const std::string& profile_name, double dont_care,
+                         std::uint64_t seed = 1);
+
+/// Event-marginal families used by the attribute-reordering figures.
+enum class EventFamily { kEqual, kGauss, kRelocatedGauss };
+
+std::string to_string(EventFamily family);
+
+/// TA1/TA2 workload: 5 attributes whose profile-value distributions are
+/// peaks of configured widths — `wide` spreads widths 10%..80% (TA1),
+/// otherwise 40%..60% (TA2) — so zero-subdomain selectivities differ widely
+/// or lightly. Events follow `family` on every attribute.
+Workload attribute_scenario(bool wide, EventFamily family, std::size_t p,
+                            std::int64_t domain_size = 60,
+                            std::uint64_t seed = 1);
+
+}  // namespace genas::sim

@@ -1,0 +1,105 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace genas {
+
+ProfileSet generate_profiles(
+    SchemaPtr schema,
+    const std::vector<DiscreteDistribution>& profile_distributions,
+    const ProfileWorkloadOptions& options) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "workload requires a schema");
+  const std::size_t n = schema->attribute_count();
+  GENAS_REQUIRE(profile_distributions.size() == n, ErrorCode::kInvalidArgument,
+                "one profile distribution per attribute required");
+  for (AttributeId a = 0; a < n; ++a) {
+    GENAS_REQUIRE(
+        profile_distributions[a].size() == schema->attribute(a).domain.size(),
+        ErrorCode::kInvalidArgument,
+        "profile distribution size mismatch for attribute '" +
+            schema->attribute(a).name + "'");
+  }
+  GENAS_REQUIRE(options.dont_care_probability >= 0.0 &&
+                    options.dont_care_probability < 1.0,
+                ErrorCode::kInvalidArgument,
+                "don't-care probability must be in [0,1)");
+
+  Rng rng(options.seed);
+  ProfileSet set(schema);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    ProfileBuilder builder(schema);
+    std::size_t constrained = 0;
+    // Pre-pick one attribute that must be constrained so no profile is a
+    // match-everything subscription.
+    const auto forced = static_cast<AttributeId>(rng.below(n));
+    for (AttributeId a = 0; a < n; ++a) {
+      if (a != forced && rng.chance(options.dont_care_probability)) continue;
+      const Domain& domain = schema->attribute(a).domain;
+      const DomainIndex center =
+          profile_distributions[a].quantile(rng.uniform());
+      if (options.equality_only || domain.kind() == ValueKind::kCategory) {
+        builder.where(schema->attribute(a).name, Op::kEq,
+                      domain.value_at(center));
+      } else {
+        // Exponential-ish width around the mean, at least one value wide.
+        const double width_norm =
+            options.range_width_mean * (0.25 + 1.5 * rng.uniform());
+        const auto half = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(width_norm *
+                                         static_cast<double>(domain.size()) /
+                                         2.0));
+        const DomainIndex lo = std::max<DomainIndex>(0, center - half);
+        const DomainIndex hi =
+            std::min<DomainIndex>(domain.size() - 1, center + half);
+        builder.between(schema->attribute(a).name, domain.value_at(lo),
+                        domain.value_at(hi));
+      }
+      ++constrained;
+    }
+    GENAS_CHECK(constrained > 0, "generated profile must be constrained");
+    set.add(builder.build());
+  }
+  return set;
+}
+
+JointDistribution make_event_distribution(
+    const SchemaPtr& schema, const std::vector<std::string>& names) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "event distribution requires a schema");
+  const std::size_t n = schema->attribute_count();
+  GENAS_REQUIRE(names.size() == 1 || names.size() == n,
+                ErrorCode::kInvalidArgument,
+                "provide one distribution name, or one per attribute");
+  std::vector<DiscreteDistribution> marginals;
+  marginals.reserve(n);
+  for (AttributeId a = 0; a < n; ++a) {
+    const std::string& name = names.size() == 1 ? names[0] : names[a];
+    DistributionCatalog catalog(schema->attribute(a).domain.size());
+    marginals.push_back(catalog.by_name(name));
+  }
+  return JointDistribution::independent(schema, std::move(marginals));
+}
+
+std::vector<DiscreteDistribution> make_profile_distributions(
+    const SchemaPtr& schema, const std::vector<std::string>& names) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "profile distributions require a schema");
+  const std::size_t n = schema->attribute_count();
+  GENAS_REQUIRE(names.size() == 1 || names.size() == n,
+                ErrorCode::kInvalidArgument,
+                "provide one distribution name, or one per attribute");
+  std::vector<DiscreteDistribution> out;
+  out.reserve(n);
+  for (AttributeId a = 0; a < n; ++a) {
+    const std::string& name = names.size() == 1 ? names[0] : names[a];
+    DistributionCatalog catalog(schema->attribute(a).domain.size());
+    out.push_back(catalog.by_name(name));
+  }
+  return out;
+}
+
+}  // namespace genas

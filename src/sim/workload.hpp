@@ -1,0 +1,50 @@
+// GENAS — workload generation.
+//
+// Builds the synthetic profile sets and event distributions the paper's
+// evaluation uses: profiles drawn from a per-attribute profile distribution
+// P_p (equality tests in the prototype's mode, or range tests in the general
+// mode), and events drawn from per-attribute event distributions P_e
+// (assumed independent across attributes, as in §4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/catalog.hpp"
+#include "dist/joint.hpp"
+#include "profile/profile.hpp"
+
+namespace genas {
+
+/// Options for synthetic profile generation.
+struct ProfileWorkloadOptions {
+  std::size_t count = 1000;  ///< number of profiles, p
+  /// Probability that a profile leaves an attribute unspecified ('*').
+  double dont_care_probability = 0.0;
+  /// true: equality tests only (the paper's prototype mode); false: range
+  /// tests centred on the drawn value.
+  bool equality_only = true;
+  /// Mean normalized width of range tests (range mode only).
+  double range_width_mean = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Draws `options.count` profiles; attribute j's test values come from
+/// `profile_distributions[j]`. Every profile constrains at least one
+/// attribute (a fully-don't-care profile carries no selectivity signal).
+ProfileSet generate_profiles(
+    SchemaPtr schema,
+    const std::vector<DiscreteDistribution>& profile_distributions,
+    const ProfileWorkloadOptions& options);
+
+/// Independent joint event distribution with per-attribute catalog names
+/// (e.g. {"d37", "gauss"}); one name may be given for all attributes.
+JointDistribution make_event_distribution(
+    const SchemaPtr& schema, const std::vector<std::string>& names);
+
+/// Per-attribute profile-value distributions by catalog name.
+std::vector<DiscreteDistribution> make_profile_distributions(
+    const SchemaPtr& schema, const std::vector<std::string>& names);
+
+}  // namespace genas

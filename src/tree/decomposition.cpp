@@ -1,0 +1,86 @@
+#include "tree/decomposition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace genas {
+
+std::int64_t Decomposition::zero_size() const noexcept {
+  std::int64_t total = 0;
+  for (const Cell& cell : cells) {
+    if (cell.is_zero()) total += cell.interval.size();
+  }
+  return total;
+}
+
+std::size_t Decomposition::covered_cell_count() const noexcept {
+  std::size_t count = 0;
+  for (const Cell& cell : cells) {
+    if (!cell.is_zero()) ++count;
+  }
+  return count;
+}
+
+IntervalSet Decomposition::zero_subdomain() const {
+  std::vector<Interval> zeros;
+  for (const Cell& cell : cells) {
+    if (cell.is_zero()) zeros.push_back(cell.interval);
+  }
+  return IntervalSet(std::move(zeros));
+}
+
+std::size_t Decomposition::locate(DomainIndex v) const noexcept {
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), v,
+      [](const Cell& cell, DomainIndex x) { return cell.interval.hi < x; });
+  return static_cast<std::size_t>(it - cells.begin());
+}
+
+Decomposition decompose(const Interval& universe,
+                        const std::vector<const IntervalSet*>& constraints) {
+  GENAS_REQUIRE(!universe.empty(), ErrorCode::kInvalidArgument,
+                "decomposition requires a non-empty universe");
+
+  // Collect elementary boundaries: starts of intervals and one-past ends.
+  std::vector<DomainIndex> bounds;
+  bounds.push_back(universe.lo);
+  bounds.push_back(universe.hi + 1);
+  for (const IntervalSet* set : constraints) {
+    GENAS_CHECK(set != nullptr, "null constraint in decomposition");
+    for (const Interval& iv : set->intervals()) {
+      const Interval clipped = iv.intersect(universe);
+      if (clipped.empty()) continue;
+      bounds.push_back(clipped.lo);
+      bounds.push_back(clipped.hi + 1);
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Build raw cells between consecutive boundaries and attach accepters.
+  Decomposition out;
+  out.cells.reserve(bounds.size());
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    Cell cell;
+    cell.interval = {bounds[b], bounds[b + 1] - 1};
+    for (std::uint32_t c = 0; c < constraints.size(); ++c) {
+      // Elementary cells never straddle a constraint boundary, so covering
+      // the cell is equivalent to containing its low end.
+      if (constraints[c]->contains(cell.interval.lo)) {
+        cell.accepters.push_back(c);
+      }
+    }
+    // Merge with the previous cell when the accepter sets coincide — keeps
+    // cells maximal, matching the paper's subrange notion.
+    if (!out.cells.empty() && out.cells.back().accepters == cell.accepters &&
+        out.cells.back().interval.adjacent_before(cell.interval)) {
+      out.cells.back().interval.hi = cell.interval.hi;
+    } else {
+      out.cells.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace genas

@@ -1,0 +1,54 @@
+// GENAS — elementary subrange decomposition.
+//
+// Given p profiles constraining an attribute, the domain D splits into at
+// most 2p−1 elementary subranges referenced by profiles plus the
+// zero-subdomain D_0 of values no profile refers to (paper §3). Cells are
+// maximal intervals whose accepting-profile sets are identical; the tree
+// builds one local decomposition per node, and the attribute-selectivity
+// measures (A1/A2) use the global decomposition of the full profile set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "profile/interval_set.hpp"
+
+namespace genas {
+
+/// One elementary cell of a decomposition.
+struct Cell {
+  Interval interval;
+  /// Positions (into the caller's constraint list) of constraints whose
+  /// accepted set covers this cell; empty for zero-subdomain cells.
+  std::vector<std::uint32_t> accepters;
+
+  bool is_zero() const noexcept { return accepters.empty(); }
+};
+
+/// Partition of `universe` into maximal same-accepter-set cells.
+struct Decomposition {
+  std::vector<Cell> cells;  // sorted by interval, covering universe exactly
+
+  /// Total size of zero cells — d_0 in the paper.
+  std::int64_t zero_size() const noexcept;
+
+  /// Number of non-zero cells (≤ 2p−1 for p interval constraints).
+  std::size_t covered_cell_count() const noexcept;
+
+  /// The zero-subdomain D_0 as an interval set.
+  IntervalSet zero_subdomain() const;
+
+  /// Index of the cell containing `v` (cells partition the universe, so a
+  /// containing cell always exists for in-universe v). Binary search; this
+  /// is the O(1)-amortized "lookup table" access of the paper's prototype
+  /// and is not a counted filter operation.
+  std::size_t locate(DomainIndex v) const noexcept;
+};
+
+/// Computes the decomposition of `universe` induced by the accepted sets of
+/// the given constraints. Accepted sets must be subsets of the universe.
+Decomposition decompose(const Interval& universe,
+                        const std::vector<const IntervalSet*>& constraints);
+
+}  // namespace genas

@@ -1,0 +1,87 @@
+// Tests for the adaptive controller: drift detection, cooldown, rebuilds.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_filter.hpp"
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+
+namespace genas {
+namespace {
+
+SchemaPtr schema2() {
+  return SchemaBuilder()
+      .add_integer("x", 0, 19)
+      .add_integer("y", 0, 19)
+      .build();
+}
+
+JointDistribution peak_joint(const SchemaPtr& schema, bool high) {
+  return JointDistribution::independent(
+      schema, {shapes::percent_peak(20, 0.95, high, 0.2),
+               shapes::equal(20)});
+}
+
+TEST(AdaptiveController, NoRebuildBeforeMinObservations) {
+  const SchemaPtr schema = schema2();
+  AdaptiveOptions options;
+  options.min_observations = 100;
+  AdaptiveController controller(schema, options);
+  EventSampler sampler(peak_joint(schema, false), 1);
+  for (int i = 0; i < 99; ++i) controller.observe(sampler.sample());
+  EXPECT_FALSE(controller.should_rebuild());
+  controller.observe(sampler.sample());
+  EXPECT_TRUE(controller.should_rebuild());  // no baseline yet
+}
+
+TEST(AdaptiveController, DriftTriggersRebuildAfterRegimeChange) {
+  const SchemaPtr schema = schema2();
+  AdaptiveOptions options;
+  options.min_observations = 200;
+  options.rebuild_cooldown = 200;
+  options.drift_threshold = 0.5;
+  options.decay = 0.995;  // forget the old regime
+  AdaptiveController controller(schema, options);
+
+  EventSampler low(peak_joint(schema, false), 1);
+  for (int i = 0; i < 500; ++i) controller.observe(low.sample());
+  controller.mark_rebuilt(controller.estimate());
+  EXPECT_LT(controller.drift(), 0.2);
+  EXPECT_FALSE(controller.should_rebuild());
+
+  // Regime change: mass moves to the other end of x.
+  EventSampler high(peak_joint(schema, true), 2);
+  for (int i = 0; i < 1500; ++i) controller.observe(high.sample());
+  EXPECT_GT(controller.drift(), 0.5);
+  EXPECT_TRUE(controller.should_rebuild());
+
+  controller.mark_rebuilt(controller.estimate());
+  EXPECT_EQ(controller.rebuilds(), 2u);
+  EXPECT_FALSE(controller.should_rebuild());  // cooldown + low drift
+}
+
+TEST(AdaptiveController, CooldownSuppressesThrashing) {
+  const SchemaPtr schema = schema2();
+  AdaptiveOptions options;
+  options.min_observations = 10;
+  options.rebuild_cooldown = 1000;
+  options.drift_threshold = 0.0;  // always "drifted"
+  AdaptiveController controller(schema, options);
+  EventSampler sampler(peak_joint(schema, false), 3);
+  for (int i = 0; i < 50; ++i) controller.observe(sampler.sample());
+  controller.mark_rebuilt(controller.estimate());
+  for (int i = 0; i < 500; ++i) controller.observe(sampler.sample());
+  EXPECT_FALSE(controller.should_rebuild()) << "cooldown must hold";
+}
+
+TEST(AdaptiveController, EstimateTracksObservedMarginals) {
+  const SchemaPtr schema = schema2();
+  AdaptiveController controller(schema, {});
+  EventSampler sampler(peak_joint(schema, true), 4);
+  for (int i = 0; i < 3000; ++i) controller.observe(sampler.sample());
+  const JointDistribution estimate = controller.estimate();
+  EXPECT_GT(estimate.marginal(0).mass(Interval{16, 19}), 0.8);
+  EXPECT_EQ(controller.observations(), 3000u);
+}
+
+}  // namespace
+}  // namespace genas

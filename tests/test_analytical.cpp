@@ -1,0 +1,110 @@
+// Tests for the closed-form response-time model (Eq. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/analytical.hpp"
+
+namespace genas {
+namespace {
+
+/// Example 2 cells with their event probabilities.
+std::vector<ModelCell> example2_cells() {
+  return {
+      {{0, 10}, 0.02, 1.0 / 3.0, true},    // x1 = [-30,-20]
+      {{11, 59}, 0.17, 0.0, false},        // x0 (zero subdomain)
+      {{60, 64}, 0.01, 1.0 / 3.0, true},   // x2 = [30,35)
+      {{65, 80}, 0.80, 1.0 / 3.0, true},   // x3 = [35,50]
+  };
+}
+
+TEST(Analytical, Example2EventOrderExpectation) {
+  // Paper: E(X) = 0.02*2 + 0.01*3 + 0.8*1 = 0.87, R0 = 2*0.17 = 0.34,
+  // R = 1.21.
+  const ResponseTime rt = response_time(
+      example2_cells(), ValueOrder::kEventProbability, SearchStrategy::kLinear);
+  EXPECT_NEAR(rt.expectation, 0.87, 1e-12);
+  EXPECT_NEAR(rt.r0, 0.34, 1e-12);
+  EXPECT_NEAR(rt.total(), 1.21, 1e-12);
+}
+
+TEST(Analytical, Example2BinarySearch) {
+  // Paper: E(X) = 0.01*1 + 0.02*2 + 0.8*2 = 1.65, R0 = 2*0.17 = 0.34,
+  // R = 1.99.
+  const ResponseTime rt = response_time(example2_cells(),
+                                        ValueOrder::kNaturalAscending,
+                                        SearchStrategy::kBinary);
+  EXPECT_NEAR(rt.expectation, 1.65, 1e-12);
+  EXPECT_NEAR(rt.r0, 0.34, 1e-12);
+  EXPECT_NEAR(rt.total(), 1.99, 1e-12);
+}
+
+TEST(Analytical, Example2NaturalOrder) {
+  // Natural ascending scan: x1 cost 1, x2 cost 2, x3 cost 3; x0 stops at x2.
+  const ResponseTime rt = response_time(example2_cells(),
+                                        ValueOrder::kNaturalAscending,
+                                        SearchStrategy::kLinear);
+  EXPECT_NEAR(rt.expectation, 0.02 * 1 + 0.01 * 2 + 0.8 * 3, 1e-12);
+  EXPECT_NEAR(rt.r0, 0.17 * 2, 1e-12);
+}
+
+TEST(Analytical, EventOrderNeverWorseThanNaturalHere) {
+  const auto cells = example2_cells();
+  const double event_order =
+      response_time(cells, ValueOrder::kEventProbability,
+                    SearchStrategy::kLinear)
+          .total();
+  const double natural =
+      response_time(cells, ValueOrder::kNaturalAscending,
+                    SearchStrategy::kLinear)
+          .total();
+  EXPECT_LT(event_order, natural);
+}
+
+TEST(Analytical, CombinedOrderUsesBothMasses) {
+  // Give x2 enormous profile interest: V3 must rank it before x1 even
+  // though its event probability is lower.
+  std::vector<ModelCell> cells = example2_cells();
+  cells[2].profile_mass = 50.0;
+  const ResponseTime v3 = response_time(
+      cells, ValueOrder::kCombinedProbability, SearchStrategy::kLinear);
+  // V3 keys: x2 = 0.01*50 = 0.5 first, x3 = 0.8/3 ≈ 0.267 second, x1 last.
+  EXPECT_NEAR(v3.expectation, 0.01 * 1 + 0.8 * 2 + 0.02 * 3, 1e-12);
+}
+
+TEST(Analytical, ProfileOrderIgnoresEventMass) {
+  std::vector<ModelCell> cells = example2_cells();
+  cells[0].profile_mass = 3.0;  // x1 most requested by profiles
+  cells[2].profile_mass = 2.0;
+  cells[3].profile_mass = 1.0;
+  const ResponseTime v2 = response_time(
+      cells, ValueOrder::kProfileProbability, SearchStrategy::kLinear);
+  // Scan order x1, x2, x3 regardless of P_e.
+  EXPECT_NEAR(v2.expectation, 0.02 * 1 + 0.01 * 2 + 0.8 * 3, 1e-12);
+}
+
+TEST(Analytical, BinaryThreshold) {
+  // r0 = log2(2p−1): p=3 -> log2(5) ≈ 2.32.
+  EXPECT_NEAR(binary_threshold(3), std::log2(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(binary_threshold(0), 0.0);
+  // The paper's break-even rule on Example 2: E_V1 = 0.87 < 2.32 ⇒ the
+  // event order must beat binary search overall.
+  const auto cells = example2_cells();
+  const double v1 = response_time(cells, ValueOrder::kEventProbability,
+                                  SearchStrategy::kLinear)
+                        .total();
+  const double binary = response_time(cells, ValueOrder::kNaturalAscending,
+                                       SearchStrategy::kBinary)
+                            .total();
+  EXPECT_LT(v1, binary);
+}
+
+TEST(Analytical, RequiresCells) {
+  EXPECT_THROW(response_time({}, ValueOrder::kNaturalAscending,
+                             SearchStrategy::kLinear),
+               Error);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,123 @@
+// Tests for the ENS broker: subscriptions, delivery, counters, statistics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+  Broker broker_{schema_};
+};
+
+TEST_F(BrokerTest, DeliversToMatchingSubscribers) {
+  std::vector<SubscriptionId> fired;
+  const SubscriptionId hot = broker_.subscribe(
+      "temperature >= 35",
+      [&](const Notification& n) { fired.push_back(n.subscription); });
+  const SubscriptionId wet = broker_.subscribe(
+      "humidity >= 90",
+      [&](const Notification& n) { fired.push_back(n.subscription); });
+  broker_.subscribe("humidity <= 5", [&](const Notification& n) {
+    fired.push_back(n.subscription);
+  });
+
+  const PublishResult result =
+      broker_.publish("temperature = 40; humidity = 95; radiation = 1");
+  EXPECT_EQ(result.notified, 2u);
+  EXPECT_EQ(testutil::sorted(std::vector<ProfileId>(
+                {static_cast<ProfileId>(fired[0]),
+                 static_cast<ProfileId>(fired[1])})),
+            testutil::sorted({static_cast<ProfileId>(hot),
+                              static_cast<ProfileId>(wet)}));
+}
+
+TEST_F(BrokerTest, NotificationCarriesTheEvent) {
+  Value seen_temp(0);
+  broker_.subscribe("temperature >= 35", [&](const Notification& n) {
+    seen_temp = n.event.value("temperature");
+  });
+  broker_.publish("temperature = 42; humidity = 1; radiation = 1");
+  EXPECT_EQ(seen_temp.as_int(), 42);
+}
+
+TEST_F(BrokerTest, UnsubscribeStopsDelivery) {
+  int fired = 0;
+  const SubscriptionId id = broker_.subscribe(
+      "temperature >= 35", [&](const Notification&) { ++fired; });
+  broker_.publish("temperature = 40; humidity = 0; radiation = 1");
+  broker_.unsubscribe(id);
+  broker_.publish("temperature = 40; humidity = 0; radiation = 1");
+  EXPECT_EQ(fired, 1);
+  EXPECT_THROW(broker_.unsubscribe(id), Error);
+  EXPECT_EQ(broker_.subscription_count(), 0u);
+}
+
+TEST_F(BrokerTest, CountersAggregate) {
+  broker_.subscribe("temperature >= 35", [](const Notification&) {});
+  broker_.publish("temperature = 40; humidity = 0; radiation = 1");
+  broker_.publish("temperature = 0; humidity = 0; radiation = 1");  // miss
+  const ServiceCounters counters = broker_.counters();
+  EXPECT_EQ(counters.events_published, 2u);
+  EXPECT_EQ(counters.events_matched, 1u);
+  EXPECT_EQ(counters.notifications, 1u);
+  EXPECT_GT(counters.operations, 0u);
+  EXPECT_DOUBLE_EQ(counters.match_rate(), 0.5);
+  EXPECT_GT(counters.ops_per_event(), 0.0);
+}
+
+TEST_F(BrokerTest, CallbacksMayResubscribe) {
+  // Callbacks run outside the broker lock: re-entrant subscribe is legal.
+  int fired = 0;
+  broker_.subscribe("temperature >= 35", [&](const Notification&) {
+    ++fired;
+    if (fired == 1) {
+      broker_.subscribe("humidity >= 90", [&](const Notification&) {});
+    }
+  });
+  EXPECT_NO_THROW(
+      broker_.publish("temperature = 40; humidity = 0; radiation = 1"));
+  EXPECT_EQ(broker_.subscription_count(), 2u);
+}
+
+TEST_F(BrokerTest, ProfileStatisticsReflectSubscriptions) {
+  broker_.subscribe("humidity >= 99", [](const Notification&) {});
+  broker_.subscribe("humidity >= 99", [](const Notification&) {});
+  const ProfileStatistics stats = broker_.profile_statistics();
+  EXPECT_EQ(stats.constrained_profiles(schema_->id_of("humidity")), 2u);
+  EXPECT_DOUBLE_EQ(stats.reference_count(schema_->id_of("humidity"), 99), 2.0);
+  EXPECT_DOUBLE_EQ(stats.reference_count(schema_->id_of("humidity"), 42), 0.0);
+  EXPECT_EQ(stats.operator_count(Op::kGe), 2u);
+}
+
+TEST_F(BrokerTest, ConcurrentPublishersAreSerialized) {
+  std::atomic<int> fired{0};
+  broker_.subscribe("temperature >= 0", [&](const Notification&) { ++fired; });
+  constexpr int kPerThread = 200;
+  const auto worker = [&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      broker_.publish("temperature = 10; humidity = 5; radiation = 1");
+    }
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(fired.load(), 2 * kPerThread);
+  EXPECT_EQ(broker_.counters().events_published,
+            static_cast<std::uint64_t>(2 * kPerThread));
+}
+
+TEST_F(BrokerTest, Validation) {
+  EXPECT_THROW(broker_.subscribe("temperature >= 35", nullptr), Error);
+  EXPECT_THROW(Broker(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace genas

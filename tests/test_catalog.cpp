@@ -1,0 +1,90 @@
+// Tests for the deterministic d1..d60 distribution catalog.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/catalog.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Catalog, HasSixtyNumberedEntries) {
+  const DistributionCatalog catalog(100);
+  for (int k = 1; k <= DistributionCatalog::kNumbered; ++k) {
+    const auto d = catalog.numbered(k);
+    EXPECT_EQ(d.size(), 100);
+  }
+  EXPECT_THROW(catalog.numbered(0), Error);
+  EXPECT_THROW(catalog.numbered(61), Error);
+}
+
+TEST(Catalog, NumberedEntriesAreDeterministic) {
+  const DistributionCatalog a(100);
+  const DistributionCatalog b(100);
+  for (int k : {1, 17, 37, 42, 60}) {
+    EXPECT_DOUBLE_EQ(
+        DiscreteDistribution::l1_distance(a.numbered(k), b.numbered(k)), 0.0)
+        << "d" << k;
+  }
+}
+
+TEST(Catalog, EntriesDifferFromEachOther) {
+  const DistributionCatalog catalog(100);
+  // Not a strict requirement for every pair, but the sampled pairs span
+  // distinct seeds and must differ materially.
+  EXPECT_GT(DiscreteDistribution::l1_distance(catalog.numbered(3),
+                                              catalog.numbered(39)),
+            0.05);
+  EXPECT_GT(DiscreteDistribution::l1_distance(catalog.numbered(5),
+                                              catalog.numbered(41)),
+            0.05);
+}
+
+TEST(Catalog, ByNameResolvesNumberedAndNamedShapes) {
+  const DistributionCatalog catalog(80);
+  EXPECT_EQ(catalog.by_name("d17").size(), 80);
+  EXPECT_DOUBLE_EQ(DiscreteDistribution::l1_distance(catalog.by_name("d17"),
+                                                     catalog.numbered(17)),
+                   0.0);
+  EXPECT_NO_THROW(catalog.by_name("equal"));
+  EXPECT_NO_THROW(catalog.by_name("uniform"));
+  EXPECT_NO_THROW(catalog.by_name("gauss"));
+  EXPECT_NO_THROW(catalog.by_name("gauss-low"));
+  EXPECT_NO_THROW(catalog.by_name("gauss-high"));
+  EXPECT_NO_THROW(catalog.by_name("falling"));
+  EXPECT_NO_THROW(catalog.by_name("rising"));
+  EXPECT_NO_THROW(catalog.by_name("95% high"));
+  EXPECT_NO_THROW(catalog.by_name("90% low"));
+  EXPECT_NO_THROW(catalog.by_name(" D5 "));  // trims and lower-cases
+}
+
+TEST(Catalog, ByNameFailures) {
+  const DistributionCatalog catalog(80);
+  EXPECT_THROW(catalog.by_name(""), Error);
+  EXPECT_THROW(catalog.by_name("d0"), Error);
+  EXPECT_THROW(catalog.by_name("d61"), Error);
+  EXPECT_THROW(catalog.by_name("bogus"), Error);
+  EXPECT_THROW(catalog.by_name("120% high"), Error);
+  EXPECT_THROW(catalog.by_name("95% middle"), Error);
+}
+
+TEST(Catalog, NamesListResolves) {
+  const DistributionCatalog catalog(64);
+  const auto names = catalog.names();
+  EXPECT_EQ(names.size(), 10u + DistributionCatalog::kNumbered);
+  for (const auto& name : names) {
+    EXPECT_NO_THROW(catalog.by_name(name)) << name;
+  }
+}
+
+TEST(Catalog, SameEntryScalesAcrossDomainSizes) {
+  // The shape is defined on the normalized domain: coarse and fine
+  // discretizations of d7 must put similar mass on the same halves.
+  const DistributionCatalog coarse(50);
+  const DistributionCatalog fine(500);
+  const auto a = coarse.numbered(7);
+  const auto b = fine.numbered(7);
+  EXPECT_NEAR(a.mass(Interval{0, 24}), b.mass(Interval{0, 249}), 0.05);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,132 @@
+// Tests for the composite-event algebra and detector.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ens/composite.hpp"
+
+namespace genas {
+namespace {
+
+class CompositeTest : public ::testing::Test {
+ protected:
+  CompositeDetector detector_;
+  std::vector<Timestamp> fired_;
+
+  CompositeId add(const CompositeExprPtr& expr) {
+    return detector_.add(
+        expr, [this](const CompositeFiring& f) { fired_.push_back(f.time); });
+  }
+};
+
+TEST_F(CompositeTest, SequenceFiresOnlyInOrderWithinWindow) {
+  add(seq(primitive(1), primitive(2), 10));
+
+  detector_.on_match(2, 1);   // B before A: nothing
+  EXPECT_TRUE(fired_.empty());
+  detector_.on_match(1, 5);   // A
+  detector_.on_match(2, 12);  // B, 7 <= 10 after A -> fire
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], 12);
+
+  // A was consumed: another B alone must not fire.
+  detector_.on_match(2, 14);
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_F(CompositeTest, SequenceWindowExpires) {
+  add(seq(primitive(1), primitive(2), 10));
+  detector_.on_match(1, 0);
+  detector_.on_match(2, 11);  // outside window
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(CompositeTest, SequenceRequiresStrictOrder) {
+  add(seq(primitive(1), primitive(2), 10));
+  // Same timestamp (e.g., one event matching both profiles in one publish):
+  // "then" means strictly after.
+  detector_.on_match(1, 5);
+  detector_.on_match(2, 5);
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(CompositeTest, ConjunctionFiresInAnyOrder) {
+  add(conj(primitive(1), primitive(2), 10));
+  detector_.on_match(2, 3);
+  detector_.on_match(1, 8);  // within window, reversed order -> fire
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], 8);
+
+  // Both were consumed.
+  detector_.on_match(1, 9);
+  EXPECT_EQ(fired_.size(), 1u);
+  detector_.on_match(2, 15);
+  EXPECT_EQ(fired_.size(), 2u);
+}
+
+TEST_F(CompositeTest, DisjunctionFiresOnEither) {
+  add(disj(primitive(1), primitive(2)));
+  detector_.on_match(1, 1);
+  detector_.on_match(2, 2);
+  detector_.on_match(3, 3);  // unrelated profile
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{1, 2}));
+}
+
+TEST_F(CompositeTest, NegationSuppressesWithinWindow) {
+  // neg(absent=1, then=2, window=10): "2 with no 1 in the last 10".
+  add(neg(primitive(1), primitive(2), 10));
+  detector_.on_match(2, 5);  // no blocker ever: fire
+  EXPECT_EQ(fired_.size(), 1u);
+
+  detector_.on_match(1, 10);  // blocker
+  detector_.on_match(2, 15);  // 5 <= 10 after blocker: suppressed
+  EXPECT_EQ(fired_.size(), 1u);
+  detector_.on_match(2, 21);  // 11 > 10 after blocker: fire
+  EXPECT_EQ(fired_.size(), 2u);
+}
+
+TEST_F(CompositeTest, NestedExpressions) {
+  // seq(disj(1,2), 3): either trigger, then 3.
+  add(seq(disj(primitive(1), primitive(2)), primitive(3), 100));
+  detector_.on_match(2, 1);
+  detector_.on_match(3, 4);
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], 4);
+}
+
+TEST_F(CompositeTest, RemoveStopsFiring) {
+  const CompositeId id = add(disj(primitive(1), primitive(2)));
+  detector_.on_match(1, 1);
+  detector_.remove(id);
+  detector_.on_match(1, 2);
+  EXPECT_EQ(fired_.size(), 1u);
+  EXPECT_THROW(detector_.remove(id), Error);
+  EXPECT_EQ(detector_.subscription_count(), 0u);
+}
+
+TEST_F(CompositeTest, MultipleSubscriptionsIndependent) {
+  add(seq(primitive(1), primitive(2), 5));
+  add(conj(primitive(1), primitive(3), 5));
+  detector_.on_match(1, 1);
+  detector_.on_match(3, 2);  // fires the conj only
+  detector_.on_match(2, 3);  // fires the seq only
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{2, 3}));
+}
+
+TEST_F(CompositeTest, ExpressionToString) {
+  const auto expr = neg(primitive(1), seq(primitive(2), primitive(3), 5), 7);
+  const std::string s = expr->to_string();
+  EXPECT_NE(s.find("seq"), std::string::npos);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("w=5"), std::string::npos);
+}
+
+TEST_F(CompositeTest, Validation) {
+  EXPECT_THROW(seq(nullptr, primitive(1), 5), Error);
+  EXPECT_THROW(seq(primitive(1), primitive(2), 0), Error);
+  EXPECT_THROW(conj(primitive(1), primitive(2), -1), Error);
+  EXPECT_THROW(detector_.add(nullptr, [](const CompositeFiring&) {}), Error);
+  EXPECT_THROW(detector_.add(primitive(1), nullptr), Error);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,107 @@
+// Tests for the profile covering (subsumption) relation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "profile/covering.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class CoveringTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+
+  Profile parse(std::string_view text) {
+    return parse_profile(schema_, text);
+  }
+};
+
+TEST_F(CoveringTest, WiderRangeCoversNarrower) {
+  EXPECT_TRUE(covers(parse("temperature >= 30"), parse("temperature >= 35")));
+  EXPECT_FALSE(covers(parse("temperature >= 35"), parse("temperature >= 30")));
+}
+
+TEST_F(CoveringTest, DontCareCoversEverything) {
+  EXPECT_TRUE(covers(parse("*"), parse("temperature >= 35")));
+  EXPECT_FALSE(covers(parse("temperature >= 35"), parse("*")));
+  EXPECT_TRUE(covers(parse("*"), parse("*")));
+}
+
+TEST_F(CoveringTest, ConjunctionsCoverAttributeWise) {
+  const Profile general = parse("temperature >= 30 && humidity >= 80");
+  const Profile specific = parse("temperature >= 35 && humidity >= 90");
+  EXPECT_TRUE(covers(general, specific));
+  EXPECT_FALSE(covers(specific, general));
+
+  // Extra constraint on the specific side still covered; the reverse not.
+  const Profile tighter =
+      parse("temperature >= 35 && humidity >= 90 && radiation in [40,50]");
+  EXPECT_TRUE(covers(general, tighter));
+  EXPECT_FALSE(covers(tighter, general));
+}
+
+TEST_F(CoveringTest, DisjointRangesDoNotCover) {
+  EXPECT_FALSE(
+      covers(parse("temperature <= -20"), parse("temperature >= 30")));
+}
+
+TEST_F(CoveringTest, CoveringIsSemanticallySound) {
+  // Property: covers(A, B) implies every matching event of B matches A.
+  const std::vector<Profile> profiles = {
+      parse("temperature >= 30"),
+      parse("temperature >= 35 && humidity >= 90"),
+      parse("humidity >= 80"),
+      parse("radiation in [40, 100]"),
+      parse("*"),
+      parse("temperature in [-30,-20] && humidity <= 5"),
+  };
+  for (const Profile& a : profiles) {
+    for (const Profile& b : profiles) {
+      if (!covers(a, b)) continue;
+      for (std::int64_t t : {-30, -25, 0, 30, 35, 50}) {
+        for (std::int64_t h : {0, 5, 80, 90, 100}) {
+          for (std::int64_t r : {1, 40, 100}) {
+            const Event e = Event::from_pairs(
+                schema_,
+                {{"temperature", t}, {"humidity", h}, {"radiation", r}});
+            if (b.matches(e)) {
+              EXPECT_TRUE(a.matches(e))
+                  << a.to_string() << " claimed to cover " << b.to_string();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CoveringTest, CoveringSubsetKeepsMostGeneral) {
+  const std::vector<Profile> profiles = {
+      parse("temperature >= 35"),              // covered by #2
+      parse("temperature >= 35 && humidity >= 90"),  // covered by #0 and #2
+      parse("temperature >= 30"),              // most general
+      parse("radiation in [40, 50]"),          // independent
+  };
+  const auto kept = covering_subset(profiles);
+  EXPECT_EQ(kept, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST_F(CoveringTest, EquivalentProfilesKeepFirst) {
+  const std::vector<Profile> profiles = {
+      parse("temperature >= 35"),
+      parse("temperature in [35, 50]"),  // same accepted set
+  };
+  const auto kept = covering_subset(profiles);
+  EXPECT_EQ(kept, (std::vector<std::size_t>{0}));
+}
+
+TEST_F(CoveringTest, SchemaMismatchRejected) {
+  const SchemaPtr other = testutil::example1_schema();
+  EXPECT_THROW(
+      covers(parse("*"), parse_profile(other, "temperature >= 35")), Error);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,119 @@
+// Tests for the elementary subrange decomposition (≤ 2p−1 subranges + D_0).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tree/decomposition.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Decomposition, NoConstraintsYieldsOneZeroCell) {
+  const auto d = decompose({0, 9}, {});
+  ASSERT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.cells[0].interval, Interval(0, 9));
+  EXPECT_TRUE(d.cells[0].is_zero());
+  EXPECT_EQ(d.zero_size(), 10);
+  EXPECT_EQ(d.covered_cell_count(), 0u);
+}
+
+TEST(Decomposition, OverlappingRangesSplitAtBoundaries) {
+  // Paper Fig. 1: overlapping profile ranges create subranges.
+  const IntervalSet a({{2, 7}});
+  const IntervalSet b({{5, 9}});
+  const auto d = decompose({0, 9}, {&a, &b});
+  // Cells: [0,1] zero, [2,4] {a}, [5,7] {a,b}, [8,9] {b}.
+  ASSERT_EQ(d.cells.size(), 4u);
+  EXPECT_EQ(d.cells[0].interval, Interval(0, 1));
+  EXPECT_TRUE(d.cells[0].is_zero());
+  EXPECT_EQ(d.cells[1].interval, Interval(2, 4));
+  EXPECT_EQ(d.cells[1].accepters, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(d.cells[2].interval, Interval(5, 7));
+  EXPECT_EQ(d.cells[2].accepters, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(d.cells[3].interval, Interval(8, 9));
+  EXPECT_EQ(d.cells[3].accepters, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(d.zero_size(), 2);
+  EXPECT_EQ(d.zero_subdomain(), IntervalSet({{0, 1}}));
+}
+
+TEST(Decomposition, IdenticalConstraintsMergeIntoOneCell) {
+  const IntervalSet a({{3, 6}});
+  const IntervalSet b({{3, 6}});
+  const auto d = decompose({0, 9}, {&a, &b});
+  ASSERT_EQ(d.cells.size(), 3u);
+  EXPECT_EQ(d.cells[1].accepters, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(d.covered_cell_count(), 1u);
+}
+
+TEST(Decomposition, MultiIntervalConstraint) {
+  const IntervalSet a({{0, 2}, {8, 9}});  // e.g. an "outside" predicate
+  const auto d = decompose({0, 9}, {&a});
+  ASSERT_EQ(d.cells.size(), 3u);
+  EXPECT_FALSE(d.cells[0].is_zero());
+  EXPECT_TRUE(d.cells[1].is_zero());
+  EXPECT_FALSE(d.cells[2].is_zero());
+}
+
+TEST(Decomposition, LocateFindsContainingCell) {
+  const IntervalSet a({{2, 7}});
+  const IntervalSet b({{5, 9}});
+  const auto d = decompose({0, 9}, {&a, &b});
+  EXPECT_EQ(d.locate(0), 0u);
+  EXPECT_EQ(d.locate(2), 1u);
+  EXPECT_EQ(d.locate(6), 2u);
+  EXPECT_EQ(d.locate(9), 3u);
+}
+
+TEST(Decomposition, EmptyUniverseRejected) {
+  EXPECT_THROW(decompose(Interval{}, {}), Error);
+}
+
+// Property: for p random interval constraints, the number of covered cells
+// never exceeds 2p−1 (the paper's bound for single-interval range tests),
+// cells tile the universe exactly, and accepter sets are point-wise correct.
+class DecompositionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DecompositionProperty, TilesAndBoundsHold) {
+  Rng rng(GetParam());
+  const Interval universe{0, 99};
+  const std::size_t p = 1 + rng.below(12);
+  std::vector<IntervalSet> storage;
+  storage.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const DomainIndex lo = rng.range(0, 99);
+    const DomainIndex hi = rng.range(lo, 99);
+    storage.push_back(IntervalSet::single({lo, hi}));
+  }
+  std::vector<const IntervalSet*> constraints;
+  for (const auto& s : storage) constraints.push_back(&s);
+
+  const auto d = decompose(universe, constraints);
+
+  // Tiling: cells are contiguous and cover the universe.
+  EXPECT_EQ(d.cells.front().interval.lo, universe.lo);
+  EXPECT_EQ(d.cells.back().interval.hi, universe.hi);
+  for (std::size_t i = 1; i < d.cells.size(); ++i) {
+    EXPECT_EQ(d.cells[i].interval.lo, d.cells[i - 1].interval.hi + 1);
+  }
+
+  // Paper bound: at most 2p−1 referenced subranges.
+  EXPECT_LE(d.covered_cell_count(), 2 * p - 1);
+
+  // Point-wise accepter correctness on every value.
+  for (DomainIndex v = universe.lo; v <= universe.hi; ++v) {
+    const Cell& cell = d.cells[d.locate(v)];
+    for (std::uint32_t c = 0; c < p; ++c) {
+      const bool in_cell =
+          std::find(cell.accepters.begin(), cell.accepters.end(), c) !=
+          cell.accepters.end();
+      EXPECT_EQ(in_cell, storage[c].contains(v)) << "v=" << v << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DecompositionProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,139 @@
+// Unit and property tests for DiscreteDistribution and the shape library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+#include "dist/shapes.hpp"
+
+namespace genas {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  const auto d = DiscreteDistribution::from_weights({1, 3, 4});
+  EXPECT_DOUBLE_EQ(d.pmf(0), 0.125);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.375);
+  EXPECT_DOUBLE_EQ(d.pmf(2), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(2), 1.0);
+}
+
+TEST(DiscreteDistribution, ConstructionValidation) {
+  EXPECT_THROW(DiscreteDistribution::from_weights({}), Error);
+  EXPECT_THROW(DiscreteDistribution::from_weights({0, 0}), Error);
+  EXPECT_THROW(DiscreteDistribution::from_weights({1, -1}), Error);
+  EXPECT_THROW(DiscreteDistribution::uniform(0), Error);
+}
+
+TEST(DiscreteDistribution, MassOverIntervalsAndSets) {
+  const auto d = DiscreteDistribution::from_weights({1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(d.mass(Interval{0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(d.mass(Interval{0, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(d.mass(Interval{2, 9}), 0.5);   // clipped
+  EXPECT_DOUBLE_EQ(d.mass(Interval{}), 0.0);       // empty
+  EXPECT_DOUBLE_EQ(d.mass(IntervalSet({{0, 0}, {3, 3}})), 0.5);
+}
+
+TEST(DiscreteDistribution, QuantileInvertsCdf) {
+  const auto d = DiscreteDistribution::from_weights({1, 0, 3});
+  EXPECT_EQ(d.quantile(0.0), 0);
+  EXPECT_EQ(d.quantile(0.2), 0);
+  EXPECT_EQ(d.quantile(0.26), 2);
+  EXPECT_EQ(d.quantile(0.999), 2);
+}
+
+TEST(DiscreteDistribution, L1DistanceAndMix) {
+  const auto a = DiscreteDistribution::from_weights({1, 0});
+  const auto b = DiscreteDistribution::from_weights({0, 1});
+  EXPECT_DOUBLE_EQ(DiscreteDistribution::l1_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(DiscreteDistribution::l1_distance(a, b), 2.0);
+  const auto m = a.mix(b, 0.5);
+  EXPECT_DOUBLE_EQ(m.pmf(0), 0.5);
+  EXPECT_THROW(a.mix(DiscreteDistribution::uniform(3), 0.5), Error);
+  EXPECT_THROW(a.mix(b, 1.5), Error);
+}
+
+TEST(DiscreteDistribution, MeanIndex) {
+  const auto d = DiscreteDistribution::from_weights({0, 0, 1});
+  EXPECT_DOUBLE_EQ(d.mean_index(), 2.0);
+}
+
+// Shape sweep: every shape must be a proper distribution on any size.
+class ShapeNormalization : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ShapeNormalization, AllShapesSumToOne) {
+  const std::int64_t d = GetParam();
+  const std::vector<DiscreteDistribution> all = {
+      shapes::equal(d),
+      shapes::gauss(d),
+      shapes::relocated_gauss(d, true),
+      shapes::relocated_gauss(d, false),
+      shapes::falling(d),
+      shapes::rising(d),
+      shapes::peak(d, 0.9, 0.05, 0.95),
+      shapes::percent_peak(d, 0.9, false),
+      shapes::multi_peak(d, {{0.2, 0.1, 1.0}, {0.8, 0.05, 0.5}}, 0.1),
+      shapes::steps(d, {1, 5, 2}),
+  };
+  for (const auto& dist : all) {
+    ASSERT_EQ(dist.size(), d);
+    double total = 0.0;
+    for (DomainIndex i = 0; i < d; ++i) {
+      ASSERT_GE(dist.pmf(i), 0.0);
+      total += dist.pmf(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShapeNormalization,
+                         ::testing::Values<std::int64_t>(1, 2, 7, 100, 1000));
+
+TEST(Shapes, GaussIsCentredAndSymmetric) {
+  const auto g = shapes::gauss(101, 0.5, 0.1);
+  EXPECT_GT(g.pmf(50), g.pmf(30));
+  EXPECT_NEAR(g.pmf(40), g.pmf(60), 1e-9);
+}
+
+TEST(Shapes, RelocatedGaussShiftsMass) {
+  const auto low = shapes::relocated_gauss(100, false);
+  const auto high = shapes::relocated_gauss(100, true);
+  EXPECT_GT(low.mass(Interval{0, 49}), 0.8);
+  EXPECT_GT(high.mass(Interval{50, 99}), 0.8);
+}
+
+TEST(Shapes, FallingAndRisingAreMonotone) {
+  const auto f = shapes::falling(50);
+  const auto r = shapes::rising(50);
+  for (DomainIndex i = 1; i < 50; ++i) {
+    EXPECT_LE(f.pmf(i), f.pmf(i - 1) + 1e-12);
+    EXPECT_GE(r.pmf(i), r.pmf(i - 1) - 1e-12);
+  }
+}
+
+TEST(Shapes, PeakCarriesRequestedMass) {
+  // "95% high": 95% of the mass within the top 5% band.
+  const auto p = shapes::percent_peak(200, 0.95, true, 0.05);
+  EXPECT_NEAR(p.mass(Interval{190, 199}), 0.95, 1e-9);
+  const auto q = shapes::percent_peak(200, 0.90, false, 0.05);
+  EXPECT_NEAR(q.mass(Interval{0, 9}), 0.90, 1e-9);
+}
+
+TEST(Shapes, PeakNarrowerThanBucketDegeneratesToPoint) {
+  const auto p = shapes::peak(4, 0.5, 0.01, 0.7);
+  double total = 0;
+  for (DomainIndex i = 0; i < 4; ++i) total += p.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(p.pmf(2), 0.7, 1e-9);
+}
+
+TEST(Shapes, Validation) {
+  EXPECT_THROW(shapes::gauss(10, 0.5, 0.0), Error);
+  EXPECT_THROW(shapes::peak(10, 0.5, 0.0, 0.5), Error);
+  EXPECT_THROW(shapes::peak(10, 0.5, 0.1, 1.5), Error);
+  EXPECT_THROW(shapes::multi_peak(10, {}, 0.0), Error);
+  EXPECT_THROW(shapes::steps(10, {}), Error);
+}
+
+}  // namespace
+}  // namespace genas

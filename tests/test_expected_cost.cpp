@@ -1,0 +1,189 @@
+// Tests for the exact expected-cost traversal (TV4) and its agreement with
+// Monte-Carlo measurement (TV3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/shapes.hpp"
+#include "sim/scenarios.hpp"
+#include "test_util.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace genas {
+namespace {
+
+TEST(ExpectedCost, Example2ThroughTheFullStack) {
+  // Single attribute a1 = temperature [-30,50] with the three subranges of
+  // Example 2, realized as three profiles. Event distribution: x1 2%,
+  // x0 17%, x2 1%, x3 80% (uniform inside each subrange).
+  const SchemaPtr schema =
+      SchemaBuilder().add_integer("a1", -30, 50).build();
+  ProfileSet profiles(schema);
+  profiles.add(ProfileBuilder(schema).between("a1", -30, -20).build());
+  profiles.add(ProfileBuilder(schema).between("a1", 30, 34).build());
+  profiles.add(ProfileBuilder(schema).between("a1", 35, 50).build());
+
+  std::vector<double> weights(81, 0.0);
+  const auto spread = [&](DomainIndex lo, DomainIndex hi, double mass) {
+    for (DomainIndex v = lo; v <= hi; ++v) {
+      weights[static_cast<std::size_t>(v)] =
+          mass / static_cast<double>(hi - lo + 1);
+    }
+  };
+  spread(0, 10, 0.02);   // x1
+  spread(11, 59, 0.17);  // x0
+  spread(60, 64, 0.01);  // x2
+  spread(65, 80, 0.80);  // x3
+  const JointDistribution joint = JointDistribution::independent(
+      schema, {DiscreteDistribution::from_weights(weights)});
+
+  // V1 (event order): R = 1.21 (paper Example 2).
+  TreeConfig v1;
+  v1.value_order = ValueOrder::kEventProbability;
+  v1.event_distribution = joint;
+  const ProfileTree tree_v1 = ProfileTree::build(profiles, v1);
+  EXPECT_NEAR(expected_cost(tree_v1, joint).ops_per_event, 1.21, 1e-9);
+
+  // Binary search: R = 1.99.
+  TreeConfig binary;
+  binary.strategy = SearchStrategy::kBinary;
+  binary.event_distribution = joint;
+  const ProfileTree tree_bin = ProfileTree::build(profiles, binary);
+  EXPECT_NEAR(expected_cost(tree_bin, joint).ops_per_event, 1.99, 1e-9);
+
+  // Match probability = P(W) = 0.83; one profile per match.
+  const CostReport report = expected_cost(tree_v1, joint);
+  EXPECT_NEAR(report.match_probability, 0.83, 1e-9);
+  EXPECT_NEAR(report.pairs_per_event, 0.83, 1e-9);
+}
+
+TEST(ExpectedCost, AgreesWithEmpiricalMeasurement) {
+  // TV4 (closed form) vs TV3 (sampled) on a non-trivial workload.
+  auto workload = sim::multi_attribute(3, 40, 120, "gauss", "d7", 0.3, 11);
+  TreeConfig config;
+  config.value_order = ValueOrder::kEventProbability;
+  config.event_distribution = workload.events;
+  const ProfileTree tree = ProfileTree::build(workload.profiles, config);
+
+  const CostReport exact = expected_cost(tree, workload.events);
+  EventSampler sampler(workload.events, 99);
+  const CostReport measured = empirical_cost(tree, sampler, 60000);
+
+  EXPECT_NEAR(measured.ops_per_event, exact.ops_per_event,
+              0.03 * exact.ops_per_event + 0.02);
+  EXPECT_NEAR(measured.match_probability, exact.match_probability, 0.02);
+  EXPECT_NEAR(measured.pairs_per_event, exact.pairs_per_event,
+              0.05 * exact.pairs_per_event + 0.02);
+}
+
+TEST(ExpectedCost, PerProfileMetricsAgreeWithSampling) {
+  auto workload = sim::single_attribute(60, 40, "gauss", "d9", 5);
+  TreeConfig config;
+  config.value_order = ValueOrder::kEventProbability;
+  config.event_distribution = workload.events;
+  const ProfileTree tree = ProfileTree::build(workload.profiles, config);
+
+  const CostReport exact = expected_cost(tree, workload.events);
+  EventSampler sampler(workload.events, 17);
+  const CostReport measured = empirical_cost(tree, sampler, 80000);
+
+  ASSERT_EQ(exact.per_profile_ops.size(), measured.per_profile_ops.size());
+  for (std::size_t i = 0; i < exact.per_profile_ops.size(); ++i) {
+    if (std::isnan(exact.per_profile_ops[i])) continue;
+    if (std::isnan(measured.per_profile_ops[i])) continue;  // rare profile
+    EXPECT_NEAR(measured.per_profile_ops[i], exact.per_profile_ops[i],
+                0.15 * exact.per_profile_ops[i] + 0.3)
+        << "profile " << i;
+  }
+  EXPECT_NEAR(measured.ops_per_profile, exact.ops_per_profile,
+              0.1 * exact.ops_per_profile + 0.3);
+}
+
+TEST(ExpectedCost, MixtureDistributionHandledExactly) {
+  // Correlated events: two regimes, each concentrated on a different
+  // attribute region. The DAG propagation must keep per-component reach.
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("x", 0, 19)
+                               .add_integer("y", 0, 19)
+                               .build();
+  ProfileSet profiles(schema);
+  profiles.add(ProfileBuilder(schema)
+                   .between("x", 0, 4)
+                   .between("y", 0, 4)
+                   .build());
+  profiles.add(ProfileBuilder(schema)
+                   .between("x", 15, 19)
+                   .between("y", 15, 19)
+                   .build());
+
+  const auto low = shapes::percent_peak(20, 1.0, false, 0.25);
+  const auto high = shapes::percent_peak(20, 1.0, true, 0.25);
+  const JointDistribution joint = JointDistribution::mixture(
+      schema, {{low, low}, {high, high}}, {0.5, 0.5});
+
+  TreeConfig config;
+  config.event_distribution = joint;
+  const ProfileTree tree = ProfileTree::build(profiles, config);
+  const CostReport exact = expected_cost(tree, joint);
+  // Under perfect correlation every event matches exactly one profile.
+  EXPECT_NEAR(exact.match_probability, 1.0, 1e-9);
+  EXPECT_NEAR(exact.pairs_per_event, 1.0, 1e-9);
+
+  EventSampler sampler(joint, 123);
+  const CostReport measured = empirical_cost(tree, sampler, 30000);
+  EXPECT_NEAR(measured.ops_per_event, exact.ops_per_event,
+              0.03 * exact.ops_per_event + 0.02);
+  EXPECT_NEAR(measured.match_probability, 1.0, 1e-9);
+}
+
+TEST(ExpectedCost, PrecisionRunStopsAtRequestedPrecision) {
+  auto workload = sim::single_attribute(50, 60, "equal", "gauss", 3);
+  TreeConfig config;
+  config.event_distribution = workload.events;
+  const ProfileTree tree = ProfileTree::build(workload.profiles, config);
+
+  EventSampler sampler(workload.events, 5);
+  const PrecisionRun run =
+      empirical_cost_to_precision(tree, sampler, 0.05, 200, 200000);
+  EXPECT_GE(run.events_posted, 200u);
+  EXPECT_LE(run.events_posted, 200000u);
+
+  const CostReport exact = expected_cost(tree, workload.events);
+  // 95% CI at 5% relative width: generous 10% tolerance.
+  EXPECT_NEAR(run.report.ops_per_event, exact.ops_per_event,
+              0.1 * exact.ops_per_event + 0.05);
+}
+
+TEST(ExpectedCost, PerAttributeBreakdownSumsToTotal) {
+  // Per-level decomposition (paper Example 3's E(X_j | ...) terms).
+  auto workload = sim::multi_attribute(3, 30, 100, "gauss", "d11", 0.2, 21);
+  TreeConfig config;
+  config.value_order = ValueOrder::kEventProbability;
+  config.event_distribution = workload.events;
+  const ProfileTree tree = ProfileTree::build(workload.profiles, config);
+  const CostReport report = expected_cost(tree, workload.events);
+  ASSERT_EQ(report.per_attribute_ops.size(), 3u);
+  double sum = 0.0;
+  for (const double v : report.per_attribute_ops) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, report.ops_per_event, 1e-9);
+  // The root attribute is visited by every event, so its share is positive.
+  EXPECT_GT(report.per_attribute_ops[tree.nodes().back().attribute], 0.0);
+}
+
+TEST(ExpectedCost, EmptyTreeReportsZero) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("x", 0, 9).build();
+  ProfileSet empty(schema);
+  const ProfileTree tree = ProfileTree::build(empty, {});
+  const JointDistribution joint =
+      JointDistribution::independent(schema, {shapes::equal(10)});
+  const CostReport report = expected_cost(tree, joint);
+  EXPECT_DOUBLE_EQ(report.ops_per_event, 0.0);
+  EXPECT_DOUBLE_EQ(report.match_probability, 0.0);
+  EXPECT_DOUBLE_EQ(report.ops_per_profile, 0.0);
+}
+
+}  // namespace
+}  // namespace genas

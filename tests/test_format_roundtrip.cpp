@@ -1,0 +1,114 @@
+// Round-trip property tests: format_profile / format_event output must
+// re-parse to semantically identical objects on random workloads.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/sampler.hpp"
+#include "profile/parser.hpp"
+#include "sim/workload.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+bool same_accepted_sets(const Profile& a, const Profile& b) {
+  const Schema& schema = *a.schema();
+  for (AttributeId id = 0; id < schema.attribute_count(); ++id) {
+    const Predicate* pa = a.predicate(id);
+    const Predicate* pb = b.predicate(id);
+    if ((pa == nullptr) != (pb == nullptr)) return false;
+    if (pa != nullptr && !(pa->accepted() == pb->accepted())) return false;
+  }
+  return true;
+}
+
+TEST(FormatRoundTrip, HandWrittenProfiles) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const std::vector<std::string> expressions = {
+      "temperature >= 35 && humidity >= 90",
+      "temperature in [-30, -20]",
+      "radiation not in [35, 50]",
+      "humidity in {1, 5, 9}",
+      "humidity != 50",
+      "*",
+  };
+  for (const std::string& text : expressions) {
+    const Profile original = parse_profile(schema, text);
+    const std::string rendered = format_profile(original);
+    const Profile reparsed = parse_profile(schema, rendered);
+    EXPECT_TRUE(same_accepted_sets(original, reparsed))
+        << text << " -> " << rendered;
+  }
+}
+
+TEST(FormatRoundTrip, CategoricalProfiles) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_categorical("color", {"red", "green",
+                                                          "blue", "cyan"})
+                               .add_integer("n", 0, 9)
+                               .build();
+  const std::vector<std::string> expressions = {
+      "color = green",
+      "color != red",                 // renders as a point set
+      "color in {red, blue}",
+      "color = cyan && n in [2, 5]",
+  };
+  for (const std::string& text : expressions) {
+    const Profile original = parse_profile(schema, text);
+    const std::string rendered = format_profile(original);
+    const Profile reparsed = parse_profile(schema, rendered);
+    EXPECT_TRUE(same_accepted_sets(original, reparsed))
+        << text << " -> " << rendered;
+  }
+}
+
+class FormatRoundTripProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatRoundTripProperty, RandomProfilesRoundTrip) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", -20, 20)
+                               .add_integer("b", 0, 99)
+                               .add_integer("c", 5, 34)
+                               .build();
+  ProfileWorkloadOptions options;
+  options.count = 60;
+  options.dont_care_probability = 0.4;
+  options.equality_only = GetParam() % 2 == 0;
+  options.range_width_mean = 0.2;
+  options.seed = GetParam();
+  const ProfileSet profiles = generate_profiles(
+      schema, make_profile_distributions(schema, {"gauss"}), options);
+  for (const ProfileId id : profiles.active_ids()) {
+    const Profile& original = profiles.profile(id);
+    const Profile reparsed =
+        parse_profile(schema, format_profile(original));
+    EXPECT_TRUE(same_accepted_sets(original, reparsed))
+        << format_profile(original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FormatRoundTripProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(FormatRoundTrip, EventsRoundTripExactly) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("x", -5, 5)
+                               .add_categorical("s", {"on", "off"})
+                               .add_real("r", 0.0, 1.0, 0.25)
+                               .build();
+  const JointDistribution joint = JointDistribution::independent(
+      schema, {DiscreteDistribution::uniform(11),
+               DiscreteDistribution::uniform(2),
+               DiscreteDistribution::uniform(5)});
+  EventSampler sampler(joint, 5);
+  for (int i = 0; i < 200; ++i) {
+    const Event original = sampler.sample();
+    const Event reparsed = parse_event(schema, format_event(original));
+    EXPECT_EQ(reparsed.indices(), original.indices())
+        << format_event(original);
+  }
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,93 @@
+// Tests for the bounded event history (paper §5: event history drives the
+// distribution estimate).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+#include "ens/history.hpp"
+
+namespace genas {
+namespace {
+
+SchemaPtr schema1() {
+  return SchemaBuilder().add_integer("x", 0, 9).build();
+}
+
+Event ev(const SchemaPtr& schema, DomainIndex v, Timestamp t = 0) {
+  return Event::from_indices(schema, {v}, t);
+}
+
+TEST(EventHistory, RecordsUpToCapacityThenEvicts) {
+  const SchemaPtr schema = schema1();
+  EventHistory history(schema, 3);
+  for (DomainIndex v = 0; v < 5; ++v) history.record(ev(schema, v, v));
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.recorded(), 5u);
+
+  // Window must be the newest three, oldest first.
+  std::vector<DomainIndex> seen;
+  history.for_each([&](const Event& e) { seen.push_back(e.index(0)); });
+  EXPECT_EQ(seen, (std::vector<DomainIndex>{2, 3, 4}));
+}
+
+TEST(EventHistory, EmpiricalDistributionMatchesWindow) {
+  const SchemaPtr schema = schema1();
+  EventHistory history(schema, 4);
+  for (const DomainIndex v : {7, 7, 7, 2}) history.record(ev(schema, v));
+  const JointDistribution joint = history.empirical_distribution(0.0);
+  EXPECT_DOUBLE_EQ(joint.marginal(0).pmf(7), 0.75);
+  EXPECT_DOUBLE_EQ(joint.marginal(0).pmf(2), 0.25);
+  EXPECT_DOUBLE_EQ(joint.marginal(0).pmf(0), 0.0);
+}
+
+TEST(EventHistory, EvictionChangesTheEstimate) {
+  const SchemaPtr schema = schema1();
+  EventHistory history(schema, 2);
+  history.record(ev(schema, 0));
+  history.record(ev(schema, 0));
+  history.record(ev(schema, 9));  // evicts one 0
+  const JointDistribution joint = history.empirical_distribution(0.0);
+  EXPECT_DOUBLE_EQ(joint.marginal(0).pmf(0), 0.5);
+  EXPECT_DOUBLE_EQ(joint.marginal(0).pmf(9), 0.5);
+}
+
+TEST(EventHistory, ReplayWarmsAnEstimator) {
+  const SchemaPtr schema = schema1();
+  EventHistory history(schema, 100);
+  EventSampler sampler(
+      JointDistribution::independent(schema,
+                                     {shapes::percent_peak(10, 1.0, true, 0.1)}),
+      1);
+  for (int i = 0; i < 100; ++i) history.record(sampler.sample());
+
+  SchemaEstimator estimator(schema);
+  history.replay_into(estimator);
+  EXPECT_EQ(estimator.observations(), 100u);
+  EXPECT_GT(estimator.attribute(0).estimate(0.0).pmf(9), 0.9);
+}
+
+TEST(EventHistory, ClearEmptiesTheWindowOnly) {
+  const SchemaPtr schema = schema1();
+  EventHistory history(schema, 2);
+  history.record(ev(schema, 1));
+  history.clear();
+  EXPECT_EQ(history.size(), 0u);
+  EXPECT_EQ(history.recorded(), 1u);  // lifetime counter survives
+  EXPECT_THROW(history.empirical_distribution(0.0), Error);
+  history.record(ev(schema, 2));  // usable after clear
+  EXPECT_EQ(history.size(), 1u);
+}
+
+TEST(EventHistory, Validation) {
+  const SchemaPtr schema = schema1();
+  EXPECT_THROW(EventHistory(nullptr, 4), Error);
+  EXPECT_THROW(EventHistory(schema, 0), Error);
+  EventHistory history(schema, 2);
+  const SchemaPtr other = schema1();
+  EXPECT_THROW(history.record(ev(other, 0)), Error);
+  EXPECT_THROW(history.for_each(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace genas

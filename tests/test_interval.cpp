@@ -1,0 +1,131 @@
+// Unit and property tests for Interval and IntervalSet algebra.
+#include <gtest/gtest.h>
+
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "profile/interval_set.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  const Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.size(), 0);
+  EXPECT_FALSE(iv.contains(0));
+}
+
+TEST(Interval, PointAndSize) {
+  const Interval p = Interval::point(7);
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_TRUE(p.contains(7));
+  EXPECT_FALSE(p.contains(6));
+  EXPECT_EQ(Interval(3, 9).size(), 7);
+}
+
+TEST(Interval, ContainsAndOverlaps) {
+  const Interval a(0, 10);
+  const Interval b(5, 15);
+  const Interval c(11, 20);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.contains(Interval(2, 8)));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_TRUE(a.contains(Interval()));  // empty is contained everywhere
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(Interval(0, 10).intersect({5, 15}), Interval(5, 10));
+  EXPECT_TRUE(Interval(0, 4).intersect({5, 9}).empty());
+}
+
+TEST(Interval, AdjacentBefore) {
+  EXPECT_TRUE(Interval(0, 4).adjacent_before({5, 9}));
+  EXPECT_FALSE(Interval(0, 4).adjacent_before({6, 9}));
+  EXPECT_FALSE(Interval(0, 4).adjacent_before({4, 9}));
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(Interval(2, 5).to_string(), "[2,5]");
+  EXPECT_EQ(Interval().to_string(), "[]");
+}
+
+TEST(IntervalSet, CanonicalizesOverlapsAndAdjacency) {
+  const IntervalSet set({{5, 9}, {0, 4}, {12, 15}, {8, 11}});
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], Interval(0, 15));
+}
+
+TEST(IntervalSet, DropsEmptyIntervals) {
+  const IntervalSet set({{3, 2}, {5, 5}});
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(IntervalSet, ContainsBinarySearch) {
+  const IntervalSet set({{0, 3}, {10, 12}, {20, 20}});
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(11));
+  EXPECT_TRUE(set.contains(20));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_FALSE(set.contains(19));
+  EXPECT_FALSE(set.contains(21));
+}
+
+TEST(IntervalSet, CoversAndOverlaps) {
+  const IntervalSet set({{0, 5}, {10, 15}});
+  EXPECT_TRUE(set.covers({1, 4}));
+  EXPECT_FALSE(set.covers({4, 11}));  // gap in between
+  EXPECT_TRUE(set.overlaps({5, 9}));
+  EXPECT_FALSE(set.overlaps({6, 9}));
+}
+
+TEST(IntervalSet, UniteIntersectComplementSmall) {
+  const IntervalSet a({{0, 5}, {10, 15}});
+  const IntervalSet b({{4, 11}});
+  EXPECT_EQ(a.unite(b), IntervalSet({{0, 15}}));
+  EXPECT_EQ(a.intersect(b), IntervalSet({{4, 5}, {10, 11}}));
+  EXPECT_EQ(a.complement({0, 20}), IntervalSet({{6, 9}, {16, 20}}));
+  EXPECT_EQ(IntervalSet().complement({0, 3}), IntervalSet({{0, 3}}));
+}
+
+// Property: set algebra agrees with the point-wise membership semantics.
+class IntervalSetAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+IntervalSet random_set(Rng& rng, DomainIndex universe_hi) {
+  std::vector<Interval> parts;
+  const std::size_t count = 1 + rng.below(5);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DomainIndex lo = rng.range(0, universe_hi);
+    const DomainIndex hi = rng.range(lo, universe_hi);
+    parts.push_back({lo, hi});
+  }
+  return IntervalSet(std::move(parts));
+}
+
+TEST_P(IntervalSetAlgebra, MatchesPointwiseSemantics) {
+  Rng rng(GetParam());
+  const Interval universe{0, 60};
+  const IntervalSet a = random_set(rng, universe.hi);
+  const IntervalSet b = random_set(rng, universe.hi);
+  const IntervalSet u = a.unite(b);
+  const IntervalSet i = a.intersect(b);
+  const IntervalSet c = a.complement(universe);
+  for (DomainIndex v = universe.lo; v <= universe.hi; ++v) {
+    const bool in_a = a.contains(v);
+    const bool in_b = b.contains(v);
+    EXPECT_EQ(u.contains(v), in_a || in_b) << "v=" << v;
+    EXPECT_EQ(i.contains(v), in_a && in_b) << "v=" << v;
+    EXPECT_EQ(c.contains(v), !in_a) << "v=" << v;
+  }
+  // Canonical form: disjoint, non-adjacent, sorted.
+  for (std::size_t k = 1; k < u.intervals().size(); ++k) {
+    EXPECT_GT(u.intervals()[k].lo, u.intervals()[k - 1].hi + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,108 @@
+// Tests for JointDistribution: independent products, mixtures, and exact
+// conditional probabilities.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/joint.hpp"
+#include "dist/shapes.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class JointTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = SchemaBuilder()
+                          .add_integer("x", 0, 9)
+                          .add_integer("y", 0, 4)
+                          .build();
+};
+
+TEST_F(JointTest, IndependentMarginalsRoundTrip) {
+  const auto joint = JointDistribution::independent(
+      schema_, {shapes::falling(10), shapes::rising(5)});
+  EXPECT_TRUE(joint.is_independent());
+  EXPECT_EQ(joint.component_count(), 1u);
+  EXPECT_NEAR(DiscreteDistribution::l1_distance(joint.marginal(0),
+                                                shapes::falling(10)),
+              0.0, 1e-12);
+}
+
+TEST_F(JointTest, ValidationErrors) {
+  EXPECT_THROW(JointDistribution::independent(schema_, {shapes::equal(10)}),
+               Error);  // one marginal missing
+  EXPECT_THROW(JointDistribution::independent(
+                   schema_, {shapes::equal(10), shapes::equal(9)}),
+               Error);  // size mismatch
+  EXPECT_THROW(JointDistribution::mixture(schema_, {}, {}), Error);
+  EXPECT_THROW(
+      JointDistribution::mixture(
+          schema_, {{shapes::equal(10), shapes::equal(5)}}, {0.0}),
+      Error);  // zero total weight
+}
+
+TEST_F(JointTest, IndependentProbabilityIsProductOfMarginals) {
+  const auto joint = JointDistribution::independent(
+      schema_, {shapes::falling(10), shapes::rising(5)});
+  const double p = joint.probability({0, 4});
+  EXPECT_NEAR(p, shapes::falling(10).pmf(0) * shapes::rising(5).pmf(4), 1e-12);
+}
+
+TEST_F(JointTest, IndependentConditionalIsUnchanged) {
+  const auto joint = JointDistribution::independent(
+      schema_, {shapes::falling(10), shapes::rising(5)});
+  const auto root = joint.root();
+  const double before = root.probability(1, {0, 1});
+  const auto conditioned = root.given(0, {0, 2});
+  EXPECT_NEAR(conditioned.probability(1, {0, 1}), before, 1e-12);
+}
+
+TEST_F(JointTest, MixtureMarginalIsWeightedAverage) {
+  const auto joint = JointDistribution::mixture(
+      schema_,
+      {{shapes::percent_peak(10, 1.0, false, 0.1), shapes::equal(5)},
+       {shapes::percent_peak(10, 1.0, true, 0.1), shapes::equal(5)}},
+      {0.25, 0.75});
+  const auto m = joint.marginal(0);
+  EXPECT_NEAR(m.mass(Interval{0, 0}), 0.25, 1e-9);
+  EXPECT_NEAR(m.mass(Interval{9, 9}), 0.75, 1e-9);
+  EXPECT_NEAR(joint.component_weight(0), 0.25, 1e-12);
+}
+
+TEST_F(JointTest, MixtureConditioningReweightsComponents) {
+  // Component 0 puts x low and y low; component 1 puts x high and y high.
+  // Observing x low must make y low nearly certain — exactly the
+  // correlation structure the conditional tracker must capture.
+  const auto low_x = shapes::percent_peak(10, 1.0, false, 0.1);
+  const auto high_x = shapes::percent_peak(10, 1.0, true, 0.1);
+  const auto low_y = shapes::percent_peak(5, 1.0, false, 0.2);
+  const auto high_y = shapes::percent_peak(5, 1.0, true, 0.2);
+  const auto joint = JointDistribution::mixture(
+      schema_, {{low_x, low_y}, {high_x, high_y}}, {0.5, 0.5});
+
+  const auto root = joint.root();
+  EXPECT_NEAR(root.probability(1, {0, 0}), 0.5, 1e-9);
+  const auto given_low_x = root.given(0, {0, 0});
+  EXPECT_NEAR(given_low_x.probability(1, {0, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(given_low_x.probability(1, {4, 4}), 0.0, 1e-9);
+}
+
+TEST_F(JointTest, ConditioningOnImpossibleIntervalThrows) {
+  const auto joint = JointDistribution::independent(
+      schema_, {shapes::percent_peak(10, 1.0, false, 0.1), shapes::equal(5)});
+  const auto root = joint.root();
+  EXPECT_THROW(root.given(0, {9, 9}), Error);
+}
+
+TEST_F(JointTest, MixtureProbabilitySumsOverComponents) {
+  const auto joint = JointDistribution::mixture(
+      schema_,
+      {{shapes::equal(10), shapes::equal(5)},
+       {shapes::percent_peak(10, 1.0, false, 0.1), shapes::equal(5)}},
+      {0.5, 0.5});
+  EXPECT_NEAR(joint.probability({0, 0}),
+              0.5 * 0.1 * 0.2 + 0.5 * 1.0 * 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace genas

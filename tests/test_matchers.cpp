@@ -1,0 +1,128 @@
+// Cross-matcher agreement: naive, counting, and tree matchers must produce
+// identical matched sets on random workloads.
+#include <gtest/gtest.h>
+
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+#include "match/counting_matcher.hpp"
+#include "match/naive_matcher.hpp"
+#include "match/tree_matcher.hpp"
+#include "sim/workload.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Matchers, CountingHandlesDontCareOnlyProfiles) {
+  const SchemaPtr schema = testutil::example1_schema();
+  ProfileSet set(schema);
+  const ProfileId all = set.add(ProfileBuilder(schema).build());
+  const ProfileId hot =
+      set.add(ProfileBuilder(schema).where("temperature", Op::kGe, 35).build());
+
+  CountingMatcher counting(set);
+  const Event cold = Event::from_pairs(
+      schema, {{"temperature", -30}, {"humidity", 0}, {"radiation", 1}});
+  EXPECT_EQ(counting.match(cold).matched, (std::vector<ProfileId>{all}));
+  const Event warm = Event::from_pairs(
+      schema, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  EXPECT_EQ(counting.match(warm).matched,
+            (std::vector<ProfileId>{all, hot}));
+}
+
+TEST(Matchers, RebuildPicksUpRemovals) {
+  const SchemaPtr schema = testutil::example1_schema();
+  ProfileSet set(schema);
+  const ProfileId a =
+      set.add(ProfileBuilder(schema).where("humidity", Op::kGe, 50).build());
+  const ProfileId b =
+      set.add(ProfileBuilder(schema).where("humidity", Op::kGe, 60).build());
+
+  NaiveMatcher naive(set);
+  CountingMatcher counting(set);
+  const Event wet = Event::from_pairs(
+      schema, {{"temperature", 0}, {"humidity", 90}, {"radiation", 1}});
+  EXPECT_EQ(naive.match(wet).matched, (std::vector<ProfileId>{a, b}));
+
+  set.remove(a);
+  naive.rebuild(set);
+  counting.rebuild(set);
+  EXPECT_EQ(naive.match(wet).matched, (std::vector<ProfileId>{b}));
+  EXPECT_EQ(counting.match(wet).matched, (std::vector<ProfileId>{b}));
+}
+
+class MatcherAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherAgreement, AllThreeMatchersAgree) {
+  const std::uint64_t seed = GetParam();
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", 0, 49)
+                               .add_integer("b", 0, 29)
+                               .add_integer("c", -5, 14)
+                               .build();
+  ProfileWorkloadOptions options;
+  options.count = 200;
+  options.dont_care_probability = 0.4;
+  options.equality_only = seed % 2 == 0;
+  options.range_width_mean = 0.2;
+  options.seed = seed;
+  const ProfileSet profiles = generate_profiles(
+      schema, make_profile_distributions(schema, {"gauss"}), options);
+
+  const JointDistribution joint = make_event_distribution(schema, {"equal"});
+
+  const NaiveMatcher naive(profiles);
+  const CountingMatcher counting(profiles);
+  OrderingPolicy policy;
+  policy.value_order = ValueOrder::kEventProbability;
+  const TreeMatcher tree(profiles, policy, joint);
+
+  EventSampler sampler(joint, seed + 100);
+  for (int i = 0; i < 300; ++i) {
+    const Event event = sampler.sample();
+    const auto expected = naive.match(event).matched;
+    EXPECT_EQ(counting.match(event).matched, expected) << event.to_string();
+    EXPECT_EQ(tree.match(event).matched, expected) << event.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MatcherAgreement,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Matchers, TreeVisitsFarFewerPostingsThanNaiveOnBigSets) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 999).build();
+  ProfileWorkloadOptions options;
+  options.count = 2000;
+  options.seed = 9;
+  const ProfileSet profiles = generate_profiles(
+      schema, make_profile_distributions(schema, {"equal"}), options);
+  const JointDistribution joint = make_event_distribution(schema, {"equal"});
+
+  const NaiveMatcher naive(profiles);
+  OrderingPolicy policy;
+  policy.strategy = SearchStrategy::kBinary;
+  const TreeMatcher tree(profiles, policy, joint);
+
+  EventSampler sampler(joint, 10);
+  std::uint64_t naive_ops = 0;
+  std::uint64_t tree_ops = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Event event = sampler.sample();
+    naive_ops += naive.match(event).operations;
+    tree_ops += tree.match(event).operations;
+  }
+  // Binary tree search is logarithmic in p; naive is linear.
+  EXPECT_LT(tree_ops * 20, naive_ops);
+}
+
+TEST(Matchers, Names) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 9).build();
+  ProfileSet set(schema);
+  set.add(ProfileBuilder(schema).where("a", Op::kEq, 1).build());
+  EXPECT_EQ(NaiveMatcher(set).name(), "naive");
+  EXPECT_EQ(CountingMatcher(set).name(), "counting");
+  EXPECT_EQ(TreeMatcher(set, {}, std::nullopt).name(), "tree");
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,149 @@
+// Tests for the distributed broker overlay (content-based routing with
+// covering, flooding baseline).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/overlay.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+
+  Event make_event(std::int64_t t, std::int64_t h, std::int64_t r) {
+    return Event::from_pairs(
+        schema_, {{"temperature", t}, {"humidity", h}, {"radiation", r}});
+  }
+
+  /// Chain topology: 0 - 1 - 2 - 3.
+  net::OverlayNetwork make_chain(net::RoutingMode mode) {
+    net::OverlayOptions options;
+    options.mode = mode;
+    net::OverlayNetwork net(schema_, options);
+    for (int i = 0; i < 4; ++i) net.add_broker();
+    net.connect(0, 1);
+    net.connect(1, 2);
+    net.connect(2, 3);
+    return net;
+  }
+};
+
+TEST_F(OverlayTest, DeliversAcrossTheOverlay) {
+  for (const auto mode :
+       {net::RoutingMode::kFlooding, net::RoutingMode::kRouting,
+        net::RoutingMode::kRoutingCovered}) {
+    net::OverlayNetwork net = make_chain(mode);
+    net.subscribe(3, parse_profile(schema_, "temperature >= 35"));
+    net.subscribe(0, parse_profile(schema_, "humidity <= 5"));
+
+    // Published at node 0, must reach the subscriber at node 3.
+    EXPECT_EQ(net.publish(0, make_event(40, 50, 1)), 1u)
+        << net::to_string(mode);
+    // Matches both subscribers (nodes 0 and 3).
+    EXPECT_EQ(net.publish(1, make_event(40, 3, 1)), 2u)
+        << net::to_string(mode);
+    // Matches nobody.
+    EXPECT_EQ(net.publish(2, make_event(0, 50, 1)), 0u)
+        << net::to_string(mode);
+  }
+}
+
+TEST_F(OverlayTest, RoutingSuppressesUninterestedLinks) {
+  net::OverlayNetwork flooding = make_chain(net::RoutingMode::kFlooding);
+  net::OverlayNetwork routing = make_chain(net::RoutingMode::kRouting);
+  for (auto* net : {&flooding, &routing}) {
+    net->subscribe(1, parse_profile(schema_, "temperature >= 35"));
+  }
+
+  // A non-matching event published at node 0:
+  // flooding sends it down the whole chain (3 links), routing stops at 0.
+  flooding.publish(0, make_event(0, 50, 1));
+  routing.publish(0, make_event(0, 50, 1));
+  EXPECT_EQ(flooding.stats().event_messages, 3u);
+  EXPECT_EQ(routing.stats().event_messages, 0u);
+
+  // A matching event still reaches node 1 under routing, and is not
+  // forwarded beyond it (nodes 2,3 have no interest).
+  routing.reset_stats();
+  EXPECT_EQ(routing.publish(0, make_event(40, 50, 1)), 1u);
+  EXPECT_EQ(routing.stats().event_messages, 1u);
+}
+
+TEST_F(OverlayTest, CoveringReducesRoutingState) {
+  net::OverlayNetwork plain = make_chain(net::RoutingMode::kRouting);
+  net::OverlayNetwork covered = make_chain(net::RoutingMode::kRoutingCovered);
+  for (auto* net : {&plain, &covered}) {
+    net->subscribe(3, parse_profile(schema_, "temperature >= 30"));
+    net->subscribe(3, parse_profile(schema_, "temperature >= 35"));  // covered
+    net->subscribe(3, parse_profile(schema_,
+                                    "temperature >= 40 && humidity >= 90"));
+  }
+  // Without covering every subscription propagates over all 3 links.
+  EXPECT_EQ(plain.stats().profile_messages, 9u);
+  // With covering only the most general survives past the first hop.
+  EXPECT_EQ(covered.stats().profile_messages, 3u);
+  EXPECT_LT(covered.routing_entries(1), plain.routing_entries(1));
+
+  // Delivery semantics must be identical.
+  EXPECT_EQ(plain.publish(0, make_event(45, 95, 1)),
+            covered.publish(0, make_event(45, 95, 1)));
+  EXPECT_EQ(plain.publish(0, make_event(32, 10, 1)),
+            covered.publish(0, make_event(32, 10, 1)));
+}
+
+TEST_F(OverlayTest, StarTopologyRoutesOnlyToInterestedArms) {
+  net::OverlayOptions options;
+  options.mode = net::RoutingMode::kRouting;
+  net::OverlayNetwork net(schema_, options);
+  const net::NodeId hub = net.add_broker();
+  std::vector<net::NodeId> arms;
+  for (int i = 0; i < 4; ++i) {
+    arms.push_back(net.add_broker());
+    net.connect(hub, arms.back());
+  }
+  net.subscribe(arms[0], parse_profile(schema_, "temperature >= 35"));
+  net.subscribe(arms[1], parse_profile(schema_, "humidity >= 90"));
+
+  net.reset_stats();
+  EXPECT_EQ(net.publish(arms[2], make_event(40, 10, 1)), 1u);
+  // Path: arm2 -> hub -> arm0 only.
+  EXPECT_EQ(net.stats().event_messages, 2u);
+}
+
+TEST_F(OverlayTest, LocalSubscriptionCountsAndStats) {
+  net::OverlayNetwork net = make_chain(net::RoutingMode::kRoutingCovered);
+  net.subscribe(2, parse_profile(schema_, "radiation >= 50"));
+  EXPECT_EQ(net.local_subscriptions(2), 1u);
+  EXPECT_EQ(net.local_subscriptions(0), 0u);
+  net.publish(0, make_event(0, 0, 80));
+  const net::OverlayStats& stats = net.stats();
+  EXPECT_EQ(stats.events_published, 1u);
+  EXPECT_EQ(stats.deliveries, 1u);
+  EXPECT_GT(stats.filter_operations, 0u);
+}
+
+TEST_F(OverlayTest, RejectsCyclesAndBadIds) {
+  net::OverlayNetwork net = make_chain(net::RoutingMode::kRouting);
+  EXPECT_THROW(net.connect(0, 3), Error);  // would close the chain cycle
+  EXPECT_THROW(net.connect(1, 1), Error);
+  EXPECT_THROW(net.publish(9, make_event(0, 0, 1)), Error);
+  EXPECT_THROW(net.subscribe(9, parse_profile(schema_, "*")), Error);
+  EXPECT_THROW(net.routing_entries(9), Error);
+
+  const SchemaPtr other = testutil::example1_schema();
+  EXPECT_THROW(net.subscribe(0, parse_profile(other, "*")), Error);
+}
+
+TEST_F(OverlayTest, FloodingKeepsNoRoutingState) {
+  net::OverlayNetwork net = make_chain(net::RoutingMode::kFlooding);
+  net.subscribe(3, parse_profile(schema_, "temperature >= 35"));
+  EXPECT_EQ(net.routing_entries(1), 0u);
+  EXPECT_EQ(net.stats().profile_messages, 0u);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,155 @@
+// Unit tests for Predicate normalization, Profile, and ProfileSet.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+  AttributeId temp_ = schema_->id_of("temperature");
+};
+
+TEST_F(PredicateTest, EqualityNormalization) {
+  const Predicate p = Predicate::make(*schema_, temp_, Op::kEq, 35);
+  EXPECT_EQ(p.accepted(), IntervalSet::point(65));  // 35 - (-30)
+  EXPECT_TRUE(p.matches_index(65));
+  EXPECT_FALSE(p.matches_index(64));
+}
+
+TEST_F(PredicateTest, InequalityTranslatesToRanges) {
+  // Paper §3: "inequality tests can be translated to range tests".
+  const Predicate p = Predicate::make(*schema_, temp_, Op::kNe, -30);
+  EXPECT_EQ(p.accepted(), IntervalSet({{1, 80}}));
+  const Predicate q = Predicate::make(*schema_, temp_, Op::kNe, 0);
+  EXPECT_EQ(q.accepted(), IntervalSet({{0, 29}, {31, 80}}));
+}
+
+TEST_F(PredicateTest, OrderingOperators) {
+  EXPECT_EQ(Predicate::make(*schema_, temp_, Op::kGe, 30).accepted(),
+            IntervalSet({{60, 80}}));
+  EXPECT_EQ(Predicate::make(*schema_, temp_, Op::kGt, 30).accepted(),
+            IntervalSet({{61, 80}}));
+  EXPECT_EQ(Predicate::make(*schema_, temp_, Op::kLe, -20).accepted(),
+            IntervalSet({{0, 10}}));
+  EXPECT_EQ(Predicate::make(*schema_, temp_, Op::kLt, -20).accepted(),
+            IntervalSet({{0, 9}}));
+}
+
+TEST_F(PredicateTest, RangeAndOutside) {
+  const Predicate between =
+      Predicate::make_range(*schema_, temp_, Op::kBetween, -30, -20);
+  EXPECT_EQ(between.accepted(), IntervalSet({{0, 10}}));
+  const Predicate outside =
+      Predicate::make_range(*schema_, temp_, Op::kOutside, -30, -20);
+  EXPECT_EQ(outside.accepted(), IntervalSet({{11, 80}}));
+}
+
+TEST_F(PredicateTest, SetContainment) {
+  const Predicate p = Predicate::make_in(*schema_, temp_, {0, 2, 1, 50});
+  EXPECT_EQ(p.accepted(), IntervalSet({{30, 32}, {80, 80}}));
+}
+
+TEST_F(PredicateTest, RejectsEmptyAcceptedSet) {
+  // a < domain minimum accepts nothing.
+  EXPECT_THROW(Predicate::make(*schema_, temp_, Op::kLt, -30), Error);
+  EXPECT_THROW(Predicate::make(*schema_, temp_, Op::kGt, 50), Error);
+}
+
+TEST_F(PredicateTest, RejectsBadRangesAndKinds) {
+  EXPECT_THROW(Predicate::make_range(*schema_, temp_, Op::kBetween, 10, 5),
+               Error);
+  EXPECT_THROW(Predicate::make(*schema_, temp_, Op::kBetween, 5), Error);
+  EXPECT_THROW(Predicate::make_in(*schema_, temp_, {}), Error);
+
+  const SchemaPtr cat_schema =
+      SchemaBuilder().add_categorical("color", {"r", "g", "b"}).build();
+  EXPECT_THROW(
+      Predicate::make(*cat_schema, 0, Op::kLt, Value("g")), Error);
+  EXPECT_NO_THROW(Predicate::make(*cat_schema, 0, Op::kEq, Value("g")));
+}
+
+TEST(Profile, MatchesEventDirectly) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const ProfileSet set = testutil::example1_profiles(schema);
+  // The paper's running example event (30, 90, 2) matches P2 and P5.
+  const Event event = Event::from_pairs(
+      schema, {{"temperature", 30}, {"humidity", 90}, {"radiation", 2}});
+  std::vector<ProfileId> matched;
+  for (const ProfileId id : set.active_ids()) {
+    if (set.profile(id).matches(event)) matched.push_back(id);
+  }
+  EXPECT_EQ(matched, (std::vector<ProfileId>{1, 4}));  // P2, P5
+}
+
+TEST(Profile, DontCareBookkeeping) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Profile p = ProfileBuilder(schema)
+                        .where("temperature", Op::kGe, 35)
+                        .build();
+  EXPECT_FALSE(p.is_dont_care(0));
+  EXPECT_TRUE(p.is_dont_care(1));
+  EXPECT_TRUE(p.is_dont_care(2));
+  EXPECT_EQ(p.constrained_count(), 1u);
+  EXPECT_EQ(p.predicate(1), nullptr);
+  ASSERT_NE(p.predicate(0), nullptr);
+}
+
+TEST(Profile, BuilderRejectsDoubleConstraint) {
+  const SchemaPtr schema = testutil::example1_schema();
+  ProfileBuilder builder(schema);
+  builder.where("temperature", Op::kGe, 35);
+  EXPECT_THROW(builder.where("temperature", Op::kLe, 40), Error);
+}
+
+TEST(Profile, MatchAllProfileIsAllowed) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Profile p = ProfileBuilder(schema).build();
+  EXPECT_EQ(p.constrained_count(), 0u);
+  EXPECT_TRUE(p.matches(Event::from_indices(schema, {0, 0, 0})));
+  EXPECT_NE(p.to_string().find('*'), std::string::npos);
+}
+
+TEST(ProfileSet, LifecycleAndVersioning) {
+  const SchemaPtr schema = testutil::example1_schema();
+  ProfileSet set(schema);
+  EXPECT_EQ(set.active_count(), 0u);
+  const std::uint64_t v0 = set.version();
+
+  const ProfileId a =
+      set.add(ProfileBuilder(schema).where("humidity", Op::kGe, 50).build());
+  const ProfileId b =
+      set.add(ProfileBuilder(schema).where("humidity", Op::kLe, 10).build());
+  EXPECT_EQ(set.active_count(), 2u);
+  EXPECT_GT(set.version(), v0);
+  EXPECT_EQ(set.active_ids(), (std::vector<ProfileId>{a, b}));
+
+  set.remove(a);
+  EXPECT_EQ(set.active_count(), 1u);
+  EXPECT_FALSE(set.is_active(a));
+  EXPECT_TRUE(set.is_active(b));
+  EXPECT_THROW(set.remove(a), Error);       // double remove
+  EXPECT_THROW(set.remove(99), Error);      // unknown id
+  EXPECT_THROW(set.profile(99), Error);
+
+  // Ids are stable and never reused.
+  const ProfileId c =
+      set.add(ProfileBuilder(schema).where("radiation", Op::kEq, 1).build());
+  EXPECT_NE(c, a);
+  EXPECT_EQ(set.capacity(), 3u);
+}
+
+TEST(ProfileSet, RejectsForeignSchema) {
+  const SchemaPtr s1 = testutil::example1_schema();
+  const SchemaPtr s2 = testutil::example1_schema();  // distinct instance
+  ProfileSet set(s1);
+  EXPECT_THROW(
+      set.add(ProfileBuilder(s2).where("humidity", Op::kGe, 1).build()),
+      Error);
+}
+
+}  // namespace
+}  // namespace genas

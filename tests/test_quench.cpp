@@ -1,0 +1,75 @@
+// Tests for Elvin-style quenching (provider-side interest queries).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ens/quench.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class QuenchTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+  ProfileSet profiles_ = testutil::example1_profiles(schema_);
+  Quencher quencher_{profiles_};
+};
+
+TEST_F(QuenchTest, UnrestrictedSpaceAlwaysInteresting) {
+  EXPECT_TRUE(quencher_.any_interest(EventSpace(schema_)));
+  EXPECT_EQ(quencher_.interested(EventSpace(schema_)).size(), 5u);
+}
+
+TEST_F(QuenchTest, ZeroSubdomainRegionHasNoInterest) {
+  // Temperatures strictly inside (-20, 30): no profile accepts them.
+  EventSpace space(schema_);
+  space.restrict("temperature", IntervalSet({{11, 59}}));  // index space
+  EXPECT_FALSE(quencher_.any_interest(space));
+  EXPECT_TRUE(quencher_.interested(space).empty());
+}
+
+TEST_F(QuenchTest, SingleValueRestriction) {
+  EventSpace space(schema_);
+  space.restrict_value("temperature", -25);
+  // Only P4 covers [-30,-20].
+  EXPECT_EQ(quencher_.interested(space), (std::vector<ProfileId>{3}));
+}
+
+TEST_F(QuenchTest, ConjunctionAcrossAttributesPrunes) {
+  // Hot temperatures but bone-dry air: P1/P2/P3 need humidity >= 90,
+  // P5 >= 80, P4 needs cold temperatures -> nobody is interested.
+  EventSpace space(schema_);
+  space.restrict_value("temperature", 40);
+  space.restrict("humidity", IntervalSet({{10, 50}}));
+  EXPECT_FALSE(quencher_.any_interest(space));
+
+  // Raising the humidity band to reach 80 revives P5.
+  EventSpace space2(schema_);
+  space2.restrict_value("temperature", 40);
+  space2.restrict("humidity", IntervalSet({{10, 80}}));
+  EXPECT_EQ(quencher_.interested(space2), (std::vector<ProfileId>{4}));
+}
+
+TEST_F(QuenchTest, RebuildTracksProfileChanges) {
+  ProfileSet set(schema_);
+  Quencher quencher(set);
+  EventSpace space(schema_);
+  EXPECT_FALSE(quencher.any_interest(space));  // no profiles at all
+
+  set.add(ProfileBuilder(schema_).where("radiation", Op::kGe, 90).build());
+  quencher.rebuild(set);
+  EXPECT_TRUE(quencher.any_interest(space));
+}
+
+TEST_F(QuenchTest, Validation) {
+  EventSpace space(schema_);
+  EXPECT_THROW(space.restrict("temperature", IntervalSet()), Error);
+  EXPECT_THROW(space.restrict("temperature", IntervalSet({{0, 200}})), Error);
+  EXPECT_THROW(space.restrict("bogus", IntervalSet({{0, 1}})), Error);
+
+  const SchemaPtr other = testutil::example1_schema();
+  EXPECT_THROW(quencher_.any_interest(EventSpace(other)), Error);
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,56 @@
+// Tests for the report-table formatter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/report.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Report, AlignedTable) {
+  sim::Table table({"combo", "natural", "binary"});
+  table.add_row("d37/equal", {12.5, 7.0});
+  table.add_row({"d5/d41", "3", "4"});
+  EXPECT_EQ(table.row_count(), 2u);
+
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("combo"), std::string::npos);
+  EXPECT_NE(out.find("d37/equal"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Report, CsvOutput) {
+  sim::Table table({"a", "b"});
+  table.add_row({"x", "1"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Report, RowWidthValidation) {
+  sim::Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+  EXPECT_THROW(sim::Table({}), Error);
+}
+
+TEST(Report, FormatDoubleTrimsZeros) {
+  sim::Table table({"label", "v"});
+  table.add_row("r", {2.0});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "label,v\nr,2\n");
+}
+
+TEST(Report, Heading) {
+  std::ostringstream os;
+  sim::print_heading(os, "Fig. 4(a)");
+  EXPECT_EQ(os.str(), "\n== Fig. 4(a) ==\n");
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,139 @@
+// Tests for EventSampler and the history estimators.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/estimator.hpp"
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+
+namespace genas {
+namespace {
+
+SchemaPtr small_schema() {
+  return SchemaBuilder()
+      .add_integer("x", 0, 9)
+      .add_integer("y", 0, 4)
+      .build();
+}
+
+TEST(Sampler, EmpiricalFrequenciesApproachPmf) {
+  const SchemaPtr schema = small_schema();
+  const auto joint = JointDistribution::independent(
+      schema, {shapes::falling(10), shapes::percent_peak(5, 0.9, true, 0.2)});
+  EventSampler sampler(joint, 42);
+
+  std::vector<double> x_counts(10, 0.0);
+  std::vector<double> y_counts(5, 0.0);
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Event e = sampler.sample();
+    x_counts[static_cast<std::size_t>(e.index(0))] += 1.0;
+    y_counts[static_cast<std::size_t>(e.index(1))] += 1.0;
+  }
+  for (DomainIndex v = 0; v < 10; ++v) {
+    EXPECT_NEAR(x_counts[static_cast<std::size_t>(v)] / kSamples,
+                joint.marginal(0).pmf(v), 0.01);
+  }
+  EXPECT_NEAR(y_counts[4] / kSamples, joint.marginal(1).pmf(4), 0.01);
+}
+
+TEST(Sampler, TimestampsAreMonotonic) {
+  const SchemaPtr schema = small_schema();
+  EventSampler sampler(
+      JointDistribution::independent(schema,
+                                     {shapes::equal(10), shapes::equal(5)}),
+      1);
+  Timestamp last = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Event e = sampler.sample();
+    EXPECT_GT(e.time(), last);
+    last = e.time();
+  }
+}
+
+TEST(Sampler, MixtureComponentsBothAppear) {
+  const SchemaPtr schema = small_schema();
+  const auto joint = JointDistribution::mixture(
+      schema,
+      {{shapes::percent_peak(10, 1.0, false, 0.1), shapes::equal(5)},
+       {shapes::percent_peak(10, 1.0, true, 0.1), shapes::equal(5)}},
+      {0.3, 0.7});
+  EventSampler sampler(joint, 7);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Event e = sampler.sample();
+    if (e.index(0) == 0) ++low;
+    if (e.index(0) == 9) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 5000.0, 0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(high) / 5000.0, 0.7, 0.03);
+}
+
+TEST(HistogramEstimator, ConvergesToEmpiricalDistribution) {
+  HistogramEstimator h(4);
+  for (int i = 0; i < 30; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(3);
+  EXPECT_EQ(h.observations(), 40u);
+  const auto est = h.estimate(0.0);
+  EXPECT_DOUBLE_EQ(est.pmf(1), 0.75);
+  EXPECT_DOUBLE_EQ(est.pmf(3), 0.25);
+  EXPECT_DOUBLE_EQ(est.pmf(0), 0.0);
+}
+
+TEST(HistogramEstimator, SmoothingAvoidsZeroMass) {
+  HistogramEstimator h(4);
+  h.observe(0);
+  const auto est = h.estimate(0.5);
+  for (DomainIndex v = 0; v < 4; ++v) EXPECT_GT(est.pmf(v), 0.0);
+}
+
+TEST(HistogramEstimator, DecayForgetsOldRegime) {
+  HistogramEstimator h(2, 0.9);
+  for (int i = 0; i < 200; ++i) h.observe(0);
+  for (int i = 0; i < 60; ++i) h.observe(1);
+  // With decay 0.9 the effective window is ~10 observations: the old
+  // regime at value 0 must have faded almost completely.
+  EXPECT_GT(h.estimate(0.0).pmf(1), 0.95);
+}
+
+TEST(HistogramEstimator, Validation) {
+  EXPECT_THROW(HistogramEstimator(0), Error);
+  EXPECT_THROW(HistogramEstimator(4, 0.0), Error);
+  EXPECT_THROW(HistogramEstimator(4, 1.5), Error);
+  HistogramEstimator h(4);
+  EXPECT_THROW(h.observe(4), Error);
+  EXPECT_THROW(h.observe(-1), Error);
+  EXPECT_THROW(h.estimate(0.0), Error);  // no observations, no smoothing
+  EXPECT_THROW(h.estimate(-1.0), Error);
+  h.observe(2);
+  h.reset();
+  EXPECT_EQ(h.observations(), 0u);
+  EXPECT_THROW(h.estimate(0.0), Error);
+}
+
+TEST(SchemaEstimator, TracksAllAttributesAndBuildsJoint) {
+  const SchemaPtr schema = small_schema();
+  SchemaEstimator estimator(schema);
+  EventSampler sampler(
+      JointDistribution::independent(
+          schema, {shapes::percent_peak(10, 0.95, true, 0.1),
+                   shapes::falling(5)}),
+      3);
+  for (int i = 0; i < 4000; ++i) estimator.observe(sampler.sample());
+  EXPECT_EQ(estimator.observations(), 4000u);
+
+  const auto joint = estimator.estimate_joint(0.5);
+  EXPECT_GT(joint.marginal(0).mass(Interval{9, 9}), 0.6);
+  EXPECT_GT(joint.marginal(1).pmf(0), joint.marginal(1).pmf(4));
+}
+
+TEST(SchemaEstimator, RejectsForeignEvents) {
+  const SchemaPtr schema = small_schema();
+  const SchemaPtr other = small_schema();
+  SchemaEstimator estimator(schema);
+  EXPECT_THROW(estimator.observe(Event::from_indices(other, {0, 0})), Error);
+}
+
+}  // namespace
+}  // namespace genas

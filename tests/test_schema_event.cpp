@@ -1,0 +1,93 @@
+// Unit tests for Schema, SchemaBuilder, and Event.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "event/event.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Schema, BuilderAndLookup) {
+  const SchemaPtr schema = testutil::example1_schema();
+  EXPECT_EQ(schema->attribute_count(), 3u);
+  EXPECT_EQ(schema->id_of("temperature"), 0u);
+  EXPECT_EQ(schema->id_of("radiation"), 2u);
+  EXPECT_TRUE(schema->has_attribute("humidity"));
+  EXPECT_FALSE(schema->has_attribute("pressure"));
+  EXPECT_THROW(schema->id_of("pressure"), Error);
+  EXPECT_THROW(schema->attribute(3), Error);
+  EXPECT_NE(schema->to_string().find("temperature"), std::string::npos);
+}
+
+TEST(Schema, BuilderValidation) {
+  SchemaBuilder builder;
+  builder.add_integer("a", 0, 1);
+  EXPECT_THROW(builder.add_integer("a", 0, 1), Error);  // duplicate
+  EXPECT_THROW(builder.add_integer("", 0, 1), Error);   // empty name
+  const SchemaPtr schema = builder.build();
+  EXPECT_THROW(builder.build(), Error);                 // consumed
+  EXPECT_THROW(builder.add_integer("b", 0, 1), Error);  // consumed
+  EXPECT_EQ(schema->attribute_count(), 1u);
+}
+
+TEST(Schema, RequiresAtLeastOneAttribute) {
+  SchemaBuilder builder;
+  EXPECT_THROW(builder.build(), Error);
+}
+
+TEST(Event, FromPairsAndAccess) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Event event = Event::from_pairs(
+      schema,
+      {{"temperature", 30}, {"humidity", 90}, {"radiation", 2}}, 17);
+  EXPECT_EQ(event.time(), 17);
+  EXPECT_EQ(event.value("temperature").as_int(), 30);
+  EXPECT_EQ(event.value(1).as_int(), 90);
+  EXPECT_EQ(event.index(0), 60);  // 30 - (-30)
+  EXPECT_EQ(event.index(2), 1);   // radiation domain starts at 1
+  EXPECT_NE(event.to_string().find("humidity=90"), std::string::npos);
+}
+
+TEST(Event, FromPairsValidation) {
+  const SchemaPtr schema = testutil::example1_schema();
+  // Missing attribute.
+  EXPECT_THROW(
+      Event::from_pairs(schema, {{"temperature", 30}, {"humidity", 90}}),
+      Error);
+  // Duplicate assignment.
+  EXPECT_THROW(Event::from_pairs(schema, {{"temperature", 30},
+                                          {"temperature", 31},
+                                          {"humidity", 90},
+                                          {"radiation", 2}}),
+               Error);
+  // Out-of-domain value.
+  EXPECT_THROW(Event::from_pairs(schema, {{"temperature", 99},
+                                          {"humidity", 90},
+                                          {"radiation", 2}}),
+               Error);
+  // Unknown attribute.
+  EXPECT_THROW(Event::from_pairs(schema, {{"pressure", 1},
+                                          {"humidity", 90},
+                                          {"radiation", 2}}),
+               Error);
+}
+
+TEST(Event, FromIndicesValidation) {
+  const SchemaPtr schema = testutil::example1_schema();
+  EXPECT_NO_THROW(Event::from_indices(schema, {0, 0, 0}));
+  EXPECT_THROW(Event::from_indices(schema, {0, 0}), Error);
+  EXPECT_THROW(Event::from_indices(schema, {81, 0, 0}), Error);
+  EXPECT_THROW(Event::from_indices(schema, {-1, 0, 0}), Error);
+  EXPECT_THROW(Event::from_indices(nullptr, {}), Error);
+}
+
+TEST(Event, TimestampMutable) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Event event = Event::from_indices(schema, {0, 0, 0});
+  event.set_time(123);
+  EXPECT_EQ(event.time(), 123);
+}
+
+}  // namespace
+}  // namespace genas

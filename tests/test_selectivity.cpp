@@ -1,0 +1,134 @@
+// Tests for attribute selectivity measures A1/A2/A3 (paper Example 3).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/selectivity.hpp"
+#include "dist/shapes.hpp"
+#include "sim/scenarios.hpp"
+#include "test_util.hpp"
+#include "tree/expected_cost.hpp"
+
+namespace genas {
+namespace {
+
+class SelectivityExample3 : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+  ProfileSet profiles_ = testutil::example1_profiles(schema_);
+};
+
+TEST_F(SelectivityExample3, ZeroSubdomains) {
+  // a1: referenced [-30,-20] ∪ [30,50] -> D_0 = [-19,29], size 49.
+  EXPECT_EQ(zero_subdomain(profiles_, 0), IntervalSet({{11, 59}}));
+  // a2: referenced [0,5] ∪ [80,100] -> D_0 = [6,79], size 74.
+  EXPECT_EQ(zero_subdomain(profiles_, 1), IntervalSet({{6, 79}}));
+  // a3: P1/P2/P5 are don't-care on radiation -> D_0 = ∅ (paper: d_0 = 0).
+  EXPECT_TRUE(zero_subdomain(profiles_, 2).is_empty());
+}
+
+TEST_F(SelectivityExample3, MeasureA1MatchesPaperOrdering) {
+  const auto s = attribute_selectivities(profiles_, AttributeMeasure::kA1);
+  ASSERT_EQ(s.size(), 3u);
+  // Discrete counts: 49/81 ≈ 0.605, 74/101 ≈ 0.733, 0 — the paper's
+  // continuous-measure values are 0.625, 0.75, 0; orderings agree.
+  EXPECT_NEAR(s[0].selectivity, 49.0 / 81.0, 1e-12);
+  EXPECT_NEAR(s[1].selectivity, 74.0 / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s[2].selectivity, 0.0);
+  EXPECT_EQ(s[0].zero_size, 49);
+  EXPECT_EQ(s[1].zero_size, 74);
+  EXPECT_EQ(s[2].zero_size, 0);
+
+  // Descending: a2, a1, a3 — exactly the paper's reordering.
+  EXPECT_EQ(attribute_order(s, OrderDirection::kDescending),
+            (std::vector<AttributeId>{1, 0, 2}));
+  EXPECT_EQ(attribute_order(s, OrderDirection::kAscending),
+            (std::vector<AttributeId>{2, 0, 1}));
+  EXPECT_EQ(attribute_order(s, OrderDirection::kNatural),
+            (std::vector<AttributeId>{0, 1, 2}));
+}
+
+TEST_F(SelectivityExample3, MeasureA2WeightsByEventMass) {
+  // Events concentrated inside a1's zero-subdomain make a1 the most
+  // selective attribute under A2 even though A1 prefers a2.
+  const JointDistribution joint = JointDistribution::independent(
+      schema_, {shapes::peak(81, 0.4, 0.3, 0.98),  // mass in [-19,29]
+                shapes::percent_peak(101, 0.95, true, 0.1),  // in [90,100]
+                shapes::equal(100)});
+  const auto s =
+      attribute_selectivities(profiles_, AttributeMeasure::kA2, &joint);
+  EXPECT_GT(s[0].zero_probability, 0.8);
+  EXPECT_LT(s[1].zero_probability, 0.1);
+  EXPECT_GT(s[0].selectivity, s[1].selectivity);
+  EXPECT_EQ(attribute_order(s, OrderDirection::kDescending)[0], 0u);
+}
+
+TEST_F(SelectivityExample3, MeasureA2RequiresDistribution) {
+  EXPECT_THROW(attribute_selectivities(profiles_, AttributeMeasure::kA2),
+               Error);
+  EXPECT_THROW(attribute_selectivities(profiles_, AttributeMeasure::kA3),
+               Error);
+}
+
+TEST(Selectivity, EmptyProfileSetHasFullZeroSubdomain) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("x", 0, 9).build();
+  const ProfileSet empty(schema);
+  EXPECT_EQ(zero_subdomain(empty, 0).size(), 10);
+}
+
+TEST(Selectivity, A3FindsAnOrderAtLeastAsGoodAsAnyFixedOne) {
+  auto workload = sim::attribute_scenario(true, sim::EventFamily::kGauss, 60,
+                                          24, 3);
+  const auto best = best_attribute_order_exhaustive(
+      workload.profiles, workload.events, ValueOrder::kNaturalAscending,
+      SearchStrategy::kLinear);
+
+  TreeConfig best_config;
+  best_config.attribute_order = best;
+  best_config.event_distribution = workload.events;
+  const double best_cost =
+      expected_cost(ProfileTree::build(workload.profiles, best_config),
+                    workload.events)
+          .ops_per_event;
+
+  // Compare against natural and A1-descending orders.
+  const std::vector<std::vector<AttributeId>> rivals = {
+      {0, 1, 2, 3, 4},
+      attribute_order(
+          attribute_selectivities(workload.profiles, AttributeMeasure::kA1),
+          OrderDirection::kDescending)};
+  for (const auto& order : rivals) {
+    TreeConfig config;
+    config.attribute_order = order;
+    config.event_distribution = workload.events;
+    const double cost =
+        expected_cost(ProfileTree::build(workload.profiles, config),
+                      workload.events)
+            .ops_per_event;
+    EXPECT_LE(best_cost, cost + 1e-9);
+  }
+}
+
+TEST(Selectivity, A3GuardsAgainstFactorialBlowup) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", 0, 3)
+                               .add_integer("b", 0, 3)
+                               .build();
+  ProfileSet profiles(schema);
+  profiles.add(ProfileBuilder(schema).where("a", Op::kEq, 0).build());
+  const JointDistribution joint = JointDistribution::independent(
+      schema, {shapes::equal(4), shapes::equal(4)});
+  EXPECT_THROW(
+      best_attribute_order_exhaustive(profiles, joint,
+                                      ValueOrder::kNaturalAscending,
+                                      SearchStrategy::kLinear, 1),
+      Error);
+}
+
+TEST(Selectivity, Labels) {
+  EXPECT_EQ(to_string(AttributeMeasure::kA1), "A1");
+  EXPECT_EQ(to_string(AttributeMeasure::kA3), "A3");
+  EXPECT_EQ(to_string(OrderDirection::kDescending), "descending");
+}
+
+}  // namespace
+}  // namespace genas

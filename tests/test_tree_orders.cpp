@@ -1,0 +1,178 @@
+// Structural tests of the per-node scan ranks under every value order, and
+// op-count invariants that must hold for any tree (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+#include "sim/workload.hpp"
+#include "tree/expected_cost.hpp"
+#include "tree/profile_tree.hpp"
+
+namespace genas {
+namespace {
+
+SchemaPtr schema1() {
+  return SchemaBuilder().add_integer("x", 0, 9).build();
+}
+
+/// Three equality profiles at 2, 5, 8 over domain [0,9].
+ProfileSet three_points(const SchemaPtr& schema) {
+  ProfileSet set(schema);
+  for (const int v : {2, 5, 8}) {
+    set.add(ProfileBuilder(schema).where("x", Op::kEq, v).build());
+  }
+  return set;
+}
+
+JointDistribution skewed(const SchemaPtr& schema) {
+  // P(8) >> P(5) >> P(2).
+  return JointDistribution::independent(
+      schema,
+      {DiscreteDistribution::from_weights({1, 1, 2, 1, 1, 10, 1, 1, 60, 1})});
+}
+
+TEST(TreeOrders, NaturalAscendingRanksByInterval) {
+  const SchemaPtr schema = schema1();
+  const ProfileSet set = three_points(schema);
+  const ProfileTree tree = ProfileTree::build(set, {});
+  const auto& root = tree.nodes().back();
+  // Cells: [0,1] gap, [2] edge, [3,4] gap, [5] edge, [6,7] gap, [8] edge,
+  // [9] gap.
+  ASSERT_EQ(root.cells.size(), 7u);
+  EXPECT_EQ(root.scan_rank[1], 1u);
+  EXPECT_EQ(root.scan_rank[3], 2u);
+  EXPECT_EQ(root.scan_rank[5], 3u);
+}
+
+TEST(TreeOrders, NaturalDescendingReverses) {
+  const SchemaPtr schema = schema1();
+  const ProfileSet set = three_points(schema);
+  TreeConfig config;
+  config.value_order = ValueOrder::kNaturalDescending;
+  const ProfileTree tree = ProfileTree::build(set, config);
+  const auto& root = tree.nodes().back();
+  EXPECT_EQ(root.scan_rank[5], 1u);
+  EXPECT_EQ(root.scan_rank[3], 2u);
+  EXPECT_EQ(root.scan_rank[1], 3u);
+}
+
+TEST(TreeOrders, EventProbabilityRanksByMass) {
+  const SchemaPtr schema = schema1();
+  const ProfileSet set = three_points(schema);
+  TreeConfig config;
+  config.value_order = ValueOrder::kEventProbability;
+  config.event_distribution = skewed(schema);
+  const ProfileTree tree = ProfileTree::build(set, config);
+  const auto& root = tree.nodes().back();
+  EXPECT_EQ(root.scan_rank[5], 1u);  // value 8 is most likely
+  EXPECT_EQ(root.scan_rank[3], 2u);  // value 5
+  EXPECT_EQ(root.scan_rank[1], 3u);  // value 2
+}
+
+TEST(TreeOrders, CombinedOrderBalancesEventAndProfileMass) {
+  const SchemaPtr schema = schema1();
+  ProfileSet set(schema);
+  set.add(ProfileBuilder(schema).where("x", Op::kEq, 2).build());
+  // Value 5 referenced by 20 profiles; value 8 by 1.
+  for (int i = 0; i < 20; ++i) {
+    set.add(ProfileBuilder(schema).where("x", Op::kEq, 5).build());
+  }
+  set.add(ProfileBuilder(schema).where("x", Op::kEq, 8).build());
+
+  TreeConfig config;
+  config.value_order = ValueOrder::kCombinedProbability;
+  config.event_distribution = skewed(schema);
+  const ProfileTree tree = ProfileTree::build(set, config);
+  const auto& root = tree.nodes().back();
+  // V3 key(5) = P_e(5) * 20/22; key(8) = P_e(8) * 1/22. With P(8)=60/79 and
+  // P(5)=10/79: key(5) ≈ 0.115 > key(8) ≈ 0.035 -> 5 first despite events.
+  EXPECT_EQ(root.scan_rank[3], 1u);
+  EXPECT_EQ(root.scan_rank[5], 2u);
+}
+
+// Invariants over random trees: costs bounded by the strategy's worst case,
+// leaf-reachable matched sets are sorted and unique, scan ranks are a
+// permutation of 1..#edges.
+class TreeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeInvariants, StructuralInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", 0, 29)
+                               .add_integer("b", 0, 39)
+                               .build();
+  ProfileWorkloadOptions options;
+  options.count = 80;
+  options.dont_care_probability = 0.3;
+  options.equality_only = seed % 2 == 0;
+  options.range_width_mean = 0.15;
+  options.seed = seed;
+  const ProfileSet profiles = generate_profiles(
+      schema, make_profile_distributions(schema, {"gauss"}), options);
+  const JointDistribution joint = make_event_distribution(schema, {"equal"});
+
+  const SearchStrategy strategy =
+      seed % 3 == 0 ? SearchStrategy::kLinear
+                    : (seed % 3 == 1 ? SearchStrategy::kBinary
+                                     : SearchStrategy::kInterpolation);
+  TreeConfig config;
+  config.strategy = strategy;
+  config.value_order = ValueOrder::kEventProbability;
+  config.event_distribution = joint;
+  const ProfileTree tree = ProfileTree::build(profiles, config);
+
+  for (const auto& node : tree.nodes()) {
+    std::size_t edges = 0;
+    std::vector<bool> rank_seen(node.cells.size() + 1, false);
+    for (std::size_t i = 0; i < node.cells.size(); ++i) {
+      const bool is_edge = node.child[i] != ProfileTree::kMiss;
+      if (is_edge) {
+        ++edges;
+        ASSERT_GT(node.scan_rank[i], 0u);
+        ASSERT_LE(node.scan_rank[i], node.cells.size());
+        ASSERT_FALSE(rank_seen[node.scan_rank[i]]) << "duplicate rank";
+        rank_seen[node.scan_rank[i]] = true;
+      } else {
+        ASSERT_EQ(node.scan_rank[i], 0u);
+      }
+    }
+    // Cost bounds: linear <= #edges; binary/interpolation <= #edges and
+    // <= a generous log bound for binary.
+    for (std::size_t i = 0; i < node.cells.size(); ++i) {
+      ASSERT_LE(node.cost[i], edges);
+      if (strategy == SearchStrategy::kBinary && edges > 0) {
+        const auto log_bound = static_cast<std::uint32_t>(
+            std::ceil(std::log2(static_cast<double>(edges) + 1)) + 1);
+        ASSERT_LE(node.cost[i], log_bound);
+      }
+    }
+  }
+
+  for (const auto& leaf : tree.leaves()) {
+    ASSERT_FALSE(leaf.matched.empty());
+    ASSERT_TRUE(std::is_sorted(leaf.matched.begin(), leaf.matched.end()));
+    ASSERT_TRUE(std::adjacent_find(leaf.matched.begin(), leaf.matched.end()) ==
+                leaf.matched.end());
+  }
+
+  // Expected ops are bounded by the worst-case path cost.
+  const CostReport report = expected_cost(tree, joint);
+  double worst = 0.0;
+  for (const auto& node : tree.nodes()) {
+    std::uint32_t node_worst = 0;
+    for (const auto c : node.cost) node_worst = std::max(node_worst, c);
+    worst += node_worst;  // loose: sums worst over all nodes per level
+  }
+  EXPECT_LE(report.ops_per_event, worst + 1e-9);
+  EXPECT_GE(report.ops_per_event, 0.0);
+  EXPECT_GE(report.match_probability, 0.0);
+  EXPECT_LE(report.match_probability, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TreeInvariants,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace genas

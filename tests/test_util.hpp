@@ -1,0 +1,55 @@
+// Shared fixtures: the paper's Example 1 toy system and small helpers.
+#pragma once
+
+#include <vector>
+
+#include "event/schema.hpp"
+#include "profile/profile.hpp"
+
+namespace genas::testutil {
+
+/// Example 1 schema: temperature [-30,50], humidity [0,100],
+/// radiation [1,100].
+inline SchemaPtr example1_schema() {
+  return SchemaBuilder()
+      .add_integer("temperature", -30, 50)
+      .add_integer("humidity", 0, 100)
+      .add_integer("radiation", 1, 100)
+      .build();
+}
+
+/// Example 1 profiles P1..P5 (ids 0..4).
+inline ProfileSet example1_profiles(const SchemaPtr& schema) {
+  ProfileSet set(schema);
+  set.add(ProfileBuilder(schema)  // P1
+              .where("temperature", Op::kGe, 35)
+              .where("humidity", Op::kGe, 90)
+              .build());
+  set.add(ProfileBuilder(schema)  // P2
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 90)
+              .build());
+  set.add(ProfileBuilder(schema)  // P3
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 90)
+              .between("radiation", 35, 50)
+              .build());
+  set.add(ProfileBuilder(schema)  // P4
+              .between("temperature", -30, -20)
+              .where("humidity", Op::kLe, 5)
+              .between("radiation", 40, 100)
+              .build());
+  set.add(ProfileBuilder(schema)  // P5
+              .where("temperature", Op::kGe, 30)
+              .where("humidity", Op::kGe, 80)
+              .build());
+  return set;
+}
+
+/// Sorted copy helper for matched-set comparisons.
+inline std::vector<ProfileId> sorted(std::vector<ProfileId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace genas::testutil

@@ -1,0 +1,82 @@
+// Unit tests for Value and Domain.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "event/domain.hpp"
+#include "event/value.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(3.5).is_real());
+  EXPECT_TRUE(Value("hot").is_category());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value("x").as_category(), "x");
+  EXPECT_THROW(Value(1).as_real(), Error);
+  EXPECT_THROW(Value(1.0).as_int(), Error);
+  EXPECT_THROW(Value("s").numeric(), Error);
+  EXPECT_DOUBLE_EQ(Value(7).numeric(), 7.0);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(-3).to_string(), "-3");
+  EXPECT_EQ(Value("warm").to_string(), "warm");
+  EXPECT_EQ(Value(1.25).to_string(), "1.25");
+}
+
+TEST(Domain, IntegerIndexMapping) {
+  const Domain d = Domain::integer(-30, 50);
+  EXPECT_EQ(d.size(), 81);
+  EXPECT_EQ(d.index_of(Value(-30)), 0);
+  EXPECT_EQ(d.index_of(Value(50)), 80);
+  EXPECT_EQ(d.value_at(0).as_int(), -30);
+  EXPECT_EQ(d.value_at(80).as_int(), 50);
+  EXPECT_FALSE(d.contains(Value(51)));
+  EXPECT_THROW(d.index_of(Value(51)), Error);
+  EXPECT_THROW(d.index_of(Value("x")), Error);
+  EXPECT_THROW(d.value_at(81), Error);
+}
+
+TEST(Domain, IntegerRoundTripEveryIndex) {
+  const Domain d = Domain::integer(-5, 5);
+  for (DomainIndex i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.index_of(d.value_at(i)), i);
+  }
+}
+
+TEST(Domain, RealResolution) {
+  const Domain d = Domain::real(0.0, 1.0, 0.25);
+  EXPECT_EQ(d.size(), 5);  // 0, .25, .5, .75, 1
+  EXPECT_EQ(d.index_of(Value(0.5)), 2);
+  EXPECT_DOUBLE_EQ(d.value_at(3).as_real(), 0.75);
+  // Integers are accepted where a real is expected.
+  EXPECT_EQ(d.index_of(Value(1)), 4);
+}
+
+TEST(Domain, CategoricalMapping) {
+  const Domain d = Domain::categorical({"low", "mid", "high"});
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.index_of(Value("mid")), 1);
+  EXPECT_EQ(d.value_at(2).as_category(), "high");
+  EXPECT_FALSE(d.contains(Value("none")));
+  EXPECT_THROW(d.index_of(Value("none")), Error);
+}
+
+TEST(Domain, ConstructionValidation) {
+  EXPECT_THROW(Domain::integer(5, 4), Error);
+  EXPECT_THROW(Domain::real(0, 1, 0.0), Error);
+  EXPECT_THROW(Domain::real(1, 0, 0.5), Error);
+  EXPECT_THROW(Domain::categorical({}), Error);
+  EXPECT_THROW(Domain::categorical({"a", "a"}), Error);
+}
+
+TEST(Domain, FullInterval) {
+  EXPECT_EQ(Domain::integer(0, 9).full(), Interval(0, 9));
+  EXPECT_EQ(Domain::categorical({"a", "b"}).full(), Interval(0, 1));
+}
+
+}  // namespace
+}  // namespace genas

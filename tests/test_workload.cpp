@@ -1,0 +1,138 @@
+// Tests for workload generation and the TV/TA scenario factories.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/selectivity.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/workload.hpp"
+
+namespace genas {
+namespace {
+
+TEST(Workload, GeneratesRequestedProfileCount) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", 0, 99)
+                               .add_integer("b", 0, 99)
+                               .build();
+  ProfileWorkloadOptions options;
+  options.count = 500;
+  options.dont_care_probability = 0.5;
+  options.seed = 4;
+  const ProfileSet set = generate_profiles(
+      schema, make_profile_distributions(schema, {"gauss"}), options);
+  EXPECT_EQ(set.active_count(), 500u);
+  // Every profile constrains at least one attribute.
+  for (const ProfileId id : set.active_ids()) {
+    EXPECT_GE(set.profile(id).constrained_count(), 1u);
+  }
+}
+
+TEST(Workload, EqualityProfilesFollowTheProfileDistribution) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 99).build();
+  ProfileWorkloadOptions options;
+  options.count = 3000;
+  options.seed = 8;
+  const ProfileSet set = generate_profiles(
+      schema,
+      make_profile_distributions(schema, {"95% high"}), options);
+  // ~95% of the profile values must be in the top 5% of the domain.
+  std::size_t high = 0;
+  for (const ProfileId id : set.active_ids()) {
+    const auto& accepted = set.profile(id).predicate(0)->accepted();
+    if (accepted.intervals()[0].lo >= 95) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / 3000.0, 0.95, 0.03);
+}
+
+TEST(Workload, RangeModeProducesRanges) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 999).build();
+  ProfileWorkloadOptions options;
+  options.count = 100;
+  options.equality_only = false;
+  options.range_width_mean = 0.1;
+  options.seed = 6;
+  const ProfileSet set = generate_profiles(
+      schema, make_profile_distributions(schema, {"equal"}), options);
+  std::size_t wide = 0;
+  for (const ProfileId id : set.active_ids()) {
+    if (set.profile(id).predicate(0)->accepted().size() > 1) ++wide;
+  }
+  EXPECT_GT(wide, 90u);
+}
+
+TEST(Workload, DeterministicUnderSameSeed) {
+  const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 99).build();
+  ProfileWorkloadOptions options;
+  options.count = 50;
+  options.seed = 77;
+  const auto dists = make_profile_distributions(schema, {"d13"});
+  const ProfileSet s1 = generate_profiles(schema, dists, options);
+  const ProfileSet s2 = generate_profiles(schema, dists, options);
+  for (const ProfileId id : s1.active_ids()) {
+    EXPECT_EQ(s1.profile(id).to_string(), s2.profile(id).to_string());
+  }
+}
+
+TEST(Workload, Validation) {
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a", 0, 9)
+                               .add_integer("b", 0, 9)
+                               .build();
+  ProfileWorkloadOptions options;
+  EXPECT_THROW(
+      generate_profiles(schema, make_profile_distributions(schema, {"equal"}),
+                        [&] {
+                          auto bad = options;
+                          bad.dont_care_probability = 1.0;
+                          return bad;
+                        }()),
+      Error);
+  EXPECT_THROW(generate_profiles(
+                   schema, {DiscreteDistribution::uniform(10)}, options),
+               Error);  // one distribution missing
+  EXPECT_THROW(make_event_distribution(schema, {"equal", "equal", "equal"}),
+               Error);  // wrong count
+}
+
+TEST(Scenarios, SingleAttributeShapes) {
+  const auto w = sim::single_attribute(100, 200, "d37", "equal", 2);
+  EXPECT_EQ(w.profiles.active_count(), 200u);
+  EXPECT_EQ(w.profiles.schema()->attribute_count(), 1u);
+  EXPECT_EQ(w.events.schema(), w.profiles.schema());
+  EXPECT_NE(w.label.find("d37"), std::string::npos);
+}
+
+TEST(Scenarios, AttributeScenarioSelectivitySpread) {
+  const auto wide =
+      sim::attribute_scenario(true, sim::EventFamily::kEqual, 400, 60, 3);
+  const auto narrow =
+      sim::attribute_scenario(false, sim::EventFamily::kEqual, 400, 60, 3);
+
+  const auto spread = [](const ProfileSet& profiles) {
+    const auto s = attribute_selectivities(profiles, AttributeMeasure::kA1);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (const auto& a : s) {
+      lo = std::min(lo, a.selectivity);
+      hi = std::max(hi, a.selectivity);
+    }
+    return hi - lo;
+  };
+  // TA1 must have a much wider selectivity spread than TA2.
+  EXPECT_GT(spread(wide.profiles), spread(narrow.profiles) + 0.2);
+}
+
+TEST(Scenarios, RelocatedGaussEventsLandInZeroSubdomains) {
+  const auto w = sim::attribute_scenario(
+      true, sim::EventFamily::kRelocatedGauss, 400, 60, 3);
+  // Profile interest sits high; relocated-Gauss events sit low: most event
+  // mass must fall into the zero-subdomain of the most selective attribute.
+  const auto s = attribute_selectivities(w.profiles, AttributeMeasure::kA2,
+                                         &w.events);
+  double best = 0.0;
+  for (const auto& a : s) best = std::max(best, a.zero_probability);
+  EXPECT_GT(best, 0.8);
+}
+
+}  // namespace
+}  // namespace genas
