@@ -43,7 +43,8 @@ net::OverlayNetwork build_network(const SchemaPtr& schema,
   // with many narrow profiles covered by broader ones at the same site.
   Rng rng(99);
   for (std::size_t i = 0; i < edges.size(); ++i) {
-    const std::string attr = "a" + std::to_string(1 + i % 3);
+    std::string attr = "a";
+    attr += std::to_string(1 + i % 3);
     const std::int64_t base = 60 + static_cast<std::int64_t>(rng.below(20));
     network.subscribe(edges[i],
                       parse_profile(schema, attr + " >= " +

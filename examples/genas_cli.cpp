@@ -63,18 +63,25 @@ OrderingPolicy parse_policy(const std::vector<std::string_view>& words) {
     if (order == "v1") policy.value_order = ValueOrder::kEventProbability;
     else if (order == "v2") policy.value_order = ValueOrder::kProfileProbability;
     else if (order == "v3") policy.value_order = ValueOrder::kCombinedProbability;
+    else if (order != "natural")
+      throw Error(ErrorCode::kParse, "policy value order must be natural|v1|v2|v3");
   }
   if (words.size() > 2) {
     const std::string strat = to_lower(words[2]);
     if (strat == "binary") policy.strategy = SearchStrategy::kBinary;
     else if (strat == "interpolation") policy.strategy = SearchStrategy::kInterpolation;
     else if (strat == "hash") policy.strategy = SearchStrategy::kHash;
+    else if (strat != "linear")
+      throw Error(ErrorCode::kParse,
+                  "policy search must be linear|binary|interpolation|hash");
   }
   if (words.size() > 3) {
     const std::string measure = to_lower(words[3]);
     if (measure == "a1") policy.attribute_measure = AttributeMeasure::kA1;
     else if (measure == "a2") policy.attribute_measure = AttributeMeasure::kA2;
     else if (measure == "a3") policy.attribute_measure = AttributeMeasure::kA3;
+    else
+      throw Error(ErrorCode::kParse, "policy attribute measure must be a1|a2|a3");
   }
   return policy;
 }
@@ -159,6 +166,8 @@ bool handle(CliState& state, const std::string& line) {
       const PublishResult result = state.broker->publish(rest);
       std::cout << "ok: " << result.notified << " notifications, "
                 << result.operations << " ops\n";
+    } else if (cmd == "tree") {
+      std::cout << state.broker->tree_dump();
     } else if (cmd == "stats") {
       const ServiceCounters counters = state.broker->counters();
       std::cout << "events=" << counters.events_published

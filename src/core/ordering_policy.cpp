@@ -1,5 +1,6 @@
 #include "core/ordering_policy.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"

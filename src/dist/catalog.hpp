@@ -1,0 +1,46 @@
+// GENAS — the named distribution catalog.
+//
+// The paper evaluates against a library of event distributions: the named
+// shapes of §4.3 ("equal", "gauss", "95% high", ...) plus sixty numbered
+// entries d1..d60 used by the bulk experiments. The numbered entries are
+// deterministic pseudo-random Gaussian mixtures defined on the normalized
+// domain, so the same dK names the same shape at any discretization — a
+// coarse d50 run and a fine d500 run of one experiment see the same
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace genas {
+
+/// Resolves catalog names to DiscreteDistributions over one domain size.
+class DistributionCatalog {
+ public:
+  /// Number of numbered entries d1..d60.
+  static constexpr int kNumbered = 60;
+
+  explicit DistributionCatalog(std::int64_t domain_size);
+
+  std::int64_t domain_size() const noexcept { return domain_size_; }
+
+  /// Entry dK for k in [1, kNumbered]; deterministic in k.
+  DiscreteDistribution numbered(int k) const;
+
+  /// Case-insensitive name lookup after trimming: "dK", the named shapes
+  /// ("equal", "uniform", "gauss", "gauss-low", "gauss-high", "falling",
+  /// "rising"), and percent peaks ("95% high", "90% low", ...).
+  DiscreteDistribution by_name(std::string_view name) const;
+
+  /// All resolvable names: the named shapes plus d1..d60.
+  std::vector<std::string> names() const;
+
+ private:
+  std::int64_t domain_size_;
+};
+
+}  // namespace genas

@@ -1,0 +1,109 @@
+#include "dist/distribution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace genas {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> pmf)
+    : pmf_(std::move(pmf)) {
+  cdf_.reserve(pmf_.size());
+  double running = 0.0;
+  for (const double p : pmf_) {
+    running += p;
+    cdf_.push_back(running);
+  }
+  // Summation error must not leak into mass() and quantile(): the last
+  // prefix sum is 1 by construction.
+  cdf_.back() = 1.0;
+}
+
+DiscreteDistribution DiscreteDistribution::from_weights(
+    std::vector<double> weights) {
+  GENAS_REQUIRE(!weights.empty(), ErrorCode::kInvalidArgument,
+                "distribution needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    GENAS_REQUIRE(w >= 0.0, ErrorCode::kInvalidArgument,
+                  "distribution weights must be non-negative");
+    total += w;
+  }
+  GENAS_REQUIRE(total > 0.0, ErrorCode::kInvalidArgument,
+                "distribution weights must not all be zero");
+  for (double& w : weights) w /= total;
+  return DiscreteDistribution(std::move(weights));
+}
+
+DiscreteDistribution DiscreteDistribution::uniform(std::int64_t size) {
+  GENAS_REQUIRE(size >= 1, ErrorCode::kInvalidArgument,
+                "uniform distribution needs a positive domain size");
+  return DiscreteDistribution(
+      std::vector<double>(static_cast<std::size_t>(size),
+                          1.0 / static_cast<double>(size)));
+}
+
+double DiscreteDistribution::mass(const Interval& iv) const noexcept {
+  const Interval clipped = iv.intersect({0, size() - 1});
+  if (clipped.empty()) return 0.0;
+  return cdf(clipped.hi) - cdf(clipped.lo - 1);
+}
+
+double DiscreteDistribution::mass(const IntervalSet& set) const noexcept {
+  double total = 0.0;
+  for (const Interval& iv : set.intervals()) total += mass(iv);
+  return total;
+}
+
+DomainIndex DiscreteDistribution::quantile(double q) const noexcept {
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q);
+  if (it == cdf_.end()) return size() - 1;
+  return static_cast<DomainIndex>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::mean_index() const noexcept {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    mean += static_cast<double>(i) * pmf_[i];
+  }
+  return mean;
+}
+
+DiscreteDistribution DiscreteDistribution::mix(
+    const DiscreteDistribution& other, double alpha) const {
+  GENAS_REQUIRE(size() == other.size(), ErrorCode::kInvalidArgument,
+                "cannot mix distributions of different sizes");
+  GENAS_REQUIRE(alpha >= 0.0 && alpha <= 1.0, ErrorCode::kInvalidArgument,
+                "mix weight must lie in [0, 1]");
+  std::vector<double> mixed(pmf_.size());
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    mixed[i] = (1.0 - alpha) * pmf_[i] + alpha * other.pmf_[i];
+  }
+  return DiscreteDistribution(std::move(mixed));
+}
+
+double DiscreteDistribution::l1_distance(const DiscreteDistribution& a,
+                                         const DiscreteDistribution& b) {
+  GENAS_REQUIRE(a.size() == b.size(), ErrorCode::kInvalidArgument,
+                "L1 distance needs equal domain sizes");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.pmf_.size(); ++i) {
+    total += std::abs(a.pmf_[i] - b.pmf_[i]);
+  }
+  return total;
+}
+
+std::string DiscreteDistribution::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << format_double(pmf_[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace genas

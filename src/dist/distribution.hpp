@@ -1,0 +1,82 @@
+// GENAS — discrete probability distributions over attribute domains.
+//
+// The paper's evaluation is driven entirely by discrete event and profile
+// distributions P_e and P_p over the dense index space [0, d) of one
+// attribute (§4.3). DiscreteDistribution is that object: an immutable,
+// normalized probability mass function with the cumulative sums
+// precomputed, so interval masses — the quantity the selectivity measures
+// and the expected-cost engine evaluate constantly — are O(1) per interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "profile/interval_set.hpp"
+
+namespace genas {
+
+/// Immutable normalized PMF over a dense domain [0, d).
+class DiscreteDistribution {
+ public:
+  /// Normalizes arbitrary non-negative weights. Throws
+  /// Error{kInvalidArgument} when `weights` is empty, contains a negative
+  /// entry, or sums to zero.
+  static DiscreteDistribution from_weights(std::vector<double> weights);
+
+  /// Uniform distribution over `size` values; throws when size < 1.
+  static DiscreteDistribution uniform(std::int64_t size);
+
+  /// Domain size d.
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(pmf_.size());
+  }
+
+  /// P(X = v); 0 outside the domain.
+  double pmf(DomainIndex v) const noexcept {
+    return v >= 0 && v < size() ? pmf_[static_cast<std::size_t>(v)] : 0.0;
+  }
+
+  /// P(X <= v); 0 below the domain, 1 above it.
+  double cdf(DomainIndex v) const noexcept {
+    if (v < 0) return 0.0;
+    if (v >= size()) return 1.0;
+    return cdf_[static_cast<std::size_t>(v)];
+  }
+
+  /// P(X in iv); intervals are clipped to the domain, empty intervals have
+  /// zero mass.
+  double mass(const Interval& iv) const noexcept;
+
+  /// P(X in set): sum over the set's disjoint intervals.
+  double mass(const IntervalSet& set) const noexcept;
+
+  /// Smallest v with cdf(v) >= q (generalized inverse CDF). Drives
+  /// sampling: quantile(u) with u uniform in [0,1) is a draw from the
+  /// distribution.
+  DomainIndex quantile(double q) const noexcept;
+
+  /// E[X] over domain indices.
+  double mean_index() const noexcept;
+
+  /// Convex combination (1-alpha)·this + alpha·other. Throws when sizes
+  /// differ or alpha is outside [0, 1].
+  DiscreteDistribution mix(const DiscreteDistribution& other,
+                           double alpha) const;
+
+  /// Total-variation-style L1 distance, in [0, 2]. Throws on size mismatch.
+  static double l1_distance(const DiscreteDistribution& a,
+                            const DiscreteDistribution& b);
+
+  /// Renders "[p0, p1, ...]" with compact formatting.
+  std::string to_string() const;
+
+ private:
+  explicit DiscreteDistribution(std::vector<double> pmf);
+
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;  // inclusive prefix sums; back() == 1.0
+};
+
+}  // namespace genas

@@ -1,0 +1,141 @@
+#include "dist/joint.hpp"
+
+#include "common/error.hpp"
+
+namespace genas {
+
+namespace {
+
+/// Validates one component's marginals against the schema.
+void validate_component(const Schema& schema,
+                        const std::vector<DiscreteDistribution>& marginals) {
+  GENAS_REQUIRE(marginals.size() == schema.attribute_count(),
+                ErrorCode::kInvalidArgument,
+                "joint distribution needs one marginal per attribute");
+  for (AttributeId id = 0; id < marginals.size(); ++id) {
+    GENAS_REQUIRE(marginals[id].size() == schema.attribute(id).domain.size(),
+                  ErrorCode::kInvalidArgument,
+                  "marginal size differs from the domain of attribute '" +
+                      schema.attribute(id).name + "'");
+  }
+}
+
+}  // namespace
+
+JointDistribution JointDistribution::independent(
+    SchemaPtr schema, std::vector<DiscreteDistribution> marginals) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "joint distribution needs a schema");
+  validate_component(*schema, marginals);
+  auto data = std::make_shared<Data>();
+  data->weights = {1.0};
+  data->components.push_back(std::move(marginals));
+  return JointDistribution(std::move(schema), std::move(data));
+}
+
+JointDistribution JointDistribution::mixture(
+    SchemaPtr schema, std::vector<std::vector<DiscreteDistribution>> components,
+    std::vector<double> weights) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "joint distribution needs a schema");
+  GENAS_REQUIRE(!components.empty(), ErrorCode::kInvalidArgument,
+                "mixture needs at least one component");
+  GENAS_REQUIRE(components.size() == weights.size(),
+                ErrorCode::kInvalidArgument,
+                "mixture needs one weight per component");
+  double total = 0.0;
+  for (const double w : weights) {
+    GENAS_REQUIRE(w >= 0.0, ErrorCode::kInvalidArgument,
+                  "mixture weights must be non-negative");
+    total += w;
+  }
+  GENAS_REQUIRE(total > 0.0, ErrorCode::kInvalidArgument,
+                "mixture weights must not all be zero");
+  for (auto& component : components) validate_component(*schema, component);
+  for (double& w : weights) w /= total;
+  auto data = std::make_shared<Data>();
+  data->weights = std::move(weights);
+  data->components = std::move(components);
+  return JointDistribution(std::move(schema), std::move(data));
+}
+
+double JointDistribution::component_weight(std::size_t c) const {
+  GENAS_REQUIRE(c < component_count(), ErrorCode::kInvalidArgument,
+                "mixture component index out of range");
+  return data_->weights[c];
+}
+
+const DiscreteDistribution& JointDistribution::component_marginal(
+    std::size_t c, AttributeId id) const {
+  GENAS_REQUIRE(c < component_count(), ErrorCode::kInvalidArgument,
+                "mixture component index out of range");
+  GENAS_REQUIRE(id < data_->components[c].size(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  return data_->components[c][id];
+}
+
+DiscreteDistribution JointDistribution::marginal(AttributeId id) const {
+  GENAS_REQUIRE(id < schema_->attribute_count(), ErrorCode::kInvalidArgument,
+                "attribute id out of range");
+  if (is_independent()) return data_->components[0][id];
+  const auto size =
+      static_cast<std::size_t>(schema_->attribute(id).domain.size());
+  std::vector<double> weights(size, 0.0);
+  for (std::size_t c = 0; c < component_count(); ++c) {
+    const DiscreteDistribution& m = data_->components[c][id];
+    for (std::size_t v = 0; v < size; ++v) {
+      weights[v] += data_->weights[c] * m.pmf(static_cast<DomainIndex>(v));
+    }
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+double JointDistribution::probability(
+    const std::vector<DomainIndex>& indices) const {
+  GENAS_REQUIRE(indices.size() == schema_->attribute_count(),
+                ErrorCode::kInvalidArgument,
+                "probability needs one index per attribute");
+  double total = 0.0;
+  for (std::size_t c = 0; c < component_count(); ++c) {
+    double p = data_->weights[c];
+    for (AttributeId id = 0; id < indices.size() && p > 0.0; ++id) {
+      p *= data_->components[c][id].pmf(indices[id]);
+    }
+    total += p;
+  }
+  return total;
+}
+
+ConditionalDistribution JointDistribution::root() const {
+  return ConditionalDistribution(schema_, data_, data_->weights);
+}
+
+double ConditionalDistribution::probability(AttributeId attribute,
+                                            const Interval& iv) const {
+  GENAS_REQUIRE(attribute < schema_->attribute_count(),
+                ErrorCode::kInvalidArgument, "attribute id out of range");
+  double total = 0.0;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    if (weights_[c] == 0.0) continue;
+    total += weights_[c] * data_->components[c][attribute].mass(iv);
+  }
+  return total;
+}
+
+ConditionalDistribution ConditionalDistribution::given(
+    AttributeId attribute, const Interval& iv) const {
+  GENAS_REQUIRE(attribute < schema_->attribute_count(),
+                ErrorCode::kInvalidArgument, "attribute id out of range");
+  std::vector<double> posterior(weights_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    posterior[c] = weights_[c] * data_->components[c][attribute].mass(iv);
+    total += posterior[c];
+  }
+  GENAS_REQUIRE(total > 0.0, ErrorCode::kInvalidArgument,
+                "conditioning on a zero-probability observation");
+  for (double& w : posterior) w /= total;
+  return ConditionalDistribution(schema_, data_, std::move(posterior));
+}
+
+}  // namespace genas

@@ -1,0 +1,109 @@
+// GENAS — joint event distributions over a schema.
+//
+// The paper's analysis assumes per-attribute event distributions P_e that
+// are independent across attributes (§4.3); JointDistribution represents
+// that product form directly, and generalizes it to finite mixtures of
+// independent products. Mixtures are the minimal model that introduces
+// cross-attribute correlation, which the exact expected-cost engine
+// (tree/expected_cost.hpp) handles by propagating per-component reach
+// probabilities.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "dist/distribution.hpp"
+#include "event/schema.hpp"
+
+namespace genas {
+
+class ConditionalDistribution;
+
+/// Finite mixture of independent per-attribute products over one schema.
+/// Immutable and cheaply copyable (components are shared).
+class JointDistribution {
+ public:
+  /// Independent product: one marginal per schema attribute, sizes matching
+  /// the attribute domains.
+  static JointDistribution independent(SchemaPtr schema,
+                                       std::vector<DiscreteDistribution> marginals);
+
+  /// Mixture of independent products with the given non-negative component
+  /// weights (normalized internally; their sum must be positive).
+  static JointDistribution mixture(
+      SchemaPtr schema,
+      std::vector<std::vector<DiscreteDistribution>> components,
+      std::vector<double> weights);
+
+  const SchemaPtr& schema() const noexcept { return schema_; }
+
+  /// True for single-component (product-form) distributions.
+  bool is_independent() const noexcept { return component_count() == 1; }
+
+  std::size_t component_count() const noexcept { return data_->weights.size(); }
+
+  /// Normalized weight of mixture component c.
+  double component_weight(std::size_t c) const;
+
+  /// Marginal of attribute `id` within component c.
+  const DiscreteDistribution& component_marginal(std::size_t c,
+                                                 AttributeId id) const;
+
+  /// Mixture-weighted marginal of attribute `id`.
+  DiscreteDistribution marginal(AttributeId id) const;
+
+  /// P(event) for a full assignment of per-attribute domain indices.
+  double probability(const std::vector<DomainIndex>& indices) const;
+
+  /// Starts a conditional-probability walk down a tree path: the returned
+  /// tracker answers P(attribute in interval | conditions applied so far).
+  ConditionalDistribution root() const;
+
+ private:
+  friend class ConditionalDistribution;
+
+  struct Data {
+    std::vector<double> weights;  // normalized
+    std::vector<std::vector<DiscreteDistribution>> components;
+  };
+
+  JointDistribution(SchemaPtr schema, std::shared_ptr<const Data> data)
+      : schema_(std::move(schema)), data_(std::move(data)) {}
+
+  SchemaPtr schema_;
+  std::shared_ptr<const Data> data_;
+};
+
+/// Conditional view of a JointDistribution along a sequence of interval
+/// observations. Conditioning reweights mixture components by the mass each
+/// assigns to the observed interval — for independent distributions the
+/// other attributes are unaffected, for mixtures the correlation structure
+/// emerges (paper §4.1's P(cell | path)).
+class ConditionalDistribution {
+ public:
+  /// P(attribute in iv | observations so far).
+  double probability(AttributeId attribute, const Interval& iv) const;
+
+  /// Returns a new conditional with `attribute in iv` observed. Throws
+  /// Error{kInvalidArgument} when the observation has probability zero.
+  ConditionalDistribution given(AttributeId attribute,
+                                const Interval& iv) const;
+
+ private:
+  friend class JointDistribution;
+
+  ConditionalDistribution(SchemaPtr schema,
+                          std::shared_ptr<const JointDistribution::Data> data,
+                          std::vector<double> weights)
+      : schema_(std::move(schema)),
+        data_(std::move(data)),
+        weights_(std::move(weights)) {}
+
+  SchemaPtr schema_;
+  std::shared_ptr<const JointDistribution::Data> data_;
+  std::vector<double> weights_;  // posterior component weights, normalized
+};
+
+}  // namespace genas

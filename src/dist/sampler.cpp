@@ -1,0 +1,38 @@
+#include "dist/sampler.hpp"
+
+namespace genas {
+
+EventSampler::EventSampler(JointDistribution joint, std::uint64_t seed)
+    : joint_(std::move(joint)), rng_(seed) {}
+
+Event EventSampler::sample() {
+  // Pick the mixture component by its weight (one uniform draw even for
+  // the single-component case, so seeds stay comparable across models).
+  const double u = rng_.uniform();
+  std::size_t component = joint_.component_count() - 1;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < joint_.component_count(); ++c) {
+    acc += joint_.component_weight(c);
+    if (u < acc) {
+      component = c;
+      break;
+    }
+  }
+
+  const std::size_t n = joint_.schema()->attribute_count();
+  std::vector<DomainIndex> indices(n);
+  for (AttributeId id = 0; id < n; ++id) {
+    indices[id] =
+        joint_.component_marginal(component, id).quantile(rng_.uniform());
+  }
+  return Event::from_indices(joint_.schema(), std::move(indices), next_time_++);
+}
+
+std::vector<Event> EventSampler::sample_batch(std::size_t count) {
+  std::vector<Event> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) events.push_back(sample());
+  return events;
+}
+
+}  // namespace genas

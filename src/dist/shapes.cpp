@@ -1,0 +1,149 @@
+#include "dist/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace genas::shapes {
+
+namespace {
+
+/// Midpoint of bucket i on the normalized domain.
+double midpoint(std::int64_t i, std::int64_t size) {
+  return (static_cast<double>(i) + 0.5) / static_cast<double>(size);
+}
+
+void require_size(std::int64_t size) {
+  GENAS_REQUIRE(size >= 1, ErrorCode::kInvalidArgument,
+                "shape needs a positive domain size");
+}
+
+/// Buckets whose midpoint falls inside [center-width/2, center+width/2],
+/// clipped to the domain; degenerates to the bucket containing the center
+/// when the band is narrower than one bucket.
+Interval band(std::int64_t size, double center, double width) {
+  const double d = static_cast<double>(size);
+  auto lo = static_cast<std::int64_t>(
+      std::ceil(d * (center - width / 2.0) - 0.5));
+  auto hi = static_cast<std::int64_t>(
+      std::floor(d * (center + width / 2.0) - 0.5));
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min<std::int64_t>(hi, size - 1);
+  if (lo > hi) {
+    auto point = static_cast<std::int64_t>(std::floor(center * d));
+    point = std::clamp<std::int64_t>(point, 0, size - 1);
+    return Interval::point(point);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+DiscreteDistribution equal(std::int64_t size) {
+  return DiscreteDistribution::uniform(size);
+}
+
+DiscreteDistribution gauss(std::int64_t size, double center, double sigma) {
+  require_size(size);
+  GENAS_REQUIRE(sigma > 0.0, ErrorCode::kInvalidArgument,
+                "gauss needs a positive sigma");
+  std::vector<double> weights(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    const double z = (midpoint(i, size) - center) / sigma;
+    weights[static_cast<std::size_t>(i)] = std::exp(-0.5 * z * z);
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+DiscreteDistribution relocated_gauss(std::int64_t size, bool high) {
+  return gauss(size, high ? 0.75 : 0.25, 0.15);
+}
+
+DiscreteDistribution falling(std::int64_t size) {
+  require_size(size);
+  std::vector<double> weights(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    weights[static_cast<std::size_t>(i)] = static_cast<double>(size - i);
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+DiscreteDistribution rising(std::int64_t size) {
+  require_size(size);
+  std::vector<double> weights(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    weights[static_cast<std::size_t>(i)] = static_cast<double>(i + 1);
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+DiscreteDistribution peak(std::int64_t size, double center, double width,
+                          double mass) {
+  require_size(size);
+  GENAS_REQUIRE(width > 0.0, ErrorCode::kInvalidArgument,
+                "peak needs a positive width");
+  GENAS_REQUIRE(mass >= 0.0 && mass <= 1.0, ErrorCode::kInvalidArgument,
+                "peak mass must lie in [0, 1]");
+  const Interval in = band(size, center, width);
+  std::vector<double> weights(static_cast<std::size_t>(size), 0.0);
+  const double per_in = mass / static_cast<double>(in.size());
+  for (DomainIndex i = in.lo; i <= in.hi; ++i) {
+    weights[static_cast<std::size_t>(i)] = per_in;
+  }
+  const std::int64_t out_count = size - in.size();
+  if (out_count > 0 && mass < 1.0) {
+    const double per_out = (1.0 - mass) / static_cast<double>(out_count);
+    for (std::int64_t i = 0; i < size; ++i) {
+      if (!in.contains(i)) weights[static_cast<std::size_t>(i)] = per_out;
+    }
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+DiscreteDistribution percent_peak(std::int64_t size, double mass, bool high,
+                                  double width) {
+  GENAS_REQUIRE(width > 0.0, ErrorCode::kInvalidArgument,
+                "percent peak needs a positive width");
+  return peak(size, high ? 1.0 - width / 2.0 : width / 2.0, width, mass);
+}
+
+DiscreteDistribution multi_peak(std::int64_t size,
+                                const std::vector<PeakSpec>& peaks,
+                                double baseline) {
+  require_size(size);
+  GENAS_REQUIRE(!peaks.empty(), ErrorCode::kInvalidArgument,
+                "multi_peak needs at least one peak");
+  GENAS_REQUIRE(baseline >= 0.0, ErrorCode::kInvalidArgument,
+                "multi_peak baseline must be non-negative");
+  std::vector<double> weights(static_cast<std::size_t>(size), baseline);
+  for (const PeakSpec& p : peaks) {
+    GENAS_REQUIRE(p.width > 0.0, ErrorCode::kInvalidArgument,
+                  "multi_peak bump needs a positive width");
+    GENAS_REQUIRE(p.weight >= 0.0, ErrorCode::kInvalidArgument,
+                  "multi_peak bump weight must be non-negative");
+    const Interval in = band(size, p.center, p.width);
+    const double per_bucket = p.weight / static_cast<double>(in.size());
+    for (DomainIndex i = in.lo; i <= in.hi; ++i) {
+      weights[static_cast<std::size_t>(i)] += per_bucket;
+    }
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+DiscreteDistribution steps(std::int64_t size,
+                           const std::vector<double>& levels) {
+  require_size(size);
+  GENAS_REQUIRE(!levels.empty(), ErrorCode::kInvalidArgument,
+                "steps needs at least one level");
+  const auto k = static_cast<std::int64_t>(levels.size());
+  std::vector<double> weights(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    const std::int64_t chunk = std::min(k - 1, i * k / size);
+    weights[static_cast<std::size_t>(i)] =
+        levels[static_cast<std::size_t>(chunk)];
+  }
+  return DiscreteDistribution::from_weights(std::move(weights));
+}
+
+}  // namespace genas::shapes

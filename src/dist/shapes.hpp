@@ -1,0 +1,67 @@
+// GENAS — the distribution shape library (paper §4.3).
+//
+// The evaluation uses a family of named event/profile distribution shapes:
+// equal, gauss, relocated gauss, monotone falling/rising, and "x% high/low"
+// peaks ("95% of the events fall into the top 5% of the domain"). Every
+// shape is defined on the normalized domain [0, 1] and discretized onto
+// [0, d) by evaluating at bucket midpoints, so the same shape puts the same
+// mass on the same fractions of coarse and fine domains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace genas::shapes {
+
+/// One bump of a multi-peak shape, on the normalized domain.
+struct PeakSpec {
+  double center = 0.5;  ///< normalized position in [0, 1]
+  double width = 0.1;   ///< normalized width of the band
+  double weight = 1.0;  ///< relative mass of this bump
+};
+
+/// Uniform over `size` values.
+DiscreteDistribution equal(std::int64_t size);
+
+/// Discretized Gaussian with normalized `center` and `sigma`; sigma must be
+/// positive.
+DiscreteDistribution gauss(std::int64_t size, double center = 0.5,
+                           double sigma = 0.15);
+
+/// Gaussian relocated toward the top (high) or bottom (low) quarter of the
+/// domain — the paper's "relocated gauss".
+DiscreteDistribution relocated_gauss(std::int64_t size, bool high);
+
+/// Linearly falling: pmf(0) highest, pmf(d-1) lowest.
+DiscreteDistribution falling(std::int64_t size);
+
+/// Linearly rising: pmf(d-1) highest.
+DiscreteDistribution rising(std::int64_t size);
+
+/// Puts `mass` uniformly on the band of normalized `width` centred at
+/// `center`, and the rest uniformly outside it. A band narrower than one
+/// bucket degenerates to the single bucket containing the center. `width`
+/// must be positive and `mass` in [0, 1].
+DiscreteDistribution peak(std::int64_t size, double center, double width,
+                          double mass);
+
+/// The paper's "NN% high / NN% low": `mass` of the probability within the
+/// top (high) or bottom band of normalized `width`.
+DiscreteDistribution percent_peak(std::int64_t size, double mass, bool high,
+                                  double width = 0.05);
+
+/// Sum of peaked bumps over a uniform `baseline` weight; at least one peak
+/// is required.
+DiscreteDistribution multi_peak(std::int64_t size,
+                                const std::vector<PeakSpec>& peaks,
+                                double baseline);
+
+/// Piecewise-constant steps: the domain is split into `levels.size()` equal
+/// chunks, chunk k weighted by levels[k]. Levels must be non-empty and
+/// non-negative with a positive sum.
+DiscreteDistribution steps(std::int64_t size,
+                           const std::vector<double>& levels);
+
+}  // namespace genas::shapes

@@ -90,4 +90,9 @@ ProfileStatistics Broker::profile_statistics() const {
   return stats;
 }
 
+std::string Broker::tree_dump() {
+  const std::scoped_lock lock(mutex_);
+  return engine_.tree().dump();
+}
+
 }  // namespace genas

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
@@ -61,6 +62,9 @@ class Broker {
 
   /// Profile-side statistics (P_p) over the current subscriptions.
   ProfileStatistics profile_statistics() const;
+
+  /// Structural dump of the current profile tree (rebuilds if stale).
+  std::string tree_dump();
 
  private:
   struct Subscription {

@@ -33,7 +33,9 @@ Workload multi_attribute(std::size_t n, std::int64_t domain_size,
                 "multi_attribute requires n >= 1");
   SchemaBuilder builder;
   for (std::size_t j = 0; j < n; ++j) {
-    builder.add_integer("a" + std::to_string(j + 1), 0, domain_size - 1);
+    std::string attr_name = "a";
+    attr_name += std::to_string(j + 1);
+    builder.add_integer(std::move(attr_name), 0, domain_size - 1);
   }
   SchemaPtr schema = builder.build();
 
@@ -64,7 +66,9 @@ Workload attribute_scenario(bool wide, EventFamily family, std::size_t p,
   constexpr std::size_t kAttributes = 5;
   SchemaBuilder builder;
   for (std::size_t j = 0; j < kAttributes; ++j) {
-    builder.add_integer("a" + std::to_string(j + 1), 0, domain_size - 1);
+    std::string attr_name = "a";
+    attr_name += std::to_string(j + 1);
+    builder.add_integer(std::move(attr_name), 0, domain_size - 1);
   }
   SchemaPtr schema = builder.build();
 

@@ -3,7 +3,7 @@
 
 #include "core/adaptive_filter.hpp"
 #include "dist/sampler.hpp"
-#include "dist/shapes.hpp"
+#include "test_util.hpp"
 
 namespace genas {
 namespace {
@@ -15,21 +15,18 @@ SchemaPtr schema2() {
       .build();
 }
 
-JointDistribution peak_joint(const SchemaPtr& schema, bool high) {
-  return JointDistribution::independent(
-      schema, {shapes::percent_peak(20, 0.95, high, 0.2),
-               shapes::equal(20)});
-}
+using testutil::event_stream;
+using testutil::peak_joint;
 
 TEST(AdaptiveController, NoRebuildBeforeMinObservations) {
   const SchemaPtr schema = schema2();
   AdaptiveOptions options;
   options.min_observations = 100;
   AdaptiveController controller(schema, options);
-  EventSampler sampler(peak_joint(schema, false), 1);
-  for (int i = 0; i < 99; ++i) controller.observe(sampler.sample());
+  const auto stream = event_stream(peak_joint(schema, false), 100, 1);
+  for (int i = 0; i < 99; ++i) controller.observe(stream[i]);
   EXPECT_FALSE(controller.should_rebuild());
-  controller.observe(sampler.sample());
+  controller.observe(stream[99]);
   EXPECT_TRUE(controller.should_rebuild());  // no baseline yet
 }
 
@@ -42,15 +39,17 @@ TEST(AdaptiveController, DriftTriggersRebuildAfterRegimeChange) {
   options.decay = 0.995;  // forget the old regime
   AdaptiveController controller(schema, options);
 
-  EventSampler low(peak_joint(schema, false), 1);
-  for (int i = 0; i < 500; ++i) controller.observe(low.sample());
+  for (const Event& e : event_stream(peak_joint(schema, false), 500, 1)) {
+    controller.observe(e);
+  }
   controller.mark_rebuilt(controller.estimate());
   EXPECT_LT(controller.drift(), 0.2);
   EXPECT_FALSE(controller.should_rebuild());
 
   // Regime change: mass moves to the other end of x.
-  EventSampler high(peak_joint(schema, true), 2);
-  for (int i = 0; i < 1500; ++i) controller.observe(high.sample());
+  for (const Event& e : event_stream(peak_joint(schema, true), 1500, 2)) {
+    controller.observe(e);
+  }
   EXPECT_GT(controller.drift(), 0.5);
   EXPECT_TRUE(controller.should_rebuild());
 
@@ -66,18 +65,19 @@ TEST(AdaptiveController, CooldownSuppressesThrashing) {
   options.rebuild_cooldown = 1000;
   options.drift_threshold = 0.0;  // always "drifted"
   AdaptiveController controller(schema, options);
-  EventSampler sampler(peak_joint(schema, false), 3);
-  for (int i = 0; i < 50; ++i) controller.observe(sampler.sample());
+  const auto stream = event_stream(peak_joint(schema, false), 550, 3);
+  for (int i = 0; i < 50; ++i) controller.observe(stream[i]);
   controller.mark_rebuilt(controller.estimate());
-  for (int i = 0; i < 500; ++i) controller.observe(sampler.sample());
+  for (int i = 50; i < 550; ++i) controller.observe(stream[i]);
   EXPECT_FALSE(controller.should_rebuild()) << "cooldown must hold";
 }
 
 TEST(AdaptiveController, EstimateTracksObservedMarginals) {
   const SchemaPtr schema = schema2();
   AdaptiveController controller(schema, {});
-  EventSampler sampler(peak_joint(schema, true), 4);
-  for (int i = 0; i < 3000; ++i) controller.observe(sampler.sample());
+  for (const Event& e : event_stream(peak_joint(schema, true), 3000, 4)) {
+    controller.observe(e);
+  }
   const JointDistribution estimate = controller.estimate();
   EXPECT_GT(estimate.marginal(0).mass(Interval{16, 19}), 0.8);
   EXPECT_EQ(controller.observations(), 3000u);

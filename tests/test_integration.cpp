@@ -61,8 +61,9 @@ TEST(Integration, HistoryWarmedEngineMatchesColdEngineSemantics) {
   // Record history, then hand its empirical distribution to a fresh engine
   // as the prior (the paper's "history of events" workflow).
   EventHistory history(schema, 2000);
-  EventSampler sampler(feed, 3);
-  for (int i = 0; i < 2000; ++i) history.record(sampler.sample());
+  for (Event& event : testutil::event_stream(feed, 2000, 3)) {
+    history.record(std::move(event));
+  }
   const JointDistribution learned = history.empirical_distribution();
 
   EngineOptions warm;
@@ -74,9 +75,7 @@ TEST(Integration, HistoryWarmedEngineMatchesColdEngineSemantics) {
   engine.subscribe("humidity >= 90");
 
   // Semantics must equal the naive truth regardless of the learned order.
-  EventSampler verify(feed, 4);
-  for (int i = 0; i < 500; ++i) {
-    const Event event = verify.sample();
+  for (const Event& event : testutil::event_stream(feed, 500, 4)) {
     const EngineMatch match = engine.match(event);
     std::vector<ProfileId> expected;
     for (const ProfileId id : engine.profiles().active_ids()) {
@@ -142,7 +141,7 @@ TEST(Integration, AdaptiveBrokerSurvivesChurnUnderLoad) {
   std::vector<ProfileId> live;
   const JointDistribution feed = JointDistribution::independent(
       schema, {shapes::gauss(81), shapes::equal(101), shapes::falling(100)});
-  EventSampler sampler(feed, 12);
+  const auto stream = testutil::event_stream(feed, 1500, 12);
 
   for (int step = 0; step < 1500; ++step) {
     if (live.size() < 5 || rng.chance(0.3)) {
@@ -154,7 +153,7 @@ TEST(Integration, AdaptiveBrokerSurvivesChurnUnderLoad) {
       engine.unsubscribe(live[pick]);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
     }
-    const Event event = sampler.sample();
+    const Event& event = stream[static_cast<std::size_t>(step)];
     const EngineMatch match = engine.match(event);
     std::vector<ProfileId> expected;
     for (const ProfileId id : live) {

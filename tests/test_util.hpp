@@ -1,8 +1,14 @@
 // Shared fixtures: the paper's Example 1 toy system and small helpers.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
+#include "dist/joint.hpp"
+#include "dist/sampler.hpp"
+#include "dist/shapes.hpp"
+#include "event/event.hpp"
 #include "event/schema.hpp"
 #include "profile/profile.hpp"
 
@@ -50,6 +56,32 @@ inline ProfileSet example1_profiles(const SchemaPtr& schema) {
 inline std::vector<ProfileId> sorted(std::vector<ProfileId> ids) {
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+/// Independent joint whose first attribute carries `mass` of its
+/// probability in the top (high) or bottom band of normalized `width`,
+/// with every other attribute uniform. The canonical "skewed feed" the
+/// adaptive and build-sanity suites drive regime changes with.
+inline JointDistribution peak_joint(const SchemaPtr& schema, bool high,
+                                    double mass = 0.95, double width = 0.2) {
+  std::vector<DiscreteDistribution> marginals;
+  marginals.reserve(schema->attribute_count());
+  marginals.push_back(shapes::percent_peak(
+      schema->attribute(0).domain.size(), mass, high, width));
+  for (AttributeId id = 1; id < schema->attribute_count(); ++id) {
+    marginals.push_back(shapes::equal(schema->attribute(id).domain.size()));
+  }
+  return JointDistribution::independent(schema, std::move(marginals));
+}
+
+/// Draws `count` events from `joint` with the deterministic library RNG
+/// (common/rng.hpp via EventSampler). One shared generator keeps the
+/// integration, adaptive, and smoke suites' event streams identical for a
+/// given (joint, count, seed) triple.
+inline std::vector<Event> event_stream(const JointDistribution& joint,
+                                       std::size_t count, std::uint64_t seed) {
+  EventSampler sampler(joint, seed);
+  return sampler.sample_batch(count);
 }
 
 }  // namespace genas::testutil
