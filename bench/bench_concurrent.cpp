@@ -1,0 +1,78 @@
+// Multi-threaded wall-clock throughput of the broker designs
+// (google-benchmark ->Threads sweep): the pre-snapshot single-mutex broker
+// vs the lock-free snapshot broker, plus the batch publish pipeline. The
+// ISSUE-2 acceptance workload: 10,000 equality profiles, gaussian events.
+//
+//   ./bench_concurrent                        # full run
+//   ./bench_concurrent --benchmark_min_time=0.01s   # CI smoke
+//
+// Aggregate items/sec across threads is the figure of merit; on a
+// multi-core host the snapshot broker's aggregate events/sec should scale
+// with cores while the mutex broker's stays flat.
+#include <benchmark/benchmark.h>
+
+#include "bench_ens_util.hpp"
+
+namespace {
+
+using namespace genas;
+using bench::EnsFixture;
+
+EnsFixture& fixture() {
+  static EnsFixture f;  // magic static: thread-safe one-time build
+  return f;
+}
+
+void BM_MutexBrokerPublish(benchmark::State& state) {
+  EnsFixture& f = fixture();
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 997;
+  std::uint64_t notified = 0;
+  for (auto _ : state) {
+    notified += f.mutex_broker->publish(f.events[i++ & 4095]);
+    benchmark::DoNotOptimize(notified);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SnapshotBrokerPublish(benchmark::State& state) {
+  EnsFixture& f = fixture();
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 997;
+  std::uint64_t notified = 0;
+  for (auto _ : state) {
+    notified += f.snapshot_broker->publish(f.events[i++ & 4095]).notified;
+    benchmark::DoNotOptimize(notified);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SnapshotBrokerPublishBatch(benchmark::State& state) {
+  EnsFixture& f = fixture();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 997;
+  for (auto _ : state) {
+    const std::size_t begin = i % (f.events.size() - batch + 1);
+    const std::span<const Event> events(f.events.data() + begin, batch);
+    benchmark::DoNotOptimize(f.snapshot_broker->publish_batch(events));
+    i += batch;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MutexBrokerPublish)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_SnapshotBrokerPublish)->Threads(1)->Threads(2)->Threads(4)
+    ->Threads(8)->UseRealTime();
+BENCHMARK(BM_SnapshotBrokerPublishBatch)->Arg(256)->Threads(1)->Threads(4)
+    ->UseRealTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fixture();  // one-off 10k-profile build, outside every timed region
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Standalone perf report: measures the ISSUE-2 acceptance numbers and emits
+// them as JSON (BENCH_throughput.json), seeding the perf trajectory.
+//
+//   ./bench_perf_report [output.json] [--quick]
+//
+// Measured on the 10,000-equality-profile workload:
+//   * matcher_node_events_per_sec / matcher_flat_events_per_sec — raw
+//     single-thread match throughput of the node-form vs flat-form tree
+//     (the flat/node ratio is the cache-layout win);
+//   * broker "mutex" vs "snapshot" aggregate events/sec at 1 and 4
+//     publisher threads (the concurrency win — meaningful only when the
+//     host grants ≥4 hardware threads, see hardware_threads);
+//   * snapshot_batch256_events_per_sec — the amortized batch pipeline.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_ens_util.hpp"
+#include "match/tree_matcher.hpp"
+
+namespace {
+
+using namespace genas;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `body(i)` repeatedly for ~`budget` seconds; returns iterations/sec.
+template <typename Body>
+double measure_rate(double budget, const Body& body) {
+  // Warm-up pass.
+  for (std::size_t i = 0; i < 1024; ++i) body(i);
+  std::size_t iterations = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while ((elapsed = seconds_since(start)) < budget) {
+    for (std::size_t k = 0; k < 512; ++k) body(iterations++);
+  }
+  return static_cast<double>(iterations) / elapsed;
+}
+
+/// Aggregate events/sec of `threads` publishers calling `publish(i)`.
+template <typename Publish>
+double measure_threaded_rate(int threads, double budget,
+                             const Publish& publish) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t) * 997;
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < 256; ++k) publish(i++);
+        local += 256;
+      }
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(budget));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  return static_cast<double>(total.load()) / seconds_since(start);
+}
+
+void put(std::ostream& os, const char* key, double value, bool last = false) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  os << "  \"" << key << "\": " << buffer << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_throughput.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      output = argv[i];
+    }
+  }
+  const double budget = quick ? 0.1 : 1.5;
+
+  std::cerr << "building 10,000-profile fixture...\n";
+  bench::EnsFixture fixture;
+  const std::size_t mask = fixture.events.size() - 1;
+
+  // Raw matcher throughput: node layout vs flat layout, single thread.
+  OrderingPolicy policy;
+  policy.strategy = SearchStrategy::kBinary;
+  ProfileWorkloadOptions options;
+  options.count = 10000;
+  options.dont_care_probability = 0.2;
+  options.equality_only = true;
+  options.seed = 21;
+  const ProfileSet profiles = generate_profiles(
+      fixture.schema, make_profile_distributions(fixture.schema, {"gauss"}),
+      options);
+  TreeMatcher matcher(profiles, policy, fixture.joint);
+
+  matcher.use_flat_layout(false);
+  const double node_rate = measure_rate(budget, [&](std::size_t i) {
+    const MatchOutcome outcome = matcher.match(fixture.events[i & mask]);
+    if (outcome.operations == UINT64_MAX) std::abort();  // keep it live
+  });
+  matcher.use_flat_layout(true);
+  const double flat_rate = measure_rate(budget, [&](std::size_t i) {
+    const MatchOutcome outcome = matcher.match(fixture.events[i & mask]);
+    if (outcome.operations == UINT64_MAX) std::abort();
+  });
+  // Allocation-free variant: match the flat tree directly, as the broker's
+  // lock-free publish path does (no MatchOutcome heap copy).
+  const FlatProfileTree& flat_tree = matcher.flat();
+  const double flat_span_rate = measure_rate(budget, [&](std::size_t i) {
+    const FlatMatch match = flat_tree.match(fixture.events[i & mask]);
+    if (match.operations == UINT64_MAX) std::abort();
+  });
+
+  const auto publish_mutex = [&](std::size_t i) {
+    fixture.mutex_broker->publish(fixture.events[i & mask]);
+  };
+  const auto publish_snapshot = [&](std::size_t i) {
+    fixture.snapshot_broker->publish(fixture.events[i & mask]);
+  };
+  const double mutex_1t = measure_threaded_rate(1, budget, publish_mutex);
+  const double mutex_4t = measure_threaded_rate(4, budget, publish_mutex);
+  const double snapshot_1t = measure_threaded_rate(1, budget, publish_snapshot);
+  const double snapshot_4t = measure_threaded_rate(4, budget, publish_snapshot);
+
+  constexpr std::size_t kBatch = 256;
+  const double batch_rate =
+      kBatch * measure_rate(budget, [&](std::size_t i) {
+        const std::size_t begin =
+            (i * kBatch) % (fixture.events.size() - kBatch + 1);
+        fixture.snapshot_broker->publish_batch(
+            {fixture.events.data() + begin, kBatch});
+      });
+
+  std::ofstream os(output);
+  os << "{\n";
+  os << "  \"workload\": \"10000 equality profiles, 3x[0,99] schema, "
+        "gauss events\",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "  \"note\": \"multi-thread ratios are meaningful only when "
+        "hardware_threads >= 4; see README 'Performance harness'\",\n";
+  put(os, "matcher_node_events_per_sec", node_rate);
+  put(os, "matcher_flat_events_per_sec", flat_rate);
+  put(os, "matcher_flat_span_events_per_sec", flat_span_rate);
+  put(os, "flat_over_node_speedup", node_rate > 0 ? flat_rate / node_rate : 0);
+  put(os, "broker_mutex_1thread_events_per_sec", mutex_1t);
+  put(os, "broker_mutex_4thread_events_per_sec", mutex_4t);
+  put(os, "broker_snapshot_1thread_events_per_sec", snapshot_1t);
+  put(os, "broker_snapshot_4thread_events_per_sec", snapshot_4t);
+  put(os, "snapshot_over_mutex_4thread_speedup",
+      mutex_4t > 0 ? snapshot_4t / mutex_4t : 0);
+  put(os, "snapshot_batch256_events_per_sec", batch_rate, true);
+  os << "}\n";
+  std::cout << "wrote " << output << "\n";
+  return 0;
+}

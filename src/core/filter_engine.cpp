@@ -50,8 +50,14 @@ JointDistribution FilterEngine::effective_distribution() const {
 }
 
 void FilterEngine::rebuild_locked(const JointDistribution& distribution) {
-  tree_ = std::make_shared<const ProfileTree>(
+  // Build off to the side, then swap the snapshot pointer in one shot: a
+  // caller holding the previous snapshot keeps matching against it.
+  auto tree = std::make_shared<const ProfileTree>(
       build_tree(profiles_, options_.policy, distribution));
+  auto flat = std::make_shared<const FlatProfileTree>(
+      FlatProfileTree::compile(*tree));
+  snapshot_ = std::make_shared<const MatchSnapshot>(
+      MatchSnapshot{std::move(tree), std::move(flat)});
   ++rebuild_count_;
   if (adaptive_.has_value()) adaptive_->mark_rebuilt(distribution);
 }
@@ -59,14 +65,30 @@ void FilterEngine::rebuild_locked(const JointDistribution& distribution) {
 void FilterEngine::rebuild() { rebuild_locked(effective_distribution()); }
 
 void FilterEngine::ensure_fresh() {
-  if (tree_ == nullptr || tree_->source_version() != profiles_.version()) {
+  if (snapshot_ == nullptr ||
+      snapshot_->tree->source_version() != profiles_.version()) {
     rebuild();
   }
 }
 
 const ProfileTree& FilterEngine::tree() {
   ensure_fresh();
-  return *tree_;
+  return *snapshot_->tree;
+}
+
+std::shared_ptr<const MatchSnapshot> FilterEngine::snapshot() {
+  ensure_fresh();
+  return snapshot_;
+}
+
+bool FilterEngine::observe_adaptive(const Event& event) {
+  if (!adaptive_.has_value()) return false;
+  adaptive_->observe(event);
+  if (adaptive_->should_rebuild()) {
+    rebuild_locked(adaptive_->estimate());
+    return true;
+  }
+  return false;
 }
 
 EngineMatch FilterEngine::match(const Event& event) {
@@ -75,13 +97,49 @@ EngineMatch FilterEngine::match(const Event& event) {
   ensure_fresh();
 
   EngineMatch outcome;
-  const TreeMatch result = tree_->match(event);
+  const FlatMatch result = snapshot_->flat->match(event);
   outcome.operations = result.operations;
-  if (result.matched != nullptr) outcome.matched = *result.matched;
+  outcome.matched.assign(result.matched, result.matched + result.matched_count);
   ++events_matched_;
 
+  outcome.rebuilt = observe_adaptive(event);
+  return outcome;
+}
+
+EngineBatchMatch FilterEngine::match_batch(std::span<const Event> events,
+                                           std::vector<ProfileId>& matched,
+                                           std::vector<std::size_t>& offsets) {
+  matched.clear();
+  offsets.clear();
+  offsets.reserve(events.size() + 1);
+  offsets.push_back(0);
+
+  EngineBatchMatch outcome;
+  if (events.empty()) return outcome;
+
+  for (const Event& event : events) {
+    GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                  "event schema differs from engine schema");
+  }
+  ensure_fresh();
+
+  // One snapshot serves the whole batch; the shared_ptr keeps the posting
+  // slabs alive even if the deferred adaptive rebuild below swaps snapshot_.
+  const std::shared_ptr<const MatchSnapshot> snapshot = snapshot_;
+  for (const Event& event : events) {
+    const FlatMatch result = snapshot->flat->match(event);
+    outcome.operations += result.operations;
+    if (result.matched_count > 0) ++outcome.matched_events;
+    matched.insert(matched.end(), result.matched,
+                   result.matched + result.matched_count);
+    offsets.push_back(matched.size());
+  }
+  events_matched_ += events.size();
+
+  // The adaptive controller observes every event, but a drift rebuild is
+  // deferred to the batch boundary so the batch matches one consistent tree.
   if (adaptive_.has_value()) {
-    adaptive_->observe(event);
+    for (const Event& event : events) adaptive_->observe(event);
     if (adaptive_->should_rebuild()) {
       rebuild_locked(adaptive_->estimate());
       outcome.rebuilt = true;
@@ -92,7 +150,7 @@ EngineMatch FilterEngine::match(const Event& event) {
 
 void FilterEngine::set_policy(OrderingPolicy policy) {
   options_.policy = std::move(policy);
-  tree_.reset();  // force rebuild on next use
+  snapshot_.reset();  // force rebuild on next use
 }
 
 }  // namespace genas

@@ -6,19 +6,31 @@
 // lazily — subscription changes mark the tree stale and the next match (or
 // an explicit rebuild()) refreshes it.
 //
-// Thread-safety: FilterEngine is single-threaded by design; the ENS broker
-// (src/ens/broker.hpp) adds synchronization and atomic tree swapping on top.
+// Every rebuild produces an immutable MatchSnapshot: the node-form tree
+// (build / expected-cost / dump representation) plus its FlatProfileTree
+// compilation (the cache-friendly hot match path). snapshot() hands the
+// current one out as a shared_ptr, so a caller can keep matching against a
+// consistent tree while the engine mutates and rebuilds off to the side —
+// this is what the broker's lock-free publish path is built on.
+//
+// Thread-safety: FilterEngine itself is single-threaded by design (callers
+// serialize mutations); but a MatchSnapshot, once obtained, is immutable and
+// safe to match against from any number of threads. The ENS broker
+// (src/ens/broker.hpp) layers the mutation mutex and atomic snapshot
+// publication on top.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/adaptive_filter.hpp"
 #include "core/ordering_policy.hpp"
 #include "profile/parser.hpp"
+#include "tree/flat_tree.hpp"
 #include "tree/profile_tree.hpp"
 
 namespace genas {
@@ -38,6 +50,21 @@ struct EngineMatch {
   std::vector<ProfileId> matched;  ///< owned copy, safe across rebuilds
   std::uint64_t operations = 0;
   bool rebuilt = false;  ///< this match triggered an adaptive rebuild
+};
+
+/// Aggregate outcome of matching a batch of events (match_batch).
+struct EngineBatchMatch {
+  std::size_t matched_events = 0;  ///< events that matched ≥ 1 profile
+  std::uint64_t operations = 0;
+  bool rebuilt = false;  ///< the batch triggered an adaptive rebuild
+};
+
+/// Immutable (tree, flat tree) pair produced by one rebuild. Matching
+/// against it is thread-safe and allocation-free; `flat->match()` results
+/// point into the snapshot, so hold the shared_ptr while using them.
+struct MatchSnapshot {
+  std::shared_ptr<const ProfileTree> tree;
+  std::shared_ptr<const FlatProfileTree> flat;
 };
 
 /// High-level distribution-based filter (the paper's "adaptive filter
@@ -63,6 +90,16 @@ class FilterEngine {
   /// controller, and rebuilds when drift demands it.
   EngineMatch match(const Event& event);
 
+  /// Matches a batch of events against one snapshot acquisition. Matched
+  /// profile ids are appended CSR-style into caller-owned buffers that are
+  /// cleared and reused across calls (no per-event allocation once their
+  /// capacity is warm): after the call, the ids matched by events[i] are
+  /// matched[offsets[i] .. offsets[i+1]). The adaptive controller observes
+  /// every event, but a drift rebuild is deferred to the end of the batch.
+  EngineBatchMatch match_batch(std::span<const Event> events,
+                               std::vector<ProfileId>& matched,
+                               std::vector<std::size_t>& offsets);
+
   /// Forces an immediate rebuild against the best-known distribution.
   void rebuild();
 
@@ -77,6 +114,11 @@ class FilterEngine {
   /// Current tree (rebuilds first if stale).
   const ProfileTree& tree();
 
+  /// Current immutable snapshot (rebuilds first if stale). Never null. The
+  /// caller may match against it concurrently with engine mutations; it
+  /// simply keeps seeing the profile set as of this call.
+  std::shared_ptr<const MatchSnapshot> snapshot();
+
   std::uint64_t rebuild_count() const noexcept { return rebuild_count_; }
   std::uint64_t events_matched() const noexcept { return events_matched_; }
 
@@ -85,15 +127,23 @@ class FilterEngine {
     return adaptive_ ? &*adaptive_ : nullptr;
   }
 
+  /// True when the adaptive loop is enabled — matching then mutates the
+  /// drift estimator, so callers that share the engine across threads must
+  /// serialize match() as well (the broker checks exactly this).
+  bool adaptive_enabled() const noexcept { return adaptive_.has_value(); }
+
  private:
   void ensure_fresh();
   void rebuild_locked(const JointDistribution& distribution);
+  /// Feeds one event to the adaptive controller; returns true when drift
+  /// triggered a rebuild.
+  bool observe_adaptive(const Event& event);
 
   SchemaPtr schema_;
   EngineOptions options_;
   ProfileSet profiles_;
   std::optional<AdaptiveController> adaptive_;
-  std::shared_ptr<const ProfileTree> tree_;
+  std::shared_ptr<const MatchSnapshot> snapshot_;
   std::uint64_t rebuild_count_ = 0;
   std::uint64_t events_matched_ = 0;
 };

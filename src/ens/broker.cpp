@@ -1,11 +1,57 @@
 #include "ens/broker.hpp"
 
+#include <array>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace genas {
 
+namespace {
+
+/// One pending delivery collected during matching and drained afterwards.
+/// The callback pointer aims into the snapshot's route table (kept alive by
+/// the shared_ptr held across the publish call).
+struct Delivery {
+  const NotificationCallback* callback = nullptr;
+  SubscriptionId subscription = 0;
+  std::size_t event_index = 0;  // into the batch; 0 for single publish
+};
+
+/// Thread-local delivery scratch, moved out while in use so re-entrant
+/// publishes from callbacks get their own (fresh) buffer instead of
+/// clobbering the one being drained.
+std::vector<Delivery>& delivery_scratch_slot() {
+  static thread_local std::vector<Delivery> scratch;
+  return scratch;
+}
+
+std::vector<Delivery> take_delivery_scratch() {
+  std::vector<Delivery> out = std::move(delivery_scratch_slot());
+  out.clear();
+  return out;
+}
+
+void return_delivery_scratch(std::vector<Delivery>&& buffer) {
+  buffer.clear();
+  delivery_scratch_slot() = std::move(buffer);
+}
+
+}  // namespace
+
+namespace {
+
+std::uint64_t next_broker_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 Broker::Broker(SchemaPtr schema, EngineOptions options)
-    : schema_(schema), engine_(schema, std::move(options)) {
+    : schema_(schema),
+      engine_(schema, std::move(options)),
+      broker_id_(next_broker_id()) {
   GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
                 "broker requires a schema");
 }
@@ -17,8 +63,11 @@ SubscriptionId Broker::subscribe(Profile profile,
   const std::scoped_lock lock(mutex_);
   const ProfileId profile_id = engine_.subscribe(std::move(profile));
   const SubscriptionId id = next_id_++;
-  subscriptions_.emplace(id, Subscription{profile_id, std::move(callback)});
+  subscriptions_.emplace(
+      id, Subscription{profile_id, std::make_shared<const NotificationCallback>(
+                                       std::move(callback))});
   by_profile_.emplace(profile_id, id);
+  version_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
@@ -35,37 +84,100 @@ void Broker::unsubscribe(SubscriptionId id) {
   engine_.unsubscribe(it->second.profile);
   by_profile_.erase(it->second.profile);
   subscriptions_.erase(it);
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
+    bool* rebuilt) {
+  // Per-thread snapshot handles. Only this thread ever touches its slots,
+  // so the fast path below performs no shared-state access beyond the
+  // version load and the refcount bump of the returned copy. The array is
+  // fully associative (linear scan of 8 entries): up to 8 live brokers per
+  // thread cache without evicting each other; beyond that, colliding
+  // brokers fall back to the mutex slow path on each publish. A slot of a
+  // destroyed broker pins one stale snapshot until the slot is reused or
+  // the thread exits.
+  struct Slot {
+    std::uint64_t broker = 0;
+    std::shared_ptr<const Snapshot> snapshot;
+  };
+  static thread_local std::array<Slot, 8> slots;
+  Slot* slot = nullptr;
+  for (Slot& candidate : slots) {
+    if (candidate.broker == broker_id_) {
+      slot = &candidate;
+      break;
+    }
+    if (slot == nullptr && candidate.broker == 0) slot = &candidate;
+  }
+  if (slot == nullptr) slot = &slots[broker_id_ % slots.size()];
+
+  // Fast path: the cached snapshot is current — one atomic version load.
+  const std::uint64_t version = version_.load(std::memory_order_acquire);
+  if (slot->broker == broker_id_ && slot->snapshot != nullptr &&
+      slot->snapshot->version == version) {
+    return slot->snapshot;
+  }
+
+  // Slow path: refresh the cache — and rebuild the snapshot if a mutation
+  // outdated it — under the mutation mutex.
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t current = version_.load(std::memory_order_relaxed);
+  if (snapshot_ == nullptr || snapshot_->version != current) {
+    auto fresh = std::make_shared<Snapshot>();
+    fresh->version = current;
+    const std::uint64_t builds_before = engine_.rebuild_count();
+    fresh->match = engine_.snapshot();
+    if (rebuilt != nullptr && engine_.rebuild_count() != builds_before) {
+      *rebuilt = true;
+    }
+    fresh->routes.resize(engine_.profiles().capacity());
+    for (const auto& [profile, subscription] : by_profile_) {
+      fresh->routes[profile] =
+          Route{subscription, subscriptions_.at(subscription).callback};
+    }
+    snapshot_ = std::move(fresh);
+  }
+  slot->broker = broker_id_;
+  slot->snapshot = snapshot_;
+  return slot->snapshot;
 }
 
 PublishResult Broker::publish(const Event& event) {
-  PublishResult result;
-  // Collect deliveries under the lock, invoke callbacks outside it.
-  std::vector<std::pair<NotificationCallback, Notification>> deliveries;
-  {
-    const std::scoped_lock lock(mutex_);
-    const EngineMatch outcome = engine_.match(event);
-    result.operations = outcome.operations;
-    result.rebuilt = outcome.rebuilt;
-
-    counters_.events_published += 1;
-    counters_.operations += outcome.operations;
-    if (!outcome.matched.empty()) counters_.events_matched += 1;
-
-    deliveries.reserve(outcome.matched.size());
-    for (const ProfileId profile : outcome.matched) {
-      const auto sub_it = by_profile_.find(profile);
-      if (sub_it == by_profile_.end()) continue;  // racing unsubscribe
-      const Subscription& sub = subscriptions_.at(sub_it->second);
-      deliveries.emplace_back(sub.callback,
-                              Notification{sub_it->second, event});
-    }
-    counters_.notifications += deliveries.size();
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event schema differs from broker schema");
+  if (engine_.adaptive_enabled()) {
+    // Matching mutates the drift estimator, so route through the serialized
+    // batch pipeline (one lock, thread-local scratch, drain outside).
+    const BatchPublishResult batch = publish_batch({&event, 1});
+    return PublishResult{batch.notified, batch.operations, batch.rebuilt};
   }
 
-  for (const auto& [callback, notification] : deliveries) {
-    callback(notification);
+  PublishResult result;
+  const std::shared_ptr<const Snapshot> snapshot =
+      acquire_snapshot(&result.rebuilt);
+  const FlatMatch match = snapshot->match->flat->match(event);
+  result.operations = match.operations;
+
+  events_published_.fetch_add(1, std::memory_order_relaxed);
+  operations_.fetch_add(match.operations, std::memory_order_relaxed);
+  if (match.matched_count > 0) {
+    events_matched_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<Delivery> deliveries = take_delivery_scratch();
+  for (const ProfileId profile : match.span()) {
+    const Route& route = snapshot->routes[profile];
+    if (route.callback == nullptr) continue;  // racing unsubscribe
+    deliveries.push_back(Delivery{route.callback.get(), route.subscription});
   }
   result.notified = deliveries.size();
+  notifications_.fetch_add(deliveries.size(), std::memory_order_relaxed);
+
+  for (const Delivery& delivery : deliveries) {
+    (*delivery.callback)(Notification{delivery.subscription, event});
+  }
+  return_delivery_scratch(std::move(deliveries));
   return result;
 }
 
@@ -73,9 +185,89 @@ PublishResult Broker::publish(std::string_view event_text, Timestamp time) {
   return publish(parse_event(schema_, event_text, time));
 }
 
+BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
+  BatchPublishResult result;
+  result.events = events.size();
+  if (events.empty()) return result;
+  for (const Event& event : events) {
+    GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                  "event schema differs from broker schema");
+  }
+
+  std::vector<Delivery> deliveries = take_delivery_scratch();
+
+  // Keeps callback objects alive across the drain even if a re-entrant
+  // unsubscribe from a callback erases their table entries mid-pass.
+  std::vector<std::shared_ptr<const NotificationCallback>> keepalive;
+
+  if (engine_.adaptive_enabled()) {
+    // Serialized matching (the adaptive estimator mutates per event), but
+    // one lock acquisition for the whole batch and one drain pass after.
+    // CSR scratch lives in thread-local storage (same move-out idiom as the
+    // delivery buffer) so steady-state batches allocate nothing here.
+    static thread_local std::vector<ProfileId> matched_scratch;
+    static thread_local std::vector<std::size_t> offsets_scratch;
+    std::vector<ProfileId> matched = std::move(matched_scratch);
+    std::vector<std::size_t> offsets = std::move(offsets_scratch);
+    {
+      const std::scoped_lock lock(mutex_);
+      const EngineBatchMatch outcome =
+          engine_.match_batch(events, matched, offsets);
+      result.operations = outcome.operations;
+      result.matched_events = outcome.matched_events;
+      result.rebuilt = outcome.rebuilt;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+          const auto sub_it = by_profile_.find(matched[k]);
+          if (sub_it == by_profile_.end()) continue;
+          keepalive.push_back(subscriptions_.at(sub_it->second).callback);
+          deliveries.push_back(
+              Delivery{keepalive.back().get(), sub_it->second, i});
+        }
+      }
+    }
+    matched.clear();
+    offsets.clear();
+    matched_scratch = std::move(matched);
+    offsets_scratch = std::move(offsets);
+  } else {
+    const std::shared_ptr<const Snapshot> snapshot =
+        acquire_snapshot(&result.rebuilt);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FlatMatch match = snapshot->match->flat->match(events[i]);
+      result.operations += match.operations;
+      if (match.matched_count > 0) ++result.matched_events;
+      for (const ProfileId profile : match.span()) {
+        const Route& route = snapshot->routes[profile];
+        if (route.callback == nullptr) continue;  // racing unsubscribe
+        deliveries.push_back(
+            Delivery{route.callback.get(), route.subscription, i});
+      }
+    }
+  }
+
+  events_published_.fetch_add(events.size(), std::memory_order_relaxed);
+  events_matched_.fetch_add(result.matched_events, std::memory_order_relaxed);
+  operations_.fetch_add(result.operations, std::memory_order_relaxed);
+  notifications_.fetch_add(deliveries.size(), std::memory_order_relaxed);
+  result.notified = deliveries.size();
+
+  // Drain every notification in one pass, outside any lock.
+  for (const Delivery& delivery : deliveries) {
+    (*delivery.callback)(
+        Notification{delivery.subscription, events[delivery.event_index]});
+  }
+  return_delivery_scratch(std::move(deliveries));
+  return result;
+}
+
 ServiceCounters Broker::counters() const {
-  const std::scoped_lock lock(mutex_);
-  return counters_;
+  ServiceCounters counters;
+  counters.events_published = events_published_.load(std::memory_order_relaxed);
+  counters.events_matched = events_matched_.load(std::memory_order_relaxed);
+  counters.notifications = notifications_.load(std::memory_order_relaxed);
+  counters.operations = operations_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 std::size_t Broker::subscription_count() const {

@@ -2,15 +2,40 @@
 //
 // The service surface of an ENS (paper §1): users register profiles with a
 // callback; providers publish events; the broker filters through the
-// distribution-based engine and delivers notifications. Mutations and
-// matching are serialized behind one mutex (the engine itself is
-// single-threaded); callbacks are invoked outside the lock so subscribers
-// may call back into the broker.
+// distribution-based engine and delivers notifications.
+//
+// Threading model (RCU-style snapshots):
+//   * publish()/publish_batch() are lock-free on the hot path: each thread
+//     caches a shared_ptr to the current immutable Snapshot (flat profile
+//     tree + profile→callback route table) in thread-local storage and
+//     revalidates it with a single atomic version load per publish — no
+//     lock, no shared-state write beyond one refcount bump. Service
+//     counters are atomics. (A deliberate non-use of
+//     std::atomic<shared_ptr>: libstdc++'s is an embedded spinlock whose
+//     GCC 12 load unlocks relaxed — formally racy under TSan — and it costs
+//     three shared RMWs per load where the cache costs one.)
+//   * subscribe()/unsubscribe() take the mutation mutex, update the engine,
+//     and bump the snapshot version; the next publish that notices the stale
+//     version rebuilds the snapshot off to the side (under the mutex) and
+//     swaps it in atomically, so a burst of mutations costs one rebuild.
+//   * Callbacks are invoked outside the lock, so subscribers may re-enter
+//     the broker (subscribe/unsubscribe/publish) from a callback.
+//   * Consequence of snapshotting: a publish that raced a subscribe may
+//     either see or miss the new subscription, and an in-flight publish may
+//     deliver one final notification to a subscription whose unsubscribe()
+//     already returned. Deliveries are never lost or duplicated for
+//     subscriptions that are stable across the publish.
+//   * When the engine's adaptive loop is enabled, matching itself mutates
+//     the drift estimator, so publish falls back to serializing matches
+//     behind the mutex (delivery still happens outside it).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,7 +60,16 @@ using NotificationCallback = std::function<void(const Notification&)>;
 struct PublishResult {
   std::size_t notified = 0;        ///< notifications delivered
   std::uint64_t operations = 0;    ///< filter comparisons
-  bool rebuilt = false;            ///< adaptive rebuild happened
+  bool rebuilt = false;            ///< adaptive/snapshot rebuild happened
+};
+
+/// Aggregate result of one publish_batch call.
+struct BatchPublishResult {
+  std::size_t events = 0;          ///< events published
+  std::size_t matched_events = 0;  ///< events matching ≥ 1 profile
+  std::size_t notified = 0;        ///< notifications delivered
+  std::uint64_t operations = 0;    ///< filter comparisons
+  bool rebuilt = false;            ///< the batch refreshed the tree
 };
 
 class Broker {
@@ -50,10 +84,15 @@ class Broker {
 
   void unsubscribe(SubscriptionId id);
 
-  /// Filters and delivers one event.
+  /// Filters and delivers one event (lock-free unless adaptive).
   PublishResult publish(const Event& event);
   /// Parses "a=1; b=2" and publishes.
   PublishResult publish(std::string_view event_text, Timestamp time = 0);
+
+  /// Filters and delivers a batch against one snapshot acquisition:
+  /// matching reuses one scratch buffer across the batch and all
+  /// notifications drain in a single pass after matching.
+  BatchPublishResult publish_batch(std::span<const Event> events);
 
   const SchemaPtr& schema() const noexcept { return schema_; }
 
@@ -69,16 +108,54 @@ class Broker {
  private:
   struct Subscription {
     ProfileId profile;
-    NotificationCallback callback;
+    /// Single owner of the callback object; snapshots and in-flight
+    /// deliveries share it so a rebuild copies pointers, not
+    /// std::function state.
+    std::shared_ptr<const NotificationCallback> callback;
   };
 
+  /// One routing entry of a snapshot: where a matched profile's
+  /// notifications go.
+  struct Route {
+    SubscriptionId subscription = 0;
+    std::shared_ptr<const NotificationCallback> callback;
+  };
+
+  /// Immutable read-side state, swapped atomically on rebuild. Profile ids
+  /// are dense and append-only, so the route table is a flat vector indexed
+  /// by ProfileId; a null callback marks an id with no live subscription.
+  struct Snapshot {
+    std::uint64_t version = 0;
+    std::shared_ptr<const MatchSnapshot> match;  // tree + flat compilation
+    std::vector<Route> routes;
+  };
+
+  /// Returns the current snapshot: the thread-local cached handle when its
+  /// version is current (lock-free), else refreshes — rebuilding the
+  /// snapshot if stale — under the mutation mutex.
+  std::shared_ptr<const Snapshot> acquire_snapshot(bool* rebuilt);
+
   SchemaPtr schema_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards engine_, tables, snapshot rebuild
   FilterEngine engine_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
   std::unordered_map<ProfileId, SubscriptionId> by_profile_;
   SubscriptionId next_id_ = 1;
-  ServiceCounters counters_;
+
+  /// Distinguishes brokers in the thread-local snapshot caches (slots must
+  /// never alias across broker instances, even address-reused ones).
+  const std::uint64_t broker_id_;
+
+  /// Mutation counter; a snapshot built at version v serves reads until the
+  /// next mutation bumps it (always bumped under mutex_, read lock-free).
+  std::atomic<std::uint64_t> version_{1};
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by mutex_
+
+  // Service counters (atomic so the lock-free publish path can bump them).
+  std::atomic<std::uint64_t> events_published_{0};
+  std::atomic<std::uint64_t> events_matched_{0};
+  std::atomic<std::uint64_t> notifications_{0};
+  std::atomic<std::uint64_t> operations_{0};
 };
 
 }  // namespace genas

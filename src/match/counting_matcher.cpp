@@ -30,6 +30,8 @@ void CountingMatcher::rebuild(const ProfileSet& profiles) {
     index.decomposition = decompose(schema.attribute(a).domain.full(), sets);
     index.postings.resize(index.decomposition.cells.size());
     for (std::size_t cell = 0; cell < index.postings.size(); ++cell) {
+      index.postings[cell].reserve(
+          index.decomposition.cells[cell].accepters.size());
       for (const std::uint32_t c : index.decomposition.cells[cell].accepters) {
         index.postings[cell].push_back(constrained[c]);
       }
@@ -38,9 +40,9 @@ void CountingMatcher::rebuild(const ProfileSet& profiles) {
 
   for (const ProfileId id : active) {
     const auto count = profiles.profile(id).constrained_count();
-    GENAS_REQUIRE(count <= 255, ErrorCode::kInvalidArgument,
-                  "counting matcher supports at most 255 predicates/profile");
-    required_[id] = static_cast<std::uint8_t>(count);
+    GENAS_REQUIRE(count <= UINT16_MAX, ErrorCode::kInvalidArgument,
+                  "counting matcher supports at most 65535 predicates/profile");
+    required_[id] = static_cast<std::uint16_t>(count);
     if (count == 0) match_all_.push_back(id);
   }
 }

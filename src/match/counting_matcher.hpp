@@ -38,11 +38,15 @@ class CountingMatcher final : public Matcher {
     std::vector<std::vector<ProfileId>> postings;
   };
 
-  std::vector<AttributeIndex> attributes_;     // one per schema attribute
-  std::vector<std::uint8_t> required_;         // per profile id: #predicates
-  std::vector<ProfileId> match_all_;           // zero-predicate profiles
-  std::size_t capacity_ = 0;                   // profile id upper bound
-  mutable std::vector<std::uint8_t> counters_; // scratch, reset per match
+  // 16-bit counters: a profile constrains at most one predicate per schema
+  // attribute, so 65,535 covers any realistic schema; 8 bits silently
+  // wrapped past 255 predicates and could false-match (rebuild rejects
+  // anything wider instead).
+  std::vector<AttributeIndex> attributes_;      // one per schema attribute
+  std::vector<std::uint16_t> required_;         // per profile id: #predicates
+  std::vector<ProfileId> match_all_;            // zero-predicate profiles
+  std::size_t capacity_ = 0;                    // profile id upper bound
+  mutable std::vector<std::uint16_t> counters_; // scratch, reset per match
 };
 
 }  // namespace genas

@@ -12,13 +12,22 @@ TreeMatcher::TreeMatcher(const ProfileSet& profiles, OrderingPolicy policy,
 void TreeMatcher::rebuild(const ProfileSet& profiles) {
   tree_ = std::make_unique<const ProfileTree>(
       build_tree(profiles, policy_, distribution_));
+  flat_ = std::make_unique<const FlatProfileTree>(
+      FlatProfileTree::compile(*tree_));
 }
 
 MatchOutcome TreeMatcher::match(const Event& event) const {
-  const TreeMatch result = tree_->match(event);
   MatchOutcome outcome;
-  outcome.operations = result.operations;
-  if (result.matched != nullptr) outcome.matched = *result.matched;
+  if (use_flat_) {
+    const FlatMatch result = flat_->match(event);
+    outcome.operations = result.operations;
+    outcome.matched.assign(result.matched,
+                           result.matched + result.matched_count);
+  } else {
+    const TreeMatch result = tree_->match(event);
+    outcome.operations = result.operations;
+    if (result.matched != nullptr) outcome.matched = *result.matched;
+  }
   return outcome;
 }
 

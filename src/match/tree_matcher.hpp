@@ -9,6 +9,7 @@
 
 #include "core/ordering_policy.hpp"
 #include "match/matcher.hpp"
+#include "tree/flat_tree.hpp"
 #include "tree/profile_tree.hpp"
 
 namespace genas {
@@ -20,16 +21,23 @@ class TreeMatcher final : public Matcher {
 
   std::string_view name() const noexcept override { return "tree"; }
 
+  /// Matches against the flat compiled form (the hot path). Set
+  /// `use_flat_layout(false)` to force the node form (layout benchmarks).
   MatchOutcome match(const Event& event) const override;
 
   void rebuild(const ProfileSet& profiles) override;
 
   const ProfileTree& tree() const noexcept { return *tree_; }
+  const FlatProfileTree& flat() const noexcept { return *flat_; }
+
+  void use_flat_layout(bool flat) noexcept { use_flat_ = flat; }
 
  private:
   OrderingPolicy policy_;
   std::optional<JointDistribution> distribution_;
   std::unique_ptr<const ProfileTree> tree_;
+  std::unique_ptr<const FlatProfileTree> flat_;
+  bool use_flat_ = true;
 };
 
 }  // namespace genas

@@ -119,5 +119,93 @@ TEST_F(BrokerTest, Validation) {
   EXPECT_THROW(Broker(nullptr), Error);
 }
 
+TEST_F(BrokerTest, PublishBatchMatchesSinglePublishes) {
+  Broker single(schema_);
+  std::vector<std::pair<SubscriptionId, Timestamp>> batch_seen, single_seen;
+  for (Broker* broker : {&broker_, &single}) {
+    auto* seen = broker == &broker_ ? &batch_seen : &single_seen;
+    broker->subscribe("temperature >= 35", [seen](const Notification& n) {
+      seen->emplace_back(n.subscription, n.event.time());
+    });
+    broker->subscribe("humidity >= 90", [seen](const Notification& n) {
+      seen->emplace_back(n.subscription, n.event.time());
+    });
+  }
+
+  std::vector<Event> events;
+  for (Timestamp t = 0; t < 8; ++t) {
+    events.push_back(Event::from_pairs(
+        schema_,
+        {{"temperature", 30 + 2 * t}, {"humidity", 88 + t}, {"radiation", 1}},
+        t));
+  }
+
+  const BatchPublishResult batch = broker_.publish_batch(events);
+  std::size_t single_notified = 0;
+  std::uint64_t single_operations = 0;
+  std::size_t single_matched_events = 0;
+  for (const Event& event : events) {
+    const PublishResult result = single.publish(event);
+    single_notified += result.notified;
+    single_operations += result.operations;
+    if (result.notified > 0) ++single_matched_events;
+  }
+
+  EXPECT_EQ(batch.events, events.size());
+  EXPECT_EQ(batch.notified, single_notified);
+  EXPECT_EQ(batch.operations, single_operations);
+  EXPECT_EQ(batch.matched_events, single_matched_events);
+  EXPECT_EQ(batch_seen, single_seen);
+
+  const ServiceCounters counters = broker_.counters();
+  EXPECT_EQ(counters.events_published, events.size());
+  EXPECT_EQ(counters.notifications, batch.notified);
+  EXPECT_EQ(counters.operations, batch.operations);
+
+  EXPECT_EQ(broker_.publish_batch({}).events, 0u);
+}
+
+TEST_F(BrokerTest, PublishBatchDrainsNotificationsOutsideLock) {
+  // A callback fired from a batch may re-enter the broker (subscribe or
+  // even publish another batch) without deadlocking.
+  int fired = 0;
+  broker_.subscribe("temperature >= 35", [&](const Notification&) {
+    if (++fired == 1) {
+      broker_.subscribe("humidity >= 90", [](const Notification&) {});
+      broker_.publish("temperature = 36; humidity = 0; radiation = 1");
+    }
+  });
+  std::vector<Event> events = {
+      Event::from_pairs(schema_, {{"temperature", 40},
+                                  {"humidity", 0},
+                                  {"radiation", 1}})};
+  const BatchPublishResult result = broker_.publish_batch(events);
+  EXPECT_EQ(result.notified, 1u);
+  EXPECT_EQ(fired, 2);  // re-entrant publish delivered too
+  EXPECT_EQ(broker_.subscription_count(), 2u);
+}
+
+TEST_F(BrokerTest, PublishBatchWithAdaptiveEngineStillDelivers) {
+  EngineOptions options;
+  AdaptiveOptions adaptive;
+  adaptive.min_observations = 4;
+  adaptive.rebuild_cooldown = 4;
+  options.adaptive = adaptive;
+  Broker broker(schema_, options);
+  int fired = 0;
+  broker.subscribe("temperature >= 35", [&](const Notification&) { ++fired; });
+
+  std::vector<Event> events;
+  for (int i = 0; i < 16; ++i) {
+    events.push_back(Event::from_pairs(
+        schema_,
+        {{"temperature", 40}, {"humidity", i % 100}, {"radiation", 1}}));
+  }
+  const BatchPublishResult result = broker.publish_batch(events);
+  EXPECT_EQ(result.notified, 16u);
+  EXPECT_EQ(fired, 16);
+  EXPECT_EQ(broker.counters().events_published, 16u);
+}
+
 }  // namespace
 }  // namespace genas

@@ -119,6 +119,92 @@ TEST_F(FilterEngineTest, AdaptiveLoopRebuildsOnDrift) {
   EXPECT_GE(engine.adaptive()->rebuilds(), 2u);
 }
 
+TEST_F(FilterEngineTest, SnapshotIsImmutableAcrossMutations) {
+  FilterEngine engine(schema_);
+  const ProfileId hot = engine.subscribe("temperature >= 35");
+  const std::shared_ptr<const MatchSnapshot> snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_NE(snapshot->tree, nullptr);
+  ASSERT_NE(snapshot->flat, nullptr);
+  EXPECT_EQ(snapshot->flat->source_version(),
+            snapshot->tree->source_version());
+
+  // Mutate and rebuild: the old snapshot must keep matching the old set.
+  engine.subscribe("humidity >= 90");
+  const std::shared_ptr<const MatchSnapshot> fresh = engine.snapshot();
+  EXPECT_NE(fresh, snapshot);
+
+  const Event wet = make_event(0, 95, 1);
+  EXPECT_EQ(snapshot->flat->match(wet).matched_count, 0u);  // old: hot only
+  ASSERT_EQ(fresh->flat->match(wet).matched_count, 1u);
+
+  const Event both = make_event(40, 95, 1);
+  const FlatMatch old_match = snapshot->flat->match(both);
+  ASSERT_EQ(old_match.matched_count, 1u);
+  EXPECT_EQ(old_match.matched[0], hot);
+  EXPECT_EQ(fresh->flat->match(both).matched_count, 2u);
+}
+
+TEST_F(FilterEngineTest, MatchBatchAgreesWithSingleMatches) {
+  FilterEngine engine(schema_);
+  engine.subscribe("temperature >= 35");
+  engine.subscribe("humidity >= 90");
+  engine.subscribe("radiation >= 50");
+
+  const std::vector<Event> events = {
+      make_event(40, 95, 1),  make_event(0, 0, 99), make_event(-30, 0, 1),
+      make_event(36, 91, 77), make_event(35, 90, 50)};
+
+  std::vector<ProfileId> matched;
+  std::vector<std::size_t> offsets;
+  const EngineBatchMatch batch = engine.match_batch(events, matched, offsets);
+
+  ASSERT_EQ(offsets.size(), events.size() + 1);
+  std::uint64_t single_operations = 0;
+  std::size_t single_matched_events = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const EngineMatch single = engine.match(events[i]);
+    single_operations += single.operations;
+    if (!single.matched.empty()) ++single_matched_events;
+    const std::vector<ProfileId> slice(matched.begin() + offsets[i],
+                                       matched.begin() + offsets[i + 1]);
+    EXPECT_EQ(slice, single.matched) << "event " << i;
+  }
+  EXPECT_EQ(batch.operations, single_operations);
+  EXPECT_EQ(batch.matched_events, single_matched_events);
+  EXPECT_FALSE(batch.rebuilt);
+
+  // Buffer reuse: a second batch clears and refills the same vectors.
+  const std::size_t capacity = matched.capacity();
+  engine.match_batch(events, matched, offsets);
+  EXPECT_EQ(offsets.size(), events.size() + 1);
+  EXPECT_GE(matched.capacity(), capacity);
+}
+
+TEST_F(FilterEngineTest, MatchBatchFeedsAdaptiveLoop) {
+  EngineOptions options;
+  AdaptiveOptions adaptive;
+  adaptive.min_observations = 100;
+  adaptive.rebuild_cooldown = 100;
+  adaptive.drift_threshold = 0.4;
+  adaptive.decay = 0.995;
+  options.adaptive = adaptive;
+  FilterEngine engine(schema_, options);
+  engine.subscribe("temperature >= 35");
+
+  const std::vector<Event> low =
+      testutil::event_stream(testutil::peak_joint(schema_, false), 256, 3);
+  std::vector<ProfileId> matched;
+  std::vector<std::size_t> offsets;
+  bool rebuilt = false;
+  for (int round = 0; round < 4; ++round) {
+    rebuilt |= engine.match_batch(low, matched, offsets).rebuilt;
+  }
+  EXPECT_TRUE(rebuilt);  // batch observations drive the first optimization
+  ASSERT_NE(engine.adaptive(), nullptr);
+  EXPECT_EQ(engine.adaptive()->observations(), 4u * 256u);
+}
+
 TEST_F(FilterEngineTest, Validation) {
   EXPECT_THROW(FilterEngine(nullptr), Error);
   FilterEngine engine(schema_);

@@ -115,6 +115,39 @@ TEST(Matchers, TreeVisitsFarFewerPostingsThanNaiveOnBigSets) {
   EXPECT_LT(tree_ops * 20, naive_ops);
 }
 
+TEST(Matchers, CountingSurvivesMoreThan255Predicates) {
+  // Regression: required_/counters_ were std::uint8_t, so a profile with
+  // more than 255 predicates wrapped (e.g. 260 -> 4) and an event matching
+  // exactly the wrapped count of predicates false-matched.
+  constexpr std::size_t kAttributes = 260;
+  SchemaBuilder builder;
+  for (std::size_t i = 0; i < kAttributes; ++i) {
+    builder.add_integer("a" + std::to_string(i), 0, 1);
+  }
+  const SchemaPtr schema = builder.build();
+
+  ProfileSet set(schema);
+  ProfileBuilder profile(schema);
+  for (std::size_t i = 0; i < kAttributes; ++i) {
+    profile.where("a" + std::to_string(i), Op::kEq, 1);
+  }
+  const ProfileId wants_all = set.add(profile.build());
+  const CountingMatcher counting(set);
+
+  // 260 % 256 == 4: satisfy exactly 4 predicates — the wrapped counter
+  // would have reported a match here.
+  std::vector<DomainIndex> indices(kAttributes, 0);
+  for (std::size_t i = 0; i < 4; ++i) indices[i] = 1;
+  const Event four_of_260 = Event::from_indices(schema, indices);
+  EXPECT_TRUE(counting.match(four_of_260).matched.empty());
+
+  // All 260 satisfied still matches.
+  const Event all_260 =
+      Event::from_indices(schema, std::vector<DomainIndex>(kAttributes, 1));
+  EXPECT_EQ(counting.match(all_260).matched,
+            (std::vector<ProfileId>{wants_all}));
+}
+
 TEST(Matchers, Names) {
   const SchemaPtr schema = SchemaBuilder().add_integer("a", 0, 9).build();
   ProfileSet set(schema);

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the throughput + concurrency perf harness in Release and records the
+# results as BENCH_throughput.json (the repo's perf trajectory record).
+#
+#   tools/run_bench.sh              # full run -> BENCH_throughput.json
+#   tools/run_bench.sh --quick      # CI smoke (short measurement windows)
+#
+# Interpreting the numbers: see README.md "Performance harness".
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-bench}"
+output="${BENCH_OUTPUT:-$repo_root/BENCH_throughput.json}"
+quick_flag=""
+if [[ "${1:-}" == "--quick" ]]; then
+  quick_flag="--quick"
+fi
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DGENAS_BUILD_TESTS=OFF \
+  -DGENAS_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target bench_perf_report
+
+"$build_dir/bench/bench_perf_report" "$output" $quick_flag
+echo "--- $output ---"
+cat "$output"
+
+# The google-benchmark thread sweep, when the library is available (gives
+# the per-thread-count breakdown behind the JSON aggregates).
+bench="$build_dir/bench/bench_concurrent"
+[[ -x "$bench" ]] ||
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_concurrent \
+    2>/dev/null || true
+if [[ -x "$bench" ]]; then
+  if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+    # BENCH_MIN_TIME holds the value only, e.g. "0.05" or "0.05s".
+    "$bench" "--benchmark_min_time=$BENCH_MIN_TIME"
+  elif [[ -n "$quick_flag" ]]; then
+    # google-benchmark >= 1.8 wants a "0.01s" suffix, older builds a bare
+    # double — try the modern spelling first, fall back to the old one.
+    "$bench" --benchmark_min_time=0.01s 2>/dev/null ||
+      "$bench" --benchmark_min_time=0.01
+  else
+    "$bench"
+  fi
+fi
