@@ -1,0 +1,176 @@
+// Standalone mesh throughput report: aggregate events/sec of the concurrent
+// broker mesh on 4-node line and star topologies across the three routing
+// modes, merged into BENCH_throughput.json next to the single-broker
+// numbers (tools/run_bench.sh runs this after bench_perf_report).
+//
+//   ./bench_mesh [output.json] [--quick]
+//
+// Workload: 240 range profiles (don't-cares + overlaps, so covering has
+// state to elide) spread round-robin across the nodes, gauss events
+// published round-robin; the rate includes wire encode/decode on every hop
+// and wait_idle() drain, i.e. it is end-to-end delivered throughput.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/sampler.hpp"
+#include "mesh/mesh.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace genas;
+using Clock = std::chrono::steady_clock;
+
+struct Topology {
+  const char* name;
+  std::size_t nodes;
+  std::vector<std::pair<net::NodeId, net::NodeId>> links;
+};
+
+double measure_mode(const Topology& topology, net::RoutingMode mode,
+                    const SchemaPtr& schema, const ProfileSet& profiles,
+                    const std::vector<Event>& events) {
+  mesh::MeshOptions options;
+  options.mode = mode;
+  options.mailbox_capacity = 4096;
+  mesh::MeshNetwork net(schema, options);
+  for (std::size_t n = 0; n < topology.nodes; ++n) net.add_node();
+  for (const auto& [a, b] : topology.links) net.connect(a, b);
+  net.start();
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::size_t at = 0;
+  for (const ProfileId id : profiles.active_ids()) {
+    net.subscribe(at++ % topology.nodes, profiles.profile(id),
+                  [&delivered](net::NodeId, SubscriptionId, const Event&) {
+                    delivered.fetch_add(1, std::memory_order_relaxed);
+                  });
+  }
+  net.wait_idle();
+
+  // Warm-up: routing tables, matchers, broker snapshots.
+  for (std::size_t i = 0; i < 256 && i < events.size(); ++i) {
+    net.publish(i % topology.nodes, events[i]);
+  }
+  net.wait_idle();
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    net.publish(i % topology.nodes, events[i]);
+  }
+  net.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  net.shutdown();
+  if (!net.first_error().empty()) {
+    std::cerr << "worker error: " << net.first_error() << "\n";
+    std::abort();
+  }
+  return static_cast<double>(events.size()) / elapsed;
+}
+
+/// Merges `entries` into an existing top-level JSON object file (or starts
+/// a fresh one): textual splice, matching the writer in bench_perf_report.
+void merge_json(const std::string& path,
+                const std::vector<std::pair<std::string, double>>& entries) {
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    text = buffer.str();
+  }
+  const auto rstrip = [&text] {
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == ' ' || text.back() == '\t')) {
+      text.pop_back();
+    }
+  };
+  rstrip();
+  if (!text.empty() && text.back() == '}') {
+    text.pop_back();  // only the object's own closing brace, never a nested one
+    rstrip();
+  }
+  std::ofstream os(path);
+  if (text.empty()) {
+    os << "{\n";
+  } else if (text.back() == '{') {
+    os << text << '\n';  // existing object was empty: no separating comma
+  } else {
+    os << text << ",\n";
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.1f", entries[i].second);
+    os << "  \"" << entries[i].first << "\": " << buffer
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_throughput.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a0", 0, 99)
+                               .add_integer("a1", 0, 99)
+                               .add_integer("a2", 0, 99)
+                               .build();
+  ProfileWorkloadOptions profile_options;
+  profile_options.count = 240;
+  profile_options.dont_care_probability = 0.3;
+  profile_options.equality_only = false;
+  profile_options.range_width_mean = 0.15;
+  profile_options.seed = 33;
+  const ProfileSet profiles = generate_profiles(
+      schema, make_profile_distributions(schema, {"gauss"}), profile_options);
+
+  const JointDistribution joint =
+      make_event_distribution(schema, {"gauss"});
+  EventSampler sampler(joint, 7);
+  const std::vector<Event> events =
+      sampler.sample_batch(quick ? 2000 : 20000);
+
+  const std::vector<Topology> topologies = {
+      {"line4", 4, {{0, 1}, {1, 2}, {2, 3}}},
+      {"star4", 4, {{0, 1}, {0, 2}, {0, 3}}},
+  };
+  const std::vector<std::pair<const char*, net::RoutingMode>> modes = {
+      {"flooding", net::RoutingMode::kFlooding},
+      {"routing", net::RoutingMode::kRouting},
+      {"covered", net::RoutingMode::kRoutingCovered},
+  };
+
+  std::vector<std::pair<std::string, double>> entries;
+  for (const Topology& topology : topologies) {
+    for (const auto& [mode_name, mode] : modes) {
+      const double rate =
+          measure_mode(topology, mode, schema, profiles, events);
+      const std::string key = std::string("mesh_") + topology.name + "_" +
+                              mode_name + "_events_per_sec";
+      std::cerr << key << " = " << static_cast<std::uint64_t>(rate) << "\n";
+      entries.emplace_back(key, rate);
+    }
+  }
+  merge_json(output, entries);
+  std::cout << "merged " << entries.size() << " mesh entries into " << output
+            << "\n";
+  return 0;
+}

@@ -14,6 +14,15 @@
 //   tree                             dump the current profile tree
 //   stats                            service counters
 //   quit
+//
+// The `mesh` subcommand instead drives the concurrent broker mesh from a
+// topology file plus a config_io service configuration:
+//
+//   genas_cli mesh <topology> <config> [--mode flooding|routing|covered]
+//                  [--events N] [--dist NAME] [--seed S]
+#include <atomic>
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -23,8 +32,13 @@
 #include "common/error.hpp"
 #include "common/text.hpp"
 #include "core/filter_engine.hpp"
+#include "dist/sampler.hpp"
 #include "ens/broker.hpp"
+#include "ens/config_io.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/topology.hpp"
 #include "sim/report.hpp"
+#include "sim/workload.hpp"
 
 namespace {
 
@@ -199,9 +213,147 @@ stats
 quit
 )";
 
+// ---------------------------------------------------------------------------
+// `mesh` subcommand: run a workload through the concurrent broker mesh.
+
+int run_mesh(int argc, char** argv) {
+  std::string topology_path;
+  std::string config_path;
+  net::RoutingMode mode = net::RoutingMode::kRoutingCovered;
+  std::size_t event_count = 1000;
+  std::string dist_name = "equal";
+  std::uint64_t seed = 1;
+
+  const auto usage = [] {
+    std::cerr << "usage: genas_cli mesh <topology> <config> "
+                 "[--mode flooding|routing|covered] [--events N] "
+                 "[--dist NAME] [--seed S]\n";
+    return 2;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw Error(ErrorCode::kParse, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const std::string value = to_lower(next());
+      if (value == "flooding") mode = net::RoutingMode::kFlooding;
+      else if (value == "routing") mode = net::RoutingMode::kRouting;
+      else if (value == "covered") mode = net::RoutingMode::kRoutingCovered;
+      else return usage();
+    } else if (arg == "--events") {
+      event_count = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--dist") {
+      dist_name = next();
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (topology_path.empty()) {
+      topology_path = arg;
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (topology_path.empty() || config_path.empty()) return usage();
+
+  const auto load_file = [](const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw Error(ErrorCode::kNotFound, "cannot open " + path);
+    return is;
+  };
+  std::ifstream topology_is = load_file(topology_path);
+  const mesh::MeshTopology topology = mesh::load_topology(topology_is);
+  std::ifstream config_is = load_file(config_path);
+  const ServiceConfig config = load_config(config_is);
+
+  mesh::MeshOptions options;
+  options.mode = mode;
+  mesh::MeshNetwork net(config.schema, options);
+  for (std::size_t n = 0; n < topology.nodes; ++n) net.add_node();
+  for (const auto& [a, b] : topology.links) net.connect(a, b);
+  net.start();
+
+  // Subscriptions come from the topology file; when it has none, the
+  // config's profile population is spread round-robin across the nodes.
+  std::atomic<std::uint64_t> delivered{0};
+  const mesh::MeshCallback count_delivery =
+      [&delivered](net::NodeId, SubscriptionId, const Event&) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      };
+  std::size_t subscriptions = 0;
+  if (!topology.subscriptions.empty()) {
+    for (const auto& [node, expression] : topology.subscriptions) {
+      net.subscribe(node, expression, count_delivery);
+      ++subscriptions;
+    }
+  } else {
+    std::size_t at = 0;
+    for (const ProfileId id : config.profiles.active_ids()) {
+      net.subscribe(at++ % topology.nodes, config.profiles.profile(id),
+                    count_delivery);
+      ++subscriptions;
+    }
+  }
+  net.wait_idle();
+
+  const JointDistribution joint =
+      make_event_distribution(config.schema, {dist_name});
+  EventSampler sampler(joint, seed);
+  const std::vector<Event> events = sampler.sample_batch(event_count);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    net.publish(i % topology.nodes, events[i]);
+  }
+  net.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const net::OverlayStats stats = net.stats();
+  net.shutdown();
+
+  std::cout << "mesh: " << topology.nodes << " nodes, "
+            << topology.links.size() << " links, mode "
+            << net::to_string(mode) << "\n";
+  std::cout << "subscriptions: " << subscriptions << ", events: "
+            << event_count << " (dist " << dist_name << ", seed " << seed
+            << ")\n";
+  std::cout << "events_published=" << stats.events_published
+            << " event_messages=" << stats.event_messages
+            << " profile_messages=" << stats.profile_messages
+            << " filter_operations=" << stats.filter_operations
+            << " deliveries=" << stats.deliveries << "\n";
+  for (std::size_t n = 0; n < topology.nodes; ++n) {
+    std::cout << "node " << n << ": routing_entries="
+              << net.routing_entries(n) << " local_subscriptions="
+              << net.local_subscriptions(n) << "\n";
+  }
+  std::cout << "elapsed " << elapsed << " s, "
+            << static_cast<std::uint64_t>(
+                   elapsed > 0 ? static_cast<double>(event_count) / elapsed
+                               : 0)
+            << " events/sec\n";
+  if (!net.first_error().empty()) {
+    std::cerr << "worker error: " << net.first_error() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "mesh") {
+    try {
+      return run_mesh(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   CliState state;
   const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
 

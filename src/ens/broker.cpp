@@ -76,6 +76,14 @@ SubscriptionId Broker::subscribe(std::string_view expression,
   return subscribe(parse_profile(schema_, expression), std::move(callback));
 }
 
+void Broker::set_delivery_sink(NotificationCallback sink) {
+  const std::scoped_lock lock(mutex_);
+  sink_ = sink == nullptr ? nullptr
+                          : std::make_shared<const NotificationCallback>(
+                                std::move(sink));
+  version_.fetch_add(1, std::memory_order_release);
+}
+
 void Broker::unsubscribe(SubscriptionId id) {
   const std::scoped_lock lock(mutex_);
   const auto it = subscriptions_.find(id);
@@ -136,6 +144,7 @@ std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
       fresh->routes[profile] =
           Route{subscription, subscriptions_.at(subscription).callback};
     }
+    fresh->sink = sink_;
     snapshot_ = std::move(fresh);
   }
   slot->broker = broker_id_;
@@ -175,7 +184,9 @@ PublishResult Broker::publish(const Event& event) {
   notifications_.fetch_add(deliveries.size(), std::memory_order_relaxed);
 
   for (const Delivery& delivery : deliveries) {
-    (*delivery.callback)(Notification{delivery.subscription, event});
+    const Notification notification{delivery.subscription, event};
+    (*delivery.callback)(notification);
+    if (snapshot->sink != nullptr) (*snapshot->sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
   return result;
@@ -200,6 +211,8 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
   // unsubscribe from a callback erases their table entries mid-pass.
   std::vector<std::shared_ptr<const NotificationCallback>> keepalive;
 
+  std::shared_ptr<const NotificationCallback> sink;
+
   if (engine_.adaptive_enabled()) {
     // Serialized matching (the adaptive estimator mutates per event), but
     // one lock acquisition for the whole batch and one drain pass after.
@@ -211,6 +224,7 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
     std::vector<std::size_t> offsets = std::move(offsets_scratch);
     {
       const std::scoped_lock lock(mutex_);
+      sink = sink_;
       const EngineBatchMatch outcome =
           engine_.match_batch(events, matched, offsets);
       result.operations = outcome.operations;
@@ -233,6 +247,7 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
   } else {
     const std::shared_ptr<const Snapshot> snapshot =
         acquire_snapshot(&result.rebuilt);
+    sink = snapshot->sink;
     for (std::size_t i = 0; i < events.size(); ++i) {
       const FlatMatch match = snapshot->match->flat->match(events[i]);
       result.operations += match.operations;
@@ -254,8 +269,10 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
 
   // Drain every notification in one pass, outside any lock.
   for (const Delivery& delivery : deliveries) {
-    (*delivery.callback)(
-        Notification{delivery.subscription, events[delivery.event_index]});
+    const Notification notification{delivery.subscription,
+                                    events[delivery.event_index]};
+    (*delivery.callback)(notification);
+    if (sink != nullptr) (*sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
   return result;

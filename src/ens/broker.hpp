@@ -96,6 +96,14 @@ class Broker {
 
   const SchemaPtr& schema() const noexcept { return schema_; }
 
+  /// Installs (or, with nullptr, clears) a broker-wide delivery sink: an
+  /// observer invoked for every delivered notification, after the owning
+  /// subscription's callback, outside all locks, on the publishing thread.
+  /// External transports tap the full delivery stream this way — the mesh
+  /// runtime counts per-node deliveries without wrapping each callback —
+  /// and like callbacks, the sink may re-enter the broker.
+  void set_delivery_sink(NotificationCallback sink);
+
   ServiceCounters counters() const;
   std::size_t subscription_count() const;
 
@@ -128,6 +136,8 @@ class Broker {
     std::uint64_t version = 0;
     std::shared_ptr<const MatchSnapshot> match;  // tree + flat compilation
     std::vector<Route> routes;
+    /// Broker-wide delivery observer; null when unset.
+    std::shared_ptr<const NotificationCallback> sink;
   };
 
   /// Returns the current snapshot: the thread-local cached handle when its
@@ -150,6 +160,7 @@ class Broker {
   /// next mutation bumps it (always bumped under mutex_, read lock-free).
   std::atomic<std::uint64_t> version_{1};
   std::shared_ptr<const Snapshot> snapshot_;  // guarded by mutex_
+  std::shared_ptr<const NotificationCallback> sink_;  // guarded by mutex_
 
   // Service counters (atomic so the lock-free publish path can bump them).
   std::atomic<std::uint64_t> events_published_{0};

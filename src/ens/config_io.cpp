@@ -11,40 +11,88 @@
 
 namespace genas {
 
+namespace {
+
+bool is_blank(char c) noexcept { return c == ' ' || c == '\t'; }
+
+/// Escapes one category name for the `attr ... cat` list: `\\` `\,` always,
+/// `\s`/`\t` for leading and trailing whitespace (which line trimming and
+/// comma splitting would otherwise eat). Newlines cannot be escaped in a
+/// line-oriented format and are rejected.
+std::string escape_category(const std::string& name) {
+  std::size_t lead = 0;
+  while (lead < name.size() && is_blank(name[lead])) ++lead;
+  std::size_t trail = name.size();
+  while (trail > lead && is_blank(name[trail - 1])) --trail;
+
+  std::string out;
+  out.reserve(name.size() + 2);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    GENAS_REQUIRE(c != '\n' && c != '\r', ErrorCode::kInvalidArgument,
+                  "category name '" + name +
+                      "' contains a newline and cannot be saved in the "
+                      "line-oriented config format");
+    const bool edge_blank = is_blank(c) && (i < lead || i >= trail);
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == ',') {
+      out += "\\,";
+    } else if (edge_blank) {
+      out += (c == ' ') ? "\\s" : "\\t";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits a `cat` payload on unescaped commas, materializing escapes and
+/// trimming only unescaped edge whitespace (so `a, b` still parses as
+/// {"a","b"} while `a\s` keeps its trailing space).
+std::vector<std::string> parse_category_list(std::string_view payload,
+                                             std::size_t line_no);
+
+}  // namespace
+
 void save_config(std::ostream& os, const ProfileSet& profiles) {
   const Schema& schema = *profiles.schema();
-  os << "# GENAS service configuration\n";
+  // Rendered into a buffer first so a rejected name (escape_category throws
+  // on newlines) cannot leave a half-written config behind `os`.
+  std::ostringstream rendered;
+  rendered << "# GENAS service configuration\n";
   for (const Attribute& attribute : schema.attributes()) {
-    os << "attr " << attribute.name << ' ';
+    rendered << "attr " << attribute.name << ' ';
     const Domain& domain = attribute.domain;
     switch (domain.kind()) {
       case ValueKind::kInt:
-        os << "int " << static_cast<std::int64_t>(domain.numeric_lo()) << ' '
-           << static_cast<std::int64_t>(domain.numeric_hi());
+        rendered << "int " << static_cast<std::int64_t>(domain.numeric_lo())
+                 << ' ' << static_cast<std::int64_t>(domain.numeric_hi());
         break;
       case ValueKind::kReal:
-        os << "real " << format_double(domain.numeric_lo(), 9) << ' '
-           << format_double(domain.numeric_hi(), 9) << ' '
-           << format_double(domain.resolution(), 9);
+        rendered << "real " << format_double(domain.numeric_lo(), 9) << ' '
+                 << format_double(domain.numeric_hi(), 9) << ' '
+                 << format_double(domain.resolution(), 9);
         break;
       case ValueKind::kCategory: {
-        os << "cat ";
+        rendered << "cat ";
         for (DomainIndex i = 0; i < domain.size(); ++i) {
-          if (i > 0) os << ',';
-          os << domain.value_at(i).as_category();
+          if (i > 0) rendered << ',';
+          rendered << escape_category(domain.value_at(i).as_category());
         }
         break;
       }
     }
-    os << '\n';
+    rendered << '\n';
   }
   for (const ProfileId id : profiles.active_ids()) {
-    os << "profile";
+    rendered << "profile";
     if (profiles.weight(id) != 1.0) {
-      os << " weight=" << format_double(profiles.weight(id), 6);
+      rendered << " weight=" << format_double(profiles.weight(id), 6);
     }
-    os << ' ' << format_profile(profiles.profile(id)) << '\n';
+    rendered << ' ' << format_profile(profiles.profile(id)) << '\n';
   }
+  os << rendered.str();
 }
 
 namespace {
@@ -62,6 +110,56 @@ double parse_number(std::string_view token, std::size_t line_no) {
     config_fail(line_no, "expected a number, got '" + std::string(token) + "'");
   }
   return v;
+}
+
+std::vector<std::string> parse_category_list(std::string_view payload,
+                                             std::size_t line_no) {
+  std::vector<std::string> categories;
+  std::string piece;
+  std::vector<bool> from_escape;  // parallel: char was produced by an escape
+
+  const auto finish_piece = [&] {
+    // Trim unescaped whitespace at both ends (hand-written files may pad
+    // after commas); escaped whitespace is payload.
+    std::size_t lo = 0;
+    std::size_t hi = piece.size();
+    while (lo < hi && is_blank(piece[lo]) && !from_escape[lo]) ++lo;
+    while (hi > lo && is_blank(piece[hi - 1]) && !from_escape[hi - 1]) --hi;
+    categories.emplace_back(piece.substr(lo, hi - lo));
+    piece.clear();
+    from_escape.clear();
+  };
+
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const char c = payload[i];
+    if (c == '\\') {
+      if (i + 1 >= payload.size()) {
+        config_fail(line_no, "category list ends in a lone backslash");
+      }
+      const char next = payload[++i];
+      char materialized = 0;
+      switch (next) {
+        case '\\': materialized = '\\'; break;
+        case ',':  materialized = ',';  break;
+        case 's':  materialized = ' ';  break;
+        case 't':  materialized = '\t'; break;
+        default:
+          config_fail(line_no, std::string("invalid escape '\\") + next +
+                                   "' in category list");
+      }
+      piece += materialized;
+      from_escape.push_back(true);
+      continue;
+    }
+    if (c == ',') {
+      finish_piece();
+      continue;
+    }
+    piece += c;
+    from_escape.push_back(false);
+  }
+  finish_piece();
+  return categories;
 }
 
 }  // namespace
@@ -87,31 +185,41 @@ ServiceConfig load_config(std::istream& is) {
       if (!pending.empty()) {
         config_fail(line_no, "attribute lines must precede profiles");
       }
-      const auto words = split(body.substr(5), ' ');
+      // Name and kind are single tokens; the payload after the kind is
+      // kept raw so categorical lists can carry escaped characters (and
+      // interior spaces) without being destroyed by tokenization.
+      const std::string_view after_attr = trim(body.substr(5));
+      const std::size_t name_end = after_attr.find(' ');
+      if (name_end == std::string_view::npos) {
+        config_fail(line_no, "malformed attr line");
+      }
+      const std::string name(after_attr.substr(0, name_end));
+      const std::string_view after_name = trim(after_attr.substr(name_end));
+      const std::size_t kind_end = after_name.find(' ');
+      const std::string kind =
+          to_lower(after_name.substr(0, kind_end));
+      const std::string_view payload =
+          kind_end == std::string_view::npos
+              ? std::string_view{}
+              : trim(after_name.substr(kind_end));
+
       // split() on ' ' keeps empties for double spaces; filter them.
       std::vector<std::string_view> tokens;
-      for (const auto w : words) {
+      for (const auto w : split(payload, ' ')) {
         if (!w.empty()) tokens.push_back(w);
       }
-      if (tokens.size() < 2) config_fail(line_no, "malformed attr line");
-      const std::string name(tokens[0]);
-      const std::string kind = to_lower(tokens[1]);
-      if (kind == "int" && tokens.size() == 4) {
+      if (kind == "int" && tokens.size() == 2) {
         builder.add_integer(name,
                             static_cast<std::int64_t>(
-                                parse_number(tokens[2], line_no)),
+                                parse_number(tokens[0], line_no)),
                             static_cast<std::int64_t>(
-                                parse_number(tokens[3], line_no)));
-      } else if (kind == "real" && tokens.size() == 5) {
-        builder.add_real(name, parse_number(tokens[2], line_no),
-                         parse_number(tokens[3], line_no),
-                         parse_number(tokens[4], line_no));
-      } else if (kind == "cat" && tokens.size() == 3) {
-        std::vector<std::string> cats;
-        for (const auto piece : split(tokens[2], ',')) {
-          cats.emplace_back(piece);
-        }
-        builder.add_categorical(name, std::move(cats));
+                                parse_number(tokens[1], line_no)));
+      } else if (kind == "real" && tokens.size() == 3) {
+        builder.add_real(name, parse_number(tokens[0], line_no),
+                         parse_number(tokens[1], line_no),
+                         parse_number(tokens[2], line_no));
+      } else if (kind == "cat" && !payload.empty()) {
+        builder.add_categorical(name, parse_category_list(payload, line_no));
       } else {
         config_fail(line_no, "malformed attr line");
       }

@@ -13,6 +13,12 @@
 //
 // Attribute lines must precede profile lines. Loading returns the schema
 // plus the profile set (with priority weights).
+//
+// Category names are escaped so any printable name round-trips: backslash
+// and comma as `\\` and `\,`, and leading/trailing whitespace as `\s`
+// (space) / `\t` (tab) — interior spaces need no escape. Names containing
+// newlines cannot be represented in a line format; save_config rejects
+// them with Error{kInvalidArgument}.
 #pragma once
 
 #include <iosfwd>

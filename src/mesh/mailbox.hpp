@@ -1,0 +1,114 @@
+// GENAS — bounded MPSC mailbox for mesh worker threads.
+//
+// Each mesh node owns one mailbox; any number of producers (client threads
+// and peer workers) push messages, and the node's single worker thread
+// drains them in batches. The queue is bounded: a blocking `push` is the
+// backpressure point for external publishers, while workers use `try_push`
+// (never blocking) so that two workers forwarding into each other's full
+// mailboxes cannot deadlock — an undeliverable frame is staged in the
+// sender's per-link outbox and retried (see mesh.cpp).
+//
+// A mutex + two condition variables is deliberately boring: the mailbox is
+// drained in batches (one lock round per batch), so queue synchronization
+// is far off the hot path — the per-event work happens in the broker's
+// lock-free snapshot matcher, not here.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace genas::mesh {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while the mailbox is full. Returns false (dropping the item)
+  /// when the mailbox closed before space appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; on failure (full or closed) the item is left
+  /// untouched in `item`.
+  bool try_push(T& item) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Moves up to `max` items into `out` (appended). When the mailbox is
+  /// empty: waits for an item, for close, or — when `timeout` is non-zero —
+  /// for the timeout. Returns the number of items moved (0 only on close or
+  /// timeout).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::microseconds timeout =
+                            std::chrono::microseconds::zero()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (timeout.count() == 0) {
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    } else {
+      not_empty_.wait_for(lock, timeout,
+                          [&] { return closed_ || !items_.empty(); });
+    }
+    std::size_t moved = 0;
+    while (!items_.empty() && moved < max) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++moved;
+    }
+    if (moved > 0) {
+      lock.unlock();
+      not_full_.notify_all();
+    }
+    return moved;
+  }
+
+  /// Closes the mailbox: pending items stay poppable, pushes fail, blocked
+  /// producers and the consumer wake.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace genas::mesh

@@ -1,0 +1,578 @@
+#include "mesh/mesh.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+#include "mesh/mailbox.hpp"
+#include "profile/parser.hpp"
+#include "wire/codec.hpp"
+
+namespace genas::mesh {
+
+namespace {
+
+/// Messages a worker drains per lock round; also the publish_batch size cap.
+constexpr std::size_t kDrainBatch = 256;
+
+/// Sentinel "source" for events entering at this node (client publishes):
+/// they are forwarded over every matching link.
+constexpr NodeId kExternal = ~NodeId{0};
+
+/// Poll interval for retrying staged outbox frames against a full peer
+/// mailbox (workers never block on sends; see the liveness note in the
+/// header).
+constexpr std::chrono::microseconds kOutboxRetry{200};
+
+/// Wire frames are shared, not copied, when one event fans out over
+/// several links.
+using Bytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+Bytes share(std::vector<std::uint8_t> frame) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(frame));
+}
+
+struct FrameMsg {
+  NodeId source = 0;  ///< peer node the frame arrived from
+  Bytes bytes;
+};
+struct PublishMsg {
+  Event event;
+};
+struct LocalSubscribeMsg {
+  SubscriptionId key = 0;
+  Profile profile;
+  MeshCallback callback;
+};
+struct LocalUnsubscribeMsg {
+  SubscriptionId key = 0;
+};
+
+}  // namespace
+
+struct NodeMsg {
+  std::variant<FrameMsg, PublishMsg, LocalSubscribeMsg, LocalUnsubscribeMsg>
+      payload;
+};
+
+struct MeshNetwork::Node {
+  explicit Node(std::size_t mailbox_capacity) : mailbox(mailbox_capacity) {}
+
+  NodeId id = 0;
+  std::unique_ptr<Broker> broker;
+  Mailbox<NodeMsg> mailbox;
+  std::thread worker;
+
+  struct Peer {
+    explicit Peer(NodeId peer, SchemaPtr schema)
+        : node(peer), table(std::move(schema)) {}
+    NodeId node;
+    net::LinkTable table;          // worker-owned routing state
+    std::deque<NodeMsg> outbox;    // frames awaiting a full peer mailbox
+    std::atomic<std::uint64_t> event_messages{0};
+    std::atomic<std::uint64_t> routing_entries{0};
+  };
+  std::vector<std::unique_ptr<Peer>> peers;
+
+  /// Mesh subscription key -> local broker subscription id (worker-owned).
+  std::unordered_map<SubscriptionId, SubscriptionId> local_subs;
+
+  // Counters in the overlay's currency; atomics because stats() reads them
+  // while the worker runs.
+  std::atomic<std::uint64_t> events_published{0};
+  std::atomic<std::uint64_t> event_messages{0};
+  std::atomic<std::uint64_t> profile_messages{0};
+  std::atomic<std::uint64_t> filter_operations{0};
+  std::atomic<std::uint64_t> deliveries{0};
+
+  // Per-batch scratch (worker-owned): events collected from the drained
+  // mailbox batch and the link each arrived on (kExternal for publishes).
+  std::vector<Event> batch_events;
+  std::vector<NodeId> batch_sources;
+
+};
+
+MeshNetwork::MeshNetwork(SchemaPtr schema, MeshOptions options)
+    : schema_(std::move(schema)), options_(std::move(options)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "mesh requires a schema");
+}
+
+MeshNetwork::~MeshNetwork() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destruction must not throw; shutdown failures surface via
+    // first_error() when the caller shuts down explicitly.
+  }
+}
+
+std::size_t MeshNetwork::node_count() const noexcept { return nodes_.size(); }
+
+void MeshNetwork::validate_node(NodeId node) const {
+  GENAS_REQUIRE(node < nodes_.size(), ErrorCode::kNotFound,
+                "unknown mesh node id " + std::to_string(node));
+}
+
+NodeId MeshNetwork::add_node() {
+  {
+    const std::scoped_lock lock(idle_mutex_);
+    GENAS_REQUIRE(!running_ && !stopped_, ErrorCode::kState,
+                  "mesh topology is fixed once start() has run");
+  }
+  auto node = std::make_unique<Node>(options_.mailbox_capacity);
+  node->id = nodes_.size();
+  EngineOptions engine_options;
+  engine_options.policy = options_.policy;
+  engine_options.prior = options_.event_distribution;
+  node->broker = std::make_unique<Broker>(schema_, std::move(engine_options));
+  Node* raw = node.get();
+  node->broker->set_delivery_sink([raw](const Notification&) {
+    raw->deliveries.fetch_add(1, std::memory_order_relaxed);
+  });
+  nodes_.push_back(std::move(node));
+  forest_.push_back(forest_.size());
+  return nodes_.size() - 1;
+}
+
+namespace {
+NodeId find_root(std::vector<NodeId>& forest, NodeId x) {
+  while (forest[x] != x) {
+    forest[x] = forest[forest[x]];  // path halving
+    x = forest[x];
+  }
+  return x;
+}
+}  // namespace
+
+void MeshNetwork::connect(NodeId a, NodeId b) {
+  validate_node(a);
+  validate_node(b);
+  {
+    const std::scoped_lock lock(idle_mutex_);
+    GENAS_REQUIRE(!running_ && !stopped_, ErrorCode::kState,
+                  "mesh topology is fixed once start() has run");
+  }
+  GENAS_REQUIRE(a != b, ErrorCode::kInvalidArgument,
+                "cannot link a mesh node to itself");
+  const NodeId ra = find_root(forest_, a);
+  const NodeId rb = find_root(forest_, b);
+  GENAS_REQUIRE(ra != rb, ErrorCode::kInvalidArgument,
+                "link would close a cycle; the mesh must stay acyclic");
+  forest_[ra] = rb;
+  nodes_[a]->peers.push_back(std::make_unique<Node::Peer>(b, schema_));
+  nodes_[b]->peers.push_back(std::make_unique<Node::Peer>(a, schema_));
+}
+
+void MeshNetwork::start() {
+  {
+    const std::scoped_lock lock(idle_mutex_);
+    GENAS_REQUIRE(!running_ && !stopped_, ErrorCode::kState,
+                  "mesh is already running or was shut down");
+    GENAS_REQUIRE(!nodes_.empty(), ErrorCode::kState,
+                  "mesh has no nodes to start");
+    running_ = true;
+    accepting_ = true;
+  }
+  for (const auto& node : nodes_) {
+    Node* raw = node.get();
+    raw->worker = std::thread([this, raw] { run_node(*raw); });
+  }
+}
+
+SubscriptionId MeshNetwork::subscribe(NodeId node, Profile profile,
+                                      MeshCallback callback) {
+  validate_node(node);
+  GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
+                "profile schema differs from mesh schema");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "mesh subscription requires a callback");
+  const SubscriptionId key =
+      next_key_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    key_origin_.emplace(key, node);
+  }
+  try {
+    enqueue(node, NodeMsg{LocalSubscribeMsg{key, std::move(profile),
+                                            std::move(callback)}});
+  } catch (...) {
+    const std::scoped_lock lock(registry_mutex_);
+    key_origin_.erase(key);
+    throw;
+  }
+  return key;
+}
+
+SubscriptionId MeshNetwork::subscribe(NodeId node, std::string_view expression,
+                                      MeshCallback callback) {
+  return subscribe(node, parse_profile(schema_, expression),
+                   std::move(callback));
+}
+
+void MeshNetwork::unsubscribe(SubscriptionId key) {
+  NodeId origin = 0;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    const auto it = key_origin_.find(key);
+    GENAS_REQUIRE(it != key_origin_.end(), ErrorCode::kNotFound,
+                  "unknown mesh subscription key " + std::to_string(key));
+    origin = it->second;
+    key_origin_.erase(it);
+  }
+  enqueue(origin, NodeMsg{LocalUnsubscribeMsg{key}});
+}
+
+void MeshNetwork::publish(NodeId node, Event event) {
+  validate_node(node);
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "event schema differs from mesh schema");
+  enqueue(node, NodeMsg{PublishMsg{std::move(event)}});
+}
+
+void MeshNetwork::enqueue(NodeId node, NodeMsg message) {
+  {
+    const std::scoped_lock lock(idle_mutex_);
+    GENAS_REQUIRE(running_ && accepting_, ErrorCode::kState,
+                  "mesh is not accepting work (not started, or shut down)");
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!nodes_[node]->mailbox.push(std::move(message))) {
+    // Unreachable by construction (mailboxes close only at zero in-flight),
+    // but never leak an in-flight count.
+    messages_done(1);
+    throw_error(ErrorCode::kState, "mesh mailbox closed during shutdown");
+  }
+}
+
+void MeshNetwork::messages_done(std::uint64_t n) {
+  if (n == 0) return;
+  if (inflight_.fetch_sub(n) == n) {
+    // Take the mutex so a waiter between its predicate check and wait()
+    // cannot miss this notification.
+    const std::scoped_lock lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void MeshNetwork::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+}
+
+void MeshNetwork::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (stopped_) return;
+    if (!running_) {
+      stopped_ = true;
+      return;
+    }
+    if (shutting_down_) {
+      idle_cv_.wait(lock, [&] { return stopped_; });
+      return;
+    }
+    shutting_down_ = true;
+    accepting_ = false;
+    idle_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+  }
+  for (const auto& node : nodes_) node->mailbox.close();
+  for (const auto& node : nodes_) {
+    if (node->worker.joinable()) node->worker.join();
+  }
+  {
+    const std::scoped_lock lock(idle_mutex_);
+    running_ = false;
+    stopped_ = true;
+  }
+  idle_cv_.notify_all();
+}
+
+void MeshNetwork::record_error(const std::string& what) {
+  const std::scoped_lock lock(error_mutex_);
+  if (first_error_.empty()) first_error_ = what;
+}
+
+std::string MeshNetwork::first_error() const {
+  const std::scoped_lock lock(error_mutex_);
+  return first_error_;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+void MeshNetwork::run_node(Node& node) {
+  std::vector<NodeMsg> batch;
+  batch.reserve(kDrainBatch);
+  for (;;) {
+    const bool outbox_pending = flush_outboxes(node);
+    batch.clear();
+    const auto timeout =
+        outbox_pending ? kOutboxRetry : std::chrono::microseconds::zero();
+    const std::size_t drained = node.mailbox.pop_batch(batch, kDrainBatch,
+                                                       timeout);
+    if (drained == 0) {
+      if (!node.mailbox.closed()) continue;  // timeout; retry outboxes
+      if (!outbox_pending && node.mailbox.size() == 0) break;
+      // Closed with staged frames should be impossible (shutdown waits for
+      // quiescence first); drop them rather than spin forever.
+      if (outbox_pending) {
+        std::uint64_t dropped = 0;
+        for (const auto& peer : node.peers) {
+          dropped += peer->outbox.size();
+          peer->outbox.clear();
+        }
+        record_error("mesh node " + std::to_string(node.id) +
+                     ": outbox frames dropped at close");
+        messages_done(dropped);
+      }
+      continue;
+    }
+    handle_batch(node, batch);
+    messages_done(drained);
+  }
+}
+
+bool MeshNetwork::flush_outboxes(Node& node) {
+  bool pending = false;
+  for (const auto& peer : node.peers) {
+    Mailbox<NodeMsg>& target = nodes_[peer->node]->mailbox;
+    while (!peer->outbox.empty() && target.try_push(peer->outbox.front())) {
+      peer->outbox.pop_front();
+    }
+    pending = pending || !peer->outbox.empty();
+  }
+  return pending;
+}
+
+void MeshNetwork::broadcast_frame(Node& node, std::size_t skip_index,
+                                  Bytes bytes) {
+  for (std::size_t p = 0; p < node.peers.size(); ++p) {
+    if (p == skip_index) continue;
+    send_frame(node, p, NodeMsg{FrameMsg{node.id, bytes}});
+  }
+}
+
+void MeshNetwork::send_frame(Node& node, std::size_t peer_index,
+                             NodeMsg message) {
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  Node::Peer& peer = *node.peers[peer_index];
+  // Per-link FIFO: while earlier frames are staged, later ones must queue
+  // behind them — overtaking would reorder subscribe/unsubscribe frames and
+  // covering state depends on install order.
+  if (!peer.outbox.empty() ||
+      !nodes_[peer.node]->mailbox.try_push(message)) {
+    peer.outbox.push_back(std::move(message));
+  }
+}
+
+void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
+  node.batch_events.clear();
+  node.batch_sources.clear();
+  for (NodeMsg& message : batch) {
+    try {
+      handle_message(node, message);
+    } catch (const std::exception& e) {
+      record_error(e.what());  // drop the poisoned message, keep running
+    }
+  }
+  try {
+    route_events(node);
+  } catch (const std::exception& e) {
+    record_error(e.what());
+  }
+}
+
+void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
+  if (auto* publish = std::get_if<PublishMsg>(&message.payload)) {
+    node.events_published.fetch_add(1, std::memory_order_relaxed);
+    node.batch_events.push_back(std::move(publish->event));
+    node.batch_sources.push_back(kExternal);
+    return;
+  }
+
+  if (auto* frame = std::get_if<FrameMsg>(&message.payload)) {
+    wire::Message decoded = wire::decode_message(*frame->bytes, schema_);
+
+    if (auto* event = std::get_if<wire::EventMsg>(&decoded)) {
+      node.batch_events.push_back(std::move(event->event));
+      node.batch_sources.push_back(frame->source);
+      return;
+    }
+
+    std::size_t from_index = node.peers.size();
+    for (std::size_t p = 0; p < node.peers.size(); ++p) {
+      if (node.peers[p]->node == frame->source) {
+        from_index = p;
+        break;
+      }
+    }
+    GENAS_CHECK(from_index < node.peers.size(),
+                "frame from a node that is not a peer");
+    Node::Peer* from = node.peers[from_index].get();
+
+    if (auto* sub = std::get_if<wire::SubscribeMsg>(&decoded)) {
+      // Install toward the link the subscription arrived on; covering may
+      // suppress it, which also stops propagation here (overlay semantics).
+      const bool installed =
+          from->table.add(sub->key, sub->profile,
+                          options_.mode == RoutingMode::kRoutingCovered);
+      if (!installed) return;
+      node.profile_messages.fetch_add(1, std::memory_order_relaxed);
+      from->routing_entries.fetch_add(1, std::memory_order_relaxed);
+      // The onward frame is byte-identical to the one that just arrived:
+      // relay the shared buffer instead of re-encoding the profile.
+      broadcast_frame(node, from_index, frame->bytes);
+      return;
+    }
+
+    if (auto* unsub = std::get_if<wire::UnsubscribeMsg>(&decoded)) {
+      const net::LinkTable::Removal removal = from->table.remove(unsub->key);
+      if (!removal.installed) return;  // suppressed or unknown: it never
+                                       // propagated past this node
+      from->routing_entries.fetch_sub(1, std::memory_order_relaxed);
+      broadcast_frame(node, from_index, frame->bytes);
+      // Entries the removed profile had been covering are installed now;
+      // propagate them onward like fresh subscriptions.
+      for (const auto& [key, profile] : removal.promoted) {
+        node.profile_messages.fetch_add(1, std::memory_order_relaxed);
+        from->routing_entries.fetch_add(1, std::memory_order_relaxed);
+        broadcast_frame(node, from_index,
+                        share(wire::frame_subscribe(key, profile)));
+      }
+      return;
+    }
+
+    throw_error(ErrorCode::kInternal,
+                "unexpected wire message on a mesh link");
+  }
+
+  if (auto* sub = std::get_if<LocalSubscribeMsg>(&message.payload)) {
+    const NodeId node_id = node.id;
+    const SubscriptionId key = sub->key;
+    MeshCallback callback = std::move(sub->callback);
+    const SubscriptionId local = node.broker->subscribe(
+        sub->profile,
+        [callback = std::move(callback), key, node_id](const Notification& n) {
+          callback(node_id, key, n.event);
+        });
+    node.local_subs.emplace(key, local);
+    if (options_.mode != RoutingMode::kFlooding) {
+      broadcast_frame(node, node.peers.size(),
+                      share(wire::frame_subscribe(key, sub->profile)));
+    }
+    return;
+  }
+
+  if (auto* unsub = std::get_if<LocalUnsubscribeMsg>(&message.payload)) {
+    const auto it = node.local_subs.find(unsub->key);
+    GENAS_CHECK(it != node.local_subs.end(),
+                "mesh unsubscribe for a key this node never registered");
+    node.broker->unsubscribe(it->second);
+    node.local_subs.erase(it);
+    if (options_.mode != RoutingMode::kFlooding) {
+      broadcast_frame(node, node.peers.size(),
+                      share(wire::frame_unsubscribe(unsub->key)));
+    }
+    return;
+  }
+}
+
+void MeshNetwork::route_events(Node& node) {
+  if (node.batch_events.empty()) return;
+
+  // Local matching and delivery: the whole drained batch goes through one
+  // publish_batch call (one snapshot acquisition, one delivery drain).
+  const BatchPublishResult result =
+      node.broker->publish_batch(node.batch_events);
+  node.filter_operations.fetch_add(result.operations,
+                                   std::memory_order_relaxed);
+  // result.notified is counted per node via the broker's delivery sink.
+
+  // Forwarding decision per event and link (minus the arrival link).
+  for (std::size_t i = 0; i < node.batch_events.size(); ++i) {
+    const Event& event = node.batch_events[i];
+    const NodeId source = node.batch_sources[i];
+    Bytes encoded;  // lazily built, shared across links
+    for (std::size_t p = 0; p < node.peers.size(); ++p) {
+      Node::Peer& peer = *node.peers[p];
+      if (peer.node == source) continue;
+      bool send = true;
+      if (options_.mode != RoutingMode::kFlooding) {
+        const MatchOutcome routed =
+            peer.table.matcher(options_.policy, options_.event_distribution)
+                .match(event);
+        node.filter_operations.fetch_add(routed.operations,
+                                         std::memory_order_relaxed);
+        send = !routed.matched.empty();
+      }
+      if (!send) continue;
+      if (encoded == nullptr) encoded = share(wire::frame_event(event));
+      node.event_messages.fetch_add(1, std::memory_order_relaxed);
+      peer.event_messages.fetch_add(1, std::memory_order_relaxed);
+      send_frame(node, p, NodeMsg{FrameMsg{node.id, encoded}});
+    }
+  }
+  node.batch_events.clear();
+  node.batch_sources.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Statistics.
+
+OverlayStats MeshNetwork::node_stats(NodeId node) const {
+  validate_node(node);
+  const Node& n = *nodes_[node];
+  OverlayStats stats;
+  stats.events_published = n.events_published.load(std::memory_order_relaxed);
+  stats.event_messages = n.event_messages.load(std::memory_order_relaxed);
+  stats.profile_messages = n.profile_messages.load(std::memory_order_relaxed);
+  stats.filter_operations =
+      n.filter_operations.load(std::memory_order_relaxed);
+  stats.deliveries = n.deliveries.load(std::memory_order_relaxed);
+  return stats;
+}
+
+OverlayStats MeshNetwork::stats() const {
+  OverlayStats total;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const OverlayStats one = node_stats(id);
+    total.events_published += one.events_published;
+    total.event_messages += one.event_messages;
+    total.profile_messages += one.profile_messages;
+    total.filter_operations += one.filter_operations;
+    total.deliveries += one.deliveries;
+  }
+  return total;
+}
+
+std::vector<LinkStats> MeshNetwork::link_stats(NodeId node) const {
+  validate_node(node);
+  std::vector<LinkStats> stats;
+  stats.reserve(nodes_[node]->peers.size());
+  for (const auto& peer : nodes_[node]->peers) {
+    stats.push_back(LinkStats{
+        peer->node, peer->event_messages.load(std::memory_order_relaxed),
+        peer->routing_entries.load(std::memory_order_relaxed)});
+  }
+  return stats;
+}
+
+std::size_t MeshNetwork::routing_entries(NodeId node) const {
+  validate_node(node);
+  std::size_t total = 0;
+  for (const auto& peer : nodes_[node]->peers) {
+    total += peer->routing_entries.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t MeshNetwork::local_subscriptions(NodeId node) const {
+  validate_node(node);
+  return nodes_[node]->broker->subscription_count();
+}
+
+}  // namespace genas::mesh

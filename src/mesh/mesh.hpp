@@ -1,0 +1,206 @@
+// GENAS — the concurrent broker mesh: the distributed routing runtime.
+//
+// Where src/net/overlay.* simulates a broker network deterministically in
+// one thread with abstract cost counters, MeshNetwork actually runs it: each
+// node is a worker thread behind a bounded MPSC mailbox, holding a local
+// ens::Broker (the lock-free snapshot/batch hot path) plus per-link routing
+// tables with Siena-style covering (net::LinkTable — the same code the
+// overlay uses, so routing decisions are identical by construction). Links
+// transport real bytes: every inter-node message is serialized through the
+// binary wire codec (src/wire/codec.hpp) and decoded at the receiving
+// worker, so the runtime is one socket-transport away from a true
+// distributed deployment.
+//
+// Message flow:
+//   client publish ──► origin mailbox ──► worker drains a batch, decodes
+//   incoming frames, feeds all events through Broker::publish_batch (local
+//   notifications), then per link matches the link's routing table and
+//   forwards matching events as wire frames.
+//
+// Subscriptions propagate the same way: a local subscribe registers with
+// the node's broker and (in routing modes) floods a kSubscribe frame; each
+// receiving node installs the profile in the table of the link it arrived
+// on — unless covering suppresses it — and forwards onward only when
+// installed. Unsubscribes retrace that path; removing a covering entry
+// re-promotes the entries it suppressed and propagates them onward like
+// fresh subscriptions.
+//
+// Concurrency and liveness:
+//   * Backpressure applies at ingress: publish()/subscribe() block while
+//     the origin mailbox is full. Workers themselves never block on a full
+//     peer mailbox — an undeliverable frame is staged in a per-link outbox
+//     and retried while the worker keeps draining its own mailbox, so
+//     mutual forwarding between busy nodes cannot deadlock.
+//   * Every enqueued message (external or inter-node, including staged
+//     outbox frames) is tracked in one in-flight counter. wait_idle()
+//     blocks until the mesh is quiescent; after subscribe()+wait_idle()
+//     the routing state is exactly the overlay's for the same call order.
+//   * shutdown() is graceful: it stops accepting work, waits for
+//     quiescence, then closes mailboxes and joins the workers. Events
+//     accepted before shutdown are fully delivered; publish/subscribe
+//     afterwards throw Error{kState}; no callback runs after shutdown()
+//     returns.
+//   * Delivery callbacks run on the owning node's worker thread and must
+//     not call blocking mesh APIs (publish into a full mesh can deadlock
+//     the worker); broker-level re-entrancy is fine.
+//
+// Statistics use the overlay's currency (net::OverlayStats) so the two
+// runtimes are directly comparable — the oracle test asserts identical
+// delivery multisets and routing-entry counts. profile_messages counts
+// routing-table installs (the overlay's definition), not raw frames.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ordering_policy.hpp"
+#include "ens/broker.hpp"
+#include "net/routing.hpp"
+
+namespace genas::mesh {
+
+/// Opaque mailbox message (defined in mesh.cpp).
+struct NodeMsg;
+
+using net::NodeId;
+using net::OverlayStats;
+using net::RoutingMode;
+
+/// Mesh-wide configuration.
+struct MeshOptions {
+  RoutingMode mode = RoutingMode::kRoutingCovered;
+  /// Filter policy used by every node's trees (local broker and per-link).
+  OrderingPolicy policy;
+  /// Event distribution handed to the trees (required by V1/V3/A2/A3).
+  std::optional<JointDistribution> event_distribution;
+  /// Mailbox capacity per node; full mailboxes block external producers.
+  std::size_t mailbox_capacity = 1024;
+};
+
+/// Delivery callback: subscription `key` at `node` matched `event`.
+/// Runs on the node's worker thread.
+using MeshCallback =
+    std::function<void(NodeId node, SubscriptionId key, const Event& event)>;
+
+/// Per-link view of a node's state.
+struct LinkStats {
+  NodeId peer = 0;
+  std::uint64_t event_messages = 0;  ///< events forwarded to `peer`
+  std::uint64_t routing_entries = 0; ///< profiles installed toward `peer`
+};
+
+/// Acyclic mesh of broker nodes, each on its own worker thread.
+class MeshNetwork {
+ public:
+  explicit MeshNetwork(SchemaPtr schema, MeshOptions options = {});
+  ~MeshNetwork();
+
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  /// Adds a node; returns its id (0-based, dense). Topology is fixed at
+  /// start(): add_node/connect afterwards throw Error{kState}.
+  NodeId add_node();
+
+  /// Connects two nodes bidirectionally. Throws if the link would close a
+  /// cycle (the mesh must stay a forest, like the overlay).
+  void connect(NodeId a, NodeId b);
+
+  /// Spawns one worker thread per node and opens the mesh for traffic.
+  void start();
+
+  /// Registers a subscription at `node` (asynchronously propagated per the
+  /// routing mode) and returns its network-wide key. Use wait_idle() to
+  /// observe the fully-propagated routing state.
+  SubscriptionId subscribe(NodeId node, Profile profile,
+                           MeshCallback callback);
+  SubscriptionId subscribe(NodeId node, std::string_view expression,
+                           MeshCallback callback);
+
+  /// Withdraws a subscription by key (asynchronous, like subscribe).
+  void unsubscribe(SubscriptionId key);
+
+  /// Publishes an event at `node`: enqueues it for the node's worker
+  /// (blocking while the mailbox is full) and returns; matching, delivery,
+  /// and forwarding happen asynchronously.
+  void publish(NodeId node, Event event);
+
+  /// Blocks until no message is in flight anywhere in the mesh.
+  void wait_idle();
+
+  /// Graceful shutdown: rejects new work, drains everything in flight,
+  /// then joins all workers. Idempotent; implied by the destructor.
+  void shutdown();
+
+  std::size_t node_count() const noexcept;
+  const SchemaPtr& schema() const noexcept { return schema_; }
+
+  /// Mesh-wide totals (sum of the per-node counters).
+  OverlayStats stats() const;
+  /// One node's counters.
+  OverlayStats node_stats(NodeId node) const;
+  /// Per-link counters of one node.
+  std::vector<LinkStats> link_stats(NodeId node) const;
+  /// Profiles installed across all of `node`'s link tables.
+  std::size_t routing_entries(NodeId node) const;
+  /// Live local subscriptions at `node`.
+  std::size_t local_subscriptions(NodeId node) const;
+
+  /// First internal error a worker hit (empty when healthy). Workers never
+  /// crash the process: a poisoned message is dropped and recorded here.
+  std::string first_error() const;
+
+ private:
+  struct Node;
+
+  void validate_node(NodeId node) const;
+  /// Ingress gate: throws unless running and accepting, then counts the
+  /// message in flight and enqueues it (blocking while the mailbox is full).
+  void enqueue(NodeId node, NodeMsg message);
+  void messages_done(std::uint64_t n);
+  void record_error(const std::string& what);
+
+  void run_node(Node& node);
+  bool flush_outboxes(Node& node);
+  void handle_batch(Node& node, std::vector<NodeMsg>& batch);
+  void handle_message(Node& node, NodeMsg& message);
+  void route_events(Node& node);
+  /// Sends one shared wire frame to every peer except `skip_index` (pass
+  /// peers.size() to reach all peers).
+  void broadcast_frame(Node& node, std::size_t skip_index,
+                       std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  /// Counts the frame in flight and delivers it to a peer's mailbox, or
+  /// stages it in the per-link outbox when the mailbox is full.
+  void send_frame(Node& node, std::size_t peer_index, NodeMsg message);
+
+  SchemaPtr schema_;
+  MeshOptions options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeId> forest_;  // union-find parent for cycle detection
+
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> inflight_{0};
+  bool running_ = false;        // workers exist
+  bool accepting_ = false;      // ingress open
+  bool shutting_down_ = false;  // a shutdown() is in progress
+  bool stopped_ = false;        // shutdown completed; the mesh cannot restart
+
+  std::atomic<std::uint64_t> next_key_{1};
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<SubscriptionId, NodeId> key_origin_;  // live keys
+
+  mutable std::mutex error_mutex_;
+  std::string first_error_;
+};
+
+}  // namespace genas::mesh

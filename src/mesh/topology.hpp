@@ -1,0 +1,41 @@
+// GENAS — mesh topology files.
+//
+// A line-oriented text format describing a broker mesh, designed to pair
+// with a config_io service configuration (which supplies the schema and,
+// optionally, a profile population):
+//
+//   # comment
+//   nodes <n>                  node count (ids 0..n-1); must come first
+//   link <a> <b>               bidirectional link (the mesh stays a forest)
+//   sub <node> <expression>    subscription placed at a node
+//
+// The CLI's `mesh` subcommand and tests drive MeshNetwork from these files;
+// parse failures throw Error{kParse} with the offending line number.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/routing.hpp"
+
+namespace genas::mesh {
+
+/// Parsed topology (expressions are kept as text: parsing them needs the
+/// schema, which the accompanying service configuration supplies).
+struct MeshTopology {
+  std::size_t nodes = 0;
+  std::vector<std::pair<net::NodeId, net::NodeId>> links;
+  std::vector<std::pair<net::NodeId, std::string>> subscriptions;
+};
+
+/// Parses a topology; throws Error{kParse} with the offending line.
+MeshTopology load_topology(std::istream& is);
+MeshTopology topology_from_string(const std::string& text);
+
+/// Renders a topology back into the text format.
+std::string topology_to_string(const MeshTopology& topology);
+
+}  // namespace genas::mesh

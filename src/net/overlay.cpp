@@ -4,15 +4,6 @@
 
 namespace genas::net {
 
-std::string_view to_string(RoutingMode mode) noexcept {
-  switch (mode) {
-    case RoutingMode::kFlooding:        return "flooding";
-    case RoutingMode::kRouting:         return "routing";
-    case RoutingMode::kRoutingCovered:  return "routing+covering";
-  }
-  return "?";
-}
-
 OverlayNetwork::OverlayNetwork(SchemaPtr schema, OverlayOptions options)
     : schema_(std::move(schema)), options_(std::move(options)) {
   GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
@@ -56,7 +47,7 @@ void OverlayNetwork::connect(NodeId a, NodeId b) {
   const auto make_link = [&](NodeId peer) {
     Link link;
     link.peer = peer;
-    link.forwarded = std::make_unique<ProfileSet>(schema_);
+    link.table = std::make_unique<LinkTable>(schema_);
     return link;
   };
   brokers_[a].links.push_back(make_link(b));
@@ -70,25 +61,20 @@ OverlayNetwork::Link& OverlayNetwork::link_to(NodeId from, NodeId to) {
   throw_error(ErrorCode::kInternal, "missing link in overlay");
 }
 
-void OverlayNetwork::propagate(NodeId from, NodeId to,
+void OverlayNetwork::propagate(NodeId from, NodeId to, std::uint64_t key,
                                const Profile& profile) {
   // `to` learns that the subscriber is reachable via `from`: the routing
   // entry lives at `to`, on its link back toward `from`, so that events
   // arriving at `to` are forwarded toward the subscriber.
   Link& link = link_to(to, from);
-  if (options_.mode == RoutingMode::kRoutingCovered) {
-    for (const Profile& existing : link.kept) {
-      if (covers(existing, profile)) return;  // suppressed
-    }
-  }
-  link.forwarded->add(profile);
-  link.kept.push_back(profile);
+  const bool covering = options_.mode == RoutingMode::kRoutingCovered;
+  if (!link.table->add(key, profile, covering)) return;  // suppressed
   ++stats_.profile_messages;
 
   // Brokers behind `to` learn the profile the same way.
   for (const Link& onward : brokers_[to].links) {
     if (onward.peer == from) continue;
-    propagate(to, onward.peer, profile);
+    propagate(to, onward.peer, key, profile);
   }
 }
 
@@ -96,13 +82,14 @@ std::uint64_t OverlayNetwork::subscribe(NodeId node, Profile profile) {
   validate_node(node);
   GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
                 "profile schema differs from overlay schema");
+  const std::uint64_t key = next_subscription_++;
   brokers_[node].local->add(profile);
   if (options_.mode != RoutingMode::kFlooding) {
     for (const Link& link : brokers_[node].links) {
-      propagate(node, link.peer, profile);
+      propagate(node, link.peer, key, profile);
     }
   }
-  return next_subscription_++;
+  return key;
 }
 
 const TreeMatcher& OverlayNetwork::local_matcher(NodeId node) {
@@ -116,18 +103,6 @@ const TreeMatcher& OverlayNetwork::local_matcher(NodeId node) {
   return *broker.matcher;
 }
 
-const TreeMatcher& OverlayNetwork::link_matcher(NodeId node,
-                                                std::size_t link_index) {
-  Link& link = brokers_[node].links[link_index];
-  if (link.matcher == nullptr ||
-      link.matcher_version != link.forwarded->version()) {
-    link.matcher = std::make_unique<TreeMatcher>(
-        *link.forwarded, options_.policy, options_.event_distribution);
-    link.matcher_version = link.forwarded->version();
-  }
-  return *link.matcher;
-}
-
 void OverlayNetwork::forward(NodeId node, NodeId from, const Event& event,
                              std::size_t& deliveries) {
   // Local matching at this broker.
@@ -138,17 +113,19 @@ void OverlayNetwork::forward(NodeId node, NodeId from, const Event& event,
 
   // Forwarding decision per outgoing link.
   for (std::size_t i = 0; i < brokers_[node].links.size(); ++i) {
-    const NodeId peer = brokers_[node].links[i].peer;
-    if (peer == from) continue;
+    Link& link = brokers_[node].links[i];
+    if (link.peer == from) continue;
     bool send = true;
     if (options_.mode != RoutingMode::kFlooding) {
-      const MatchOutcome routed = link_matcher(node, i).match(event);
+      const MatchOutcome routed =
+          link.table->matcher(options_.policy, options_.event_distribution)
+              .match(event);
       stats_.filter_operations += routed.operations;
       send = !routed.matched.empty();
     }
     if (send) {
       ++stats_.event_messages;
-      forward(peer, node, event, deliveries);
+      forward(link.peer, node, event, deliveries);
     }
   }
 }
@@ -167,7 +144,7 @@ std::size_t OverlayNetwork::routing_entries(NodeId node) const {
   validate_node(node);
   std::size_t total = 0;
   for (const Link& link : brokers_[node].links) {
-    total += link.forwarded->active_count();
+    total += link.table->entry_count();
   }
   return total;
 }

@@ -17,7 +17,9 @@
 //                     it (Siena-style covering optimization)
 //
 // Costs are reported in the paper's currency: filter operations (summed
-// over all brokers' trees) plus link messages.
+// over all brokers' trees) plus link messages. The per-link routing tables
+// (LinkTable, src/net/routing.hpp) are shared with the concurrent mesh
+// runtime (src/mesh/), which this simulation serves as the oracle for.
 #pragma once
 
 #include <cstdint>
@@ -27,19 +29,9 @@
 
 #include "core/ordering_policy.hpp"
 #include "match/tree_matcher.hpp"
-#include "profile/covering.hpp"
+#include "net/routing.hpp"
 
 namespace genas::net {
-
-using NodeId = std::size_t;
-
-enum class RoutingMode : std::uint8_t {
-  kFlooding,
-  kRouting,
-  kRoutingCovered,
-};
-
-std::string_view to_string(RoutingMode mode) noexcept;
 
 /// Overlay-wide configuration.
 struct OverlayOptions {
@@ -48,15 +40,6 @@ struct OverlayOptions {
   OrderingPolicy policy;
   /// Event distribution handed to the trees (required by V1/V3/A2/A3).
   std::optional<JointDistribution> event_distribution;
-};
-
-/// Aggregate cost counters.
-struct OverlayStats {
-  std::uint64_t events_published = 0;
-  std::uint64_t event_messages = 0;    ///< event transmissions over links
-  std::uint64_t profile_messages = 0;  ///< subscription propagations
-  std::uint64_t filter_operations = 0; ///< comparisons across all brokers
-  std::uint64_t deliveries = 0;        ///< local notifications
 };
 
 /// Acyclic broker overlay (a tree of brokers).
@@ -95,11 +78,7 @@ class OverlayNetwork {
   struct Link {
     NodeId peer;
     /// Profiles interested in events flowing toward `peer` (routing modes).
-    std::unique_ptr<ProfileSet> forwarded;
-    std::unique_ptr<TreeMatcher> matcher;  // lazily rebuilt
-    std::uint64_t matcher_version = ~0ULL;
-    /// Kept profiles for the covering check (mirrors `forwarded`).
-    std::vector<Profile> kept;
+    std::unique_ptr<LinkTable> table;
   };
 
   struct Broker {
@@ -113,12 +92,12 @@ class OverlayNetwork {
   Link& link_to(NodeId from, NodeId to);
 
   /// Registers `profile` into `from`'s table toward `to` and recursively
-  /// propagates behind `to`. Returns false when covering suppressed it.
-  void propagate(NodeId from, NodeId to, const Profile& profile);
+  /// propagates behind `to`; covering may suppress it part-way.
+  void propagate(NodeId from, NodeId to, std::uint64_t key,
+                 const Profile& profile);
 
   /// Matching with lazy tree rebuild; counts operations into stats_.
   const TreeMatcher& local_matcher(NodeId node);
-  const TreeMatcher& link_matcher(NodeId node, std::size_t link_index);
 
   void forward(NodeId node, NodeId from, const Event& event,
                std::size_t& deliveries);

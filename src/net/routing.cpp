@@ -1,0 +1,97 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace genas::net {
+
+std::string_view to_string(RoutingMode mode) noexcept {
+  switch (mode) {
+    case RoutingMode::kFlooding:        return "flooding";
+    case RoutingMode::kRouting:         return "routing";
+    case RoutingMode::kRoutingCovered:  return "routing+covering";
+  }
+  return "?";
+}
+
+LinkTable::LinkTable(SchemaPtr schema)
+    : schema_(std::move(schema)),
+      forwarded_(std::make_unique<ProfileSet>(schema_)) {
+  GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
+                "link table requires a schema");
+}
+
+bool LinkTable::add(std::uint64_t key, const Profile& profile, bool covering) {
+  if (covering) {
+    for (const Installed& existing : installed_) {
+      if (covers(existing.profile, profile)) {
+        suppressed_.push_back(Suppressed{key, profile, existing.key});
+        return false;
+      }
+    }
+  }
+  const ProfileId id = forwarded_->add(profile);
+  installed_.push_back(Installed{key, profile, id});
+  return true;
+}
+
+LinkTable::Removal LinkTable::remove(std::uint64_t key) {
+  Removal removal;
+
+  const auto installed_it =
+      std::find_if(installed_.begin(), installed_.end(),
+                   [&](const Installed& e) { return e.key == key; });
+  if (installed_it != installed_.end()) {
+    removal.removed = true;
+    removal.installed = true;
+    forwarded_->remove(installed_it->id);
+    installed_.erase(installed_it);
+
+    // Promote entries this key had been covering: re-check each against the
+    // remaining installed entries; still-covered ones just switch their
+    // recorded coverer, the rest are installed and reported to the caller.
+    for (auto it = suppressed_.begin(); it != suppressed_.end();) {
+      if (it->covered_by != key) {
+        ++it;
+        continue;
+      }
+      const auto coverer =
+          std::find_if(installed_.begin(), installed_.end(),
+                       [&](const Installed& e) {
+                         return covers(e.profile, it->profile);
+                       });
+      if (coverer != installed_.end()) {
+        it->covered_by = coverer->key;
+        ++it;
+        continue;
+      }
+      const ProfileId id = forwarded_->add(it->profile);
+      installed_.push_back(Installed{it->key, it->profile, id});
+      removal.promoted.emplace_back(it->key, std::move(it->profile));
+      it = suppressed_.erase(it);
+    }
+    return removal;
+  }
+
+  const auto suppressed_it =
+      std::find_if(suppressed_.begin(), suppressed_.end(),
+                   [&](const Suppressed& e) { return e.key == key; });
+  if (suppressed_it != suppressed_.end()) {
+    removal.removed = true;
+    suppressed_.erase(suppressed_it);
+  }
+  return removal;
+}
+
+const TreeMatcher& LinkTable::matcher(
+    const OrderingPolicy& policy,
+    const std::optional<JointDistribution>& dist) {
+  if (matcher_ == nullptr || matcher_version_ != forwarded_->version()) {
+    matcher_ = std::make_unique<TreeMatcher>(*forwarded_, policy, dist);
+    matcher_version_ = forwarded_->version();
+  }
+  return *matcher_;
+}
+
+}  // namespace genas::net

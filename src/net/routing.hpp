@@ -1,0 +1,109 @@
+// GENAS — content-based routing state shared by the overlay simulation and
+// the concurrent broker mesh.
+//
+// Siena-style routing (the paper's ref [3]) keeps, per link, the set of
+// profiles registered somewhere behind that link; an event crosses the link
+// only when it matches one of them. The covering optimization suppresses a
+// profile at a link whose table already holds a more general one, so only
+// the most general profiles propagate through the network.
+//
+// LinkTable is that per-link table. Both src/net/overlay.* (the
+// deterministic single-threaded simulation) and src/mesh/* (the
+// multi-threaded runtime) build on it, so suppression order, entry counts,
+// and matcher behavior are identical by construction — the property the
+// mesh-vs-overlay oracle test asserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/ordering_policy.hpp"
+#include "match/tree_matcher.hpp"
+#include "profile/covering.hpp"
+
+namespace genas::net {
+
+using NodeId = std::size_t;
+
+enum class RoutingMode : std::uint8_t {
+  kFlooding,
+  kRouting,
+  kRoutingCovered,
+};
+
+std::string_view to_string(RoutingMode mode) noexcept;
+
+/// Aggregate cost counters in the paper's currency: filter operations plus
+/// link messages. Shared by OverlayNetwork and MeshNetwork so their numbers
+/// are directly comparable.
+struct OverlayStats {
+  std::uint64_t events_published = 0;
+  std::uint64_t event_messages = 0;    ///< event transmissions over links
+  std::uint64_t profile_messages = 0;  ///< routing-table entries installed
+  std::uint64_t filter_operations = 0; ///< comparisons across all brokers
+  std::uint64_t deliveries = 0;        ///< local notifications
+};
+
+/// Per-link routing table with covering.
+///
+/// Entries are keyed by a network-wide subscription id. An `add` either
+/// installs the profile (it participates in forwarding decisions and must be
+/// propagated onward by the caller) or — in covering mode — suppresses it
+/// when an installed entry already covers it. Suppressed entries are
+/// remembered so a later `remove` of the covering entry can promote them
+/// back into the table (the caller then propagates the promoted profiles
+/// onward, exactly like fresh subscriptions).
+class LinkTable {
+ public:
+  explicit LinkTable(SchemaPtr schema);
+
+  /// Installs `profile` under `key`, or suppresses it when `covering` is set
+  /// and an installed entry covers it. Returns true when installed — the
+  /// caller should propagate the profile onward; false means propagation
+  /// stops here.
+  bool add(std::uint64_t key, const Profile& profile, bool covering);
+
+  /// Outcome of removing a key.
+  struct Removal {
+    bool removed = false;    ///< the key was present (installed or suppressed)
+    bool installed = false;  ///< it was installed (so it had propagated onward)
+    /// Entries previously suppressed by the removed key, now installed here;
+    /// the caller must propagate them onward like fresh subscriptions.
+    std::vector<std::pair<std::uint64_t, Profile>> promoted;
+  };
+  Removal remove(std::uint64_t key);
+
+  /// Number of installed (forwarding-relevant) entries.
+  std::size_t entry_count() const noexcept { return forwarded_->active_count(); }
+
+  bool empty() const noexcept { return forwarded_->active_count() == 0; }
+
+  /// Matcher over the installed entries, lazily rebuilt after mutations.
+  const TreeMatcher& matcher(const OrderingPolicy& policy,
+                             const std::optional<JointDistribution>& dist);
+
+ private:
+  struct Installed {
+    std::uint64_t key;
+    Profile profile;
+    ProfileId id;  ///< id inside forwarded_
+  };
+  struct Suppressed {
+    std::uint64_t key;
+    Profile profile;
+    std::uint64_t covered_by;  ///< key of the installed entry that covers it
+  };
+
+  SchemaPtr schema_;
+  std::unique_ptr<ProfileSet> forwarded_;
+  std::vector<Installed> installed_;
+  std::vector<Suppressed> suppressed_;
+  std::unique_ptr<TreeMatcher> matcher_;  // lazily rebuilt
+  std::uint64_t matcher_version_ = ~0ULL;
+};
+
+}  // namespace genas::net

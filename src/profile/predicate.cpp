@@ -124,6 +124,21 @@ Predicate Predicate::make_in(const Schema& schema, AttributeId attribute,
       require_nonempty(IntervalSet(std::move(points)), schema, attribute));
 }
 
+Predicate Predicate::from_accepted(const Schema& schema, AttributeId attribute,
+                                   Op op, IntervalSet accepted) {
+  const Domain& dom = domain_of(schema, attribute);
+  GENAS_REQUIRE(!accepted.is_empty(), ErrorCode::kInvalidArgument,
+                "predicate on '" + schema.attribute(attribute).name +
+                    "' accepts no value");
+  const Interval full = dom.full();
+  GENAS_REQUIRE(accepted.intervals().front().lo >= full.lo &&
+                    accepted.intervals().back().hi <= full.hi,
+                ErrorCode::kDomainViolation,
+                "accepted set of '" + schema.attribute(attribute).name +
+                    "' exceeds the attribute domain");
+  return Predicate(attribute, op, std::move(accepted));
+}
+
 std::string Predicate::to_string(const Schema& schema) const {
   std::ostringstream os;
   os << schema.attribute(attribute_).name << ' ' << genas::to_string(op_)

@@ -46,6 +46,12 @@ class Predicate {
   static Predicate make_in(const Schema& schema, AttributeId attribute,
                            const std::vector<Value>& values);
 
+  /// Reconstructs a predicate directly from its normalized accepted set (the
+  /// wire codec's decode path). The set must be non-empty and lie within the
+  /// attribute's domain; `op` is kept verbatim for diagnostics.
+  static Predicate from_accepted(const Schema& schema, AttributeId attribute,
+                                 Op op, IntervalSet accepted);
+
   AttributeId attribute() const noexcept { return attribute_; }
   Op op() const noexcept { return op_; }
 

@@ -72,13 +72,16 @@ class ProfileBuilder {
   ProfileBuilder& in(std::string_view attribute,
                      const std::vector<Value>& values);
 
+  /// Adds a pre-built predicate (the wire codec's decode path; predicates
+  /// come from the Predicate factories). Throws when the attribute is
+  /// already constrained.
+  ProfileBuilder& add(Predicate predicate);
+
   /// Finalizes the profile. An all-don't-care profile (matches everything)
   /// is permitted — it is a legal subscription.
   Profile build();
 
  private:
-  ProfileBuilder& add(Predicate predicate);
-
   SchemaPtr schema_;
   Profile profile_;
 };

@@ -1,0 +1,397 @@
+#include "wire/codec.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+#include "profile/predicate.hpp"
+
+namespace genas::wire {
+
+std::string_view to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kSchema:      return "schema";
+    case MessageType::kEvent:       return "event";
+    case MessageType::kProfile:     return "profile";
+    case MessageType::kSubscribe:   return "subscribe";
+    case MessageType::kUnsubscribe: return "unsubscribe";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw_error(ErrorCode::kParse, "wire: " + what);
+}
+
+/// Decoding reuses the library's constructors (SchemaBuilder, Predicate
+/// factories, Event::from_indices), whose validation throws kInvalidArgument
+/// or kDomainViolation. Seen from the wire, those are all the same condition
+/// — a buffer that does not encode a valid message — so remap them to kParse.
+template <typename Fn>
+auto as_parse(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kParse) throw;
+    throw_error(ErrorCode::kParse, std::string("wire: ") + e.what());
+  }
+}
+
+}  // namespace
+
+void Writer::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::patch_u32(std::size_t position, std::uint32_t v) {
+  GENAS_CHECK(position + 4 <= buffer_.size(), "patch beyond buffer");
+  for (int i = 0; i < 4; ++i) {
+    buffer_[position + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  if (pos_ >= data_.size()) parse_fail("truncated buffer");
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  const std::uint16_t lo = u8();
+  return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(u8()) << shift;
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(u8()) << shift;
+  }
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t length = count(u32(), 1);
+  std::string s(length, '\0');
+  for (std::uint32_t i = 0; i < length; ++i) {
+    s[i] = static_cast<char>(u8());
+  }
+  return s;
+}
+
+void Reader::expect_done() const {
+  if (!done()) parse_fail("trailing bytes after message");
+}
+
+std::uint32_t Reader::count(std::uint32_t raw, std::size_t min_bytes) const {
+  if (static_cast<std::size_t>(raw) * min_bytes > remaining()) {
+    parse_fail("element count exceeds buffer size");
+  }
+  return raw;
+}
+
+void encode_schema(Writer& w, const Schema& schema) {
+  w.u32(static_cast<std::uint32_t>(schema.attribute_count()));
+  for (const Attribute& attribute : schema.attributes()) {
+    w.str(attribute.name);
+    const Domain& domain = attribute.domain;
+    w.u8(static_cast<std::uint8_t>(domain.kind()));
+    switch (domain.kind()) {
+      case ValueKind::kInt:
+        w.i64(static_cast<std::int64_t>(domain.numeric_lo()));
+        w.i64(static_cast<std::int64_t>(domain.numeric_hi()));
+        break;
+      case ValueKind::kReal:
+        w.f64(domain.numeric_lo());
+        w.f64(domain.numeric_hi());
+        w.f64(domain.resolution());
+        break;
+      case ValueKind::kCategory:
+        w.u32(static_cast<std::uint32_t>(domain.size()));
+        for (DomainIndex i = 0; i < domain.size(); ++i) {
+          w.str(domain.value_at(i).as_category());
+        }
+        break;
+    }
+  }
+}
+
+SchemaPtr decode_schema(Reader& r) {
+  return as_parse([&] {
+    SchemaBuilder builder;
+    const std::uint32_t attributes = r.count(r.u32(), 5);
+    if (attributes == 0) parse_fail("schema with no attributes");
+    for (std::uint32_t a = 0; a < attributes; ++a) {
+      std::string name = r.str();
+      const std::uint8_t kind = r.u8();
+      switch (kind) {
+        case static_cast<std::uint8_t>(ValueKind::kInt): {
+          const std::int64_t lo = r.i64();
+          const std::int64_t hi = r.i64();
+          builder.add_integer(std::move(name), lo, hi);
+          break;
+        }
+        case static_cast<std::uint8_t>(ValueKind::kReal): {
+          const double lo = r.f64();
+          const double hi = r.f64();
+          const double resolution = r.f64();
+          builder.add_real(std::move(name), lo, hi, resolution);
+          break;
+        }
+        case static_cast<std::uint8_t>(ValueKind::kCategory): {
+          const std::uint32_t categories = r.count(r.u32(), 4);
+          if (categories == 0) parse_fail("categorical domain with no values");
+          std::vector<std::string> names;
+          names.reserve(categories);
+          for (std::uint32_t i = 0; i < categories; ++i) {
+            names.push_back(r.str());
+          }
+          builder.add_categorical(std::move(name), std::move(names));
+          break;
+        }
+        default:
+          parse_fail("unknown domain kind " + std::to_string(kind));
+      }
+    }
+    return builder.build();
+  });
+}
+
+void encode_event(Writer& w, const Event& event) {
+  const std::vector<DomainIndex>& indices = event.indices();
+  w.u32(static_cast<std::uint32_t>(indices.size()));
+  for (const DomainIndex index : indices) {
+    w.u64(static_cast<std::uint64_t>(index));
+  }
+  w.i64(event.time());
+}
+
+Event decode_event(Reader& r, const SchemaPtr& schema) {
+  return as_parse([&] {
+    GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                  "event decoding requires a schema");
+    const std::uint32_t attributes = r.count(r.u32(), 8);
+    if (attributes != schema->attribute_count()) {
+      parse_fail("event attribute count " + std::to_string(attributes) +
+                 " does not match schema (" +
+                 std::to_string(schema->attribute_count()) + ")");
+    }
+    std::vector<DomainIndex> indices;
+    indices.reserve(attributes);
+    for (std::uint32_t a = 0; a < attributes; ++a) {
+      const std::uint64_t raw = r.u64();
+      const std::int64_t domain_size = schema->attribute(a).domain.size();
+      if (raw >= static_cast<std::uint64_t>(domain_size)) {
+        parse_fail("event index " + std::to_string(raw) +
+                   " outside domain of '" + schema->attribute(a).name + "'");
+      }
+      indices.push_back(static_cast<DomainIndex>(raw));
+    }
+    const Timestamp time = r.i64();
+    return Event::from_indices(schema, std::move(indices), time);
+  });
+}
+
+void encode_profile(Writer& w, const Profile& profile) {
+  const std::vector<Predicate>& predicates = profile.predicates();
+  w.u32(static_cast<std::uint32_t>(predicates.size()));
+  for (const Predicate& predicate : predicates) {
+    w.u32(static_cast<std::uint32_t>(predicate.attribute()));
+    w.u8(static_cast<std::uint8_t>(predicate.op()));
+    const std::vector<Interval>& intervals =
+        predicate.accepted().intervals();
+    w.u32(static_cast<std::uint32_t>(intervals.size()));
+    for (const Interval& interval : intervals) {
+      w.i64(interval.lo);
+      w.i64(interval.hi);
+    }
+  }
+}
+
+Profile decode_profile(Reader& r, const SchemaPtr& schema) {
+  return as_parse([&] {
+    GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                  "profile decoding requires a schema");
+    const std::uint32_t predicates = r.count(r.u32(), 9);
+    if (predicates > schema->attribute_count()) {
+      parse_fail("profile constrains more attributes than the schema has");
+    }
+    ProfileBuilder builder(schema);
+    for (std::uint32_t p = 0; p < predicates; ++p) {
+      const std::uint32_t attribute = r.u32();
+      if (attribute >= schema->attribute_count()) {
+        parse_fail("profile references unknown attribute id " +
+                   std::to_string(attribute));
+      }
+      const std::uint8_t op_raw = r.u8();
+      if (op_raw > static_cast<std::uint8_t>(Op::kIn)) {
+        parse_fail("unknown predicate operator " + std::to_string(op_raw));
+      }
+      const std::uint32_t interval_count = r.count(r.u32(), 16);
+      if (interval_count == 0) parse_fail("predicate with no intervals");
+      std::vector<Interval> intervals;
+      intervals.reserve(interval_count);
+      for (std::uint32_t i = 0; i < interval_count; ++i) {
+        const DomainIndex lo = r.i64();
+        const DomainIndex hi = r.i64();
+        if (lo > hi) parse_fail("predicate interval with lo > hi");
+        intervals.emplace_back(lo, hi);
+      }
+      builder.add(Predicate::from_accepted(*schema, attribute,
+                                           static_cast<Op>(op_raw),
+                                           IntervalSet(std::move(intervals))));
+    }
+    return builder.build();
+  });
+}
+
+namespace {
+
+/// Starts a frame; returns the position of the length field to patch.
+std::size_t begin_frame(Writer& w, MessageType type) {
+  w.u16(kMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  const std::size_t length_at = w.size();
+  w.u32(0);  // patched by end_frame
+  return length_at;
+}
+
+std::vector<std::uint8_t> end_frame(Writer& w, std::size_t length_at) {
+  w.patch_u32(length_at, static_cast<std::uint32_t>(w.size() - length_at - 4));
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame_schema(const Schema& schema) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kSchema);
+  encode_schema(w, schema);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_event(const Event& event) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kEvent);
+  encode_event(w, event);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_profile(const Profile& profile) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kProfile);
+  encode_profile(w, profile);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_subscribe(std::uint64_t key,
+                                          const Profile& profile) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kSubscribe);
+  w.u64(key);
+  encode_profile(w, profile);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_unsubscribe(std::uint64_t key) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kUnsubscribe);
+  w.u64(key);
+  return end_frame(w, at);
+}
+
+namespace {
+
+MessageType read_header(Reader& r, std::size_t frame_size) {
+  if (r.u16() != kMagic) parse_fail("bad magic");
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    parse_fail("unsupported wire version " + std::to_string(version));
+  }
+  const std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(MessageType::kSchema) ||
+      type > static_cast<std::uint8_t>(MessageType::kUnsubscribe)) {
+    parse_fail("unknown message type " + std::to_string(type));
+  }
+  const std::uint32_t length = r.u32();
+  if (static_cast<std::size_t>(length) + 8 != frame_size) {
+    parse_fail("frame length field does not match buffer size");
+  }
+  return static_cast<MessageType>(type);
+}
+
+}  // namespace
+
+MessageType peek_type(std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  return read_header(r, frame.size());
+}
+
+Message decode_message(std::span<const std::uint8_t> frame,
+                       const SchemaPtr& schema) {
+  Reader r(frame);
+  const MessageType type = read_header(r, frame.size());
+  switch (type) {
+    case MessageType::kSchema: {
+      SchemaMsg msg{decode_schema(r)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kEvent: {
+      EventMsg msg{decode_event(r, schema)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kProfile: {
+      ProfileMsg msg{decode_profile(r, schema)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kSubscribe: {
+      const std::uint64_t key = r.u64();
+      SubscribeMsg msg{key, decode_profile(r, schema)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kUnsubscribe: {
+      UnsubscribeMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+  }
+  parse_fail("unreachable message type");
+}
+
+}  // namespace genas::wire

@@ -1,0 +1,157 @@
+// GENAS — binary wire codec for schemas, events, profiles, and the mesh's
+// control messages.
+//
+// The distributed runtime (src/mesh/) transports real serialized bytes over
+// its links; this module defines the format. It is deliberately transport-
+// agnostic — a frame is a self-contained byte string that works equally over
+// an in-process mailbox, a TCP socket, or a log file.
+//
+// Frame layout (all integers little-endian):
+//
+//   u16 magic      0x4757 ("GW")
+//   u8  version    kWireVersion
+//   u8  type       MessageType
+//   u32 length     payload byte count
+//   ...payload...
+//
+// A decoder must receive the frame exactly: truncated, oversized, or
+// corrupted buffers are rejected with Error{kParse} — every read is
+// bounds-checked and every decoded quantity is validated against the schema
+// (attribute counts, domain sizes, interval bounds), so malformed input can
+// never crash or over-allocate.
+//
+// Payload formats:
+//   schema       u32 attr_count, then per attribute: str name, u8 kind,
+//                int: i64 lo, i64 hi | real: f64 lo, f64 hi, f64 resolution |
+//                cat: u32 count, count * str
+//   event        u32 index_count, count * u64 domain index, i64 timestamp
+//   profile      u32 predicate_count, then per predicate: u32 attribute,
+//                u8 op, u32 interval_count, count * (i64 lo, i64 hi)
+//   subscribe    u64 subscription key, profile payload
+//   unsubscribe  u64 subscription key
+//
+// Events and profiles are encoded against a schema both ends share (the
+// mesh distributes it out of band or via a kSchema frame); decode_* take
+// that schema and validate against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "event/event.hpp"
+#include "profile/profile.hpp"
+
+namespace genas::wire {
+
+inline constexpr std::uint16_t kMagic = 0x4757;  // "GW"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kSchema = 1,
+  kEvent = 2,
+  kProfile = 3,
+  kSubscribe = 4,
+  kUnsubscribe = 5,
+};
+
+std::string_view to_string(MessageType type) noexcept;
+
+/// Append-only little-endian byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(std::string_view s);  ///< u32 length + raw bytes
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buffer_; }
+
+  /// Overwrites 4 bytes at `position` (frame length back-patching).
+  void patch_u32(std::size_t position, std::uint32_t v);
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian byte source; overruns throw Error{kParse}.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+  /// Throws Error{kParse} when bytes are left over (exact-size framing).
+  void expect_done() const;
+  /// Sanity bound for a decoded element count: each element consumes at
+  /// least `min_bytes`, so counts beyond remaining()/min_bytes are corrupt.
+  std::uint32_t count(std::uint32_t raw, std::size_t min_bytes) const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Payload codecs (no frame header).
+void encode_schema(Writer& w, const Schema& schema);
+SchemaPtr decode_schema(Reader& r);
+void encode_event(Writer& w, const Event& event);
+Event decode_event(Reader& r, const SchemaPtr& schema);
+void encode_profile(Writer& w, const Profile& profile);
+Profile decode_profile(Reader& r, const SchemaPtr& schema);
+
+// Framed messages (header + payload, ready for a link).
+std::vector<std::uint8_t> frame_schema(const Schema& schema);
+std::vector<std::uint8_t> frame_event(const Event& event);
+std::vector<std::uint8_t> frame_profile(const Profile& profile);
+std::vector<std::uint8_t> frame_subscribe(std::uint64_t key,
+                                          const Profile& profile);
+std::vector<std::uint8_t> frame_unsubscribe(std::uint64_t key);
+
+/// Decoded frame contents.
+struct SchemaMsg {
+  SchemaPtr schema;
+};
+struct EventMsg {
+  Event event;
+};
+struct ProfileMsg {
+  Profile profile;
+};
+struct SubscribeMsg {
+  std::uint64_t key;
+  Profile profile;
+};
+struct UnsubscribeMsg {
+  std::uint64_t key;
+};
+using Message =
+    std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg>;
+
+/// Frame type without decoding the payload; throws Error{kParse} on a
+/// malformed header.
+MessageType peek_type(std::span<const std::uint8_t> frame);
+
+/// Decodes one complete frame. `schema` interprets event/profile payloads
+/// (ignored for kSchema). Any malformation — truncation, trailing garbage,
+/// bad magic/version/type, out-of-domain values — throws Error{kParse}.
+Message decode_message(std::span<const std::uint8_t> frame,
+                       const SchemaPtr& schema);
+
+}  // namespace genas::wire

@@ -102,6 +102,76 @@ TEST(ConfigIo, ParseFailuresCarryLineNumbers) {
   expect_fail("attr x int 0 9\nprofile weight=0 x >= 1\n", "line 2");
 }
 
+TEST(ConfigIo, CategoryNamesWithCommasAndEdgeWhitespaceRoundTrip) {
+  // Regression: commas used to split the category payload blindly, and
+  // leading/trailing whitespace was eaten by line trimming — both silently
+  // corrupted the restored domain. Escaping must make these round-trip.
+  const std::vector<std::string> names = {
+      "plain",
+      "with,comma",
+      ",leading",
+      "trailing,",
+      " leading space",
+      "trailing space ",
+      "\ttab edge\t",
+      "inner space ok",
+      "back\\slash",
+      "\\,messy\\ mix, ",
+  };
+  const SchemaPtr schema =
+      SchemaBuilder().add_categorical("state", names).build();
+  ProfileSet set(schema);
+  set.add(ProfileBuilder(schema).where("state", Op::kEq, "with,comma").build());
+
+  const std::string text = config_to_string(set);
+  const ServiceConfig restored = config_from_string(text);
+  const Domain& domain = restored.schema->attribute(0).domain;
+  ASSERT_EQ(domain.size(), static_cast<std::int64_t>(names.size()));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(domain.value_at(static_cast<DomainIndex>(i)).as_category(),
+              names[i])
+        << "category " << i;
+  }
+  // And a second trip is a fixpoint.
+  EXPECT_EQ(config_to_string(restored.profiles), text);
+}
+
+TEST(ConfigIo, HandWrittenCategoryListsStillTolerateSpacing) {
+  // Unescaped whitespace around commas is formatting, not payload.
+  const ServiceConfig config = config_from_string(
+      "attr state cat ok, warn ,  err\n"
+      "profile state = warn\n");
+  const Domain& domain = config.schema->attribute(0).domain;
+  ASSERT_EQ(domain.size(), 3);
+  EXPECT_EQ(domain.value_at(0).as_category(), "ok");
+  EXPECT_EQ(domain.value_at(1).as_category(), "warn");
+  EXPECT_EQ(domain.value_at(2).as_category(), "err");
+}
+
+TEST(ConfigIo, CategoryEscapeFailuresAreRejected) {
+  const auto expect_parse_fail = [](const std::string& text) {
+    try {
+      config_from_string(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << e.what();
+    }
+  };
+  expect_parse_fail("attr state cat ok,bad\\\n");    // lone trailing backslash
+  expect_parse_fail("attr state cat ok,bad\\x\n");   // unknown escape
+
+  // Newlines cannot exist in a line-oriented format: save must refuse.
+  const SchemaPtr schema =
+      SchemaBuilder().add_categorical("state", {"multi\nline"}).build();
+  const ProfileSet set(schema);
+  try {
+    config_to_string(set);
+    FAIL() << "expected save failure for newline category";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << e.what();
+  }
+}
+
 TEST(ConfigIo, Example1ConfigurationRoundTrips) {
   const SchemaPtr schema = testutil::example1_schema();
   const ProfileSet set = testutil::example1_profiles(schema);

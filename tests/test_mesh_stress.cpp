@@ -1,0 +1,182 @@
+// Multithreaded mesh stress (the distributed counterpart of
+// test_broker_stress): concurrent publishers on different nodes race
+// subscribe/unsubscribe churn across the mesh, asserting that no delivery
+// is lost or duplicated for stable subscriptions, that shutdown is a hard
+// delivery barrier, and that the workers stay healthy. Run under
+// -fsanitize=thread in CI (the GENAS_SANITIZE=thread configuration) to
+// verify data-race freedom of the mailbox/outbox/routing machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mesh/mesh.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+using mesh::MeshNetwork;
+using mesh::MeshOptions;
+using net::NodeId;
+using net::RoutingMode;
+
+constexpr int kPublishers = 4;
+constexpr int kEventsPerPublisher = 300;
+
+TEST(MeshStress, NoLostOrDuplicatedDeliveriesUnderChurn) {
+  const SchemaPtr schema = testutil::example1_schema();
+
+  MeshOptions options;
+  options.mode = RoutingMode::kRoutingCovered;
+  options.mailbox_capacity = 64;  // small: exercise backpressure + outboxes
+  MeshNetwork mesh(schema, options);
+  // 0 - 1 - 2 - 3 line; one publisher pinned to each node.
+  for (int i = 0; i < kPublishers; ++i) mesh.add_node();
+  mesh.connect(0, 1);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  mesh.start();
+
+  // Stable subscription at the far end, matching every event: exactly one
+  // delivery per published event, wherever it entered the mesh. Per-event
+  // flags catch duplicates; the total catches losses.
+  std::atomic<bool> shut_down{false};
+  std::atomic<std::uint64_t> stable_deliveries{0};
+  std::atomic<std::uint64_t> post_shutdown_deliveries{0};
+  std::vector<std::atomic<int>> seen(
+      static_cast<std::size_t>(kPublishers) * kEventsPerPublisher);
+  mesh.subscribe(3, "temperature >= -30",
+                 [&](NodeId, SubscriptionId, const Event& event) {
+                   if (shut_down.load(std::memory_order_relaxed)) {
+                     post_shutdown_deliveries.fetch_add(1);
+                   }
+                   stable_deliveries.fetch_add(1, std::memory_order_relaxed);
+                   seen[static_cast<std::size_t>(event.time())].fetch_add(
+                       1, std::memory_order_relaxed);
+                 });
+  mesh.wait_idle();
+
+  // Publishers on distinct nodes; ingress backpressure throttles them.
+  std::barrier start(kPublishers + 1);
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kEventsPerPublisher; ++i) {
+        const Timestamp id =
+            static_cast<Timestamp>(t) * kEventsPerPublisher + i;
+        Event event = Event::from_pairs(
+            schema,
+            {{"temperature", (i * 7) % 81 - 30},
+             {"humidity", (t * 31 + i) % 101},
+             {"radiation", 1 + (i % 100)}},
+            id);
+        mesh.publish(static_cast<NodeId>(t), std::move(event));
+      }
+    });
+  }
+
+  // Churn thread: subscribe/unsubscribe at node 1 while events stream. The
+  // churned profile is covered by the stable one, so every install races
+  // the covering suppression/promotion machinery across link tables.
+  std::atomic<std::uint64_t> churn_deliveries{0};
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    start.arrive_and_wait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SubscriptionId key = mesh.subscribe(
+          1, "humidity >= 50", [&](NodeId, SubscriptionId, const Event&) {
+            churn_deliveries.fetch_add(1, std::memory_order_relaxed);
+          });
+      mesh.unsubscribe(key);
+    }
+  });
+
+  for (std::thread& publisher : publishers) publisher.join();
+  stop.store(true, std::memory_order_relaxed);
+  churn.join();
+  mesh.wait_idle();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kPublishers) * kEventsPerPublisher;
+  EXPECT_EQ(stable_deliveries.load(), kTotal);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "event " << i << " lost or duplicated";
+  }
+  EXPECT_EQ(mesh.stats().events_published, kTotal);
+  EXPECT_EQ(mesh.first_error(), "");
+
+  // Shutdown is a delivery barrier: no callback may run after it returns,
+  // and rejected work must throw rather than vanish.
+  mesh.shutdown();
+  shut_down.store(true);
+  try {
+    mesh.publish(0, Event::from_pairs(schema, {{"temperature", 0},
+                                               {"humidity", 0},
+                                               {"radiation", 1}}));
+    FAIL() << "publish after shutdown must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kState);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(post_shutdown_deliveries.load(), 0u);
+}
+
+TEST(MeshStress, ConcurrentShutdownAndPublishersRaceSafely) {
+  // Publishers keep publishing while another thread shuts the mesh down:
+  // every publish must either be fully delivered or rejected with
+  // Error{kState} — never accepted-and-dropped.
+  const SchemaPtr schema = testutil::example1_schema();
+  MeshOptions options;
+  options.mode = RoutingMode::kRouting;
+  options.mailbox_capacity = 32;
+  MeshNetwork mesh(schema, options);
+  const NodeId left = mesh.add_node();
+  const NodeId right = mesh.add_node();
+  mesh.connect(left, right);
+  mesh.start();
+
+  std::atomic<std::uint64_t> delivered{0};
+  mesh.subscribe(right, "temperature >= -30",
+                 [&](NodeId, SubscriptionId, const Event&) {
+                   delivered.fetch_add(1, std::memory_order_relaxed);
+                 });
+  mesh.wait_idle();
+
+  std::atomic<std::uint64_t> accepted{0};
+  constexpr int kThreads = 3;
+  std::barrier start(kThreads + 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < 500; ++i) {
+        try {
+          mesh.publish(left, Event::from_pairs(
+                                 schema, {{"temperature", (t + i) % 50},
+                                          {"humidity", 0},
+                                          {"radiation", 1}}));
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kState);
+          break;  // the mesh is gone; later publishes fail the same way
+        }
+      }
+    });
+  }
+  start.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  mesh.shutdown();
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(delivered.load(), accepted.load());
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+}  // namespace
+}  // namespace genas

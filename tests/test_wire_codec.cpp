@@ -1,0 +1,307 @@
+// Tests for the binary wire codec: property-style encode/decode oracles
+// over randomized schemas/events/profiles, plus the malformed-input paths —
+// every truncated, trailing-garbage, or corrupted buffer must be rejected
+// with Error{kParse}, never crash or mis-decode silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "profile/parser.hpp"
+#include "sim/workload.hpp"
+#include "test_util.hpp"
+#include "wire/codec.hpp"
+
+namespace genas {
+namespace {
+
+using Frame = std::vector<std::uint8_t>;
+
+/// Decode must reject the buffer with Error{kParse} specifically.
+void expect_parse_failure(const Frame& frame, const SchemaPtr& schema,
+                          const std::string& context) {
+  try {
+    wire::decode_message(frame, schema);
+    FAIL() << context << ": malformed frame decoded without error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse) << context << ": " << e.what();
+  }
+}
+
+/// Structural equality of two profiles over the same schema: the same
+/// attributes constrained, with identical operators and accepted sets.
+void expect_same_profile(const Profile& original, const Profile& decoded) {
+  ASSERT_EQ(original.predicates().size(), decoded.predicates().size());
+  for (std::size_t p = 0; p < original.predicates().size(); ++p) {
+    const Predicate& a = original.predicates()[p];
+    const Predicate& b = decoded.predicates()[p];
+    EXPECT_EQ(a.attribute(), b.attribute());
+    EXPECT_EQ(a.op(), b.op());
+    EXPECT_EQ(a.accepted(), b.accepted());
+  }
+}
+
+/// Random integer-attribute schema (1..4 attributes, varying domains).
+SchemaPtr random_int_schema(Rng& rng) {
+  SchemaBuilder builder;
+  const std::size_t attributes = 1 + rng.below(4);
+  for (std::size_t a = 0; a < attributes; ++a) {
+    const std::int64_t lo = rng.range(-40, 10);
+    const std::int64_t hi = lo + 1 + static_cast<std::int64_t>(rng.below(120));
+    builder.add_integer("a" + std::to_string(a), lo, hi);
+  }
+  return builder.build();
+}
+
+/// Random event as raw domain indices (schema-agnostic, unlike samplers).
+Event random_event(const SchemaPtr& schema, Rng& rng) {
+  std::vector<DomainIndex> indices;
+  indices.reserve(schema->attribute_count());
+  for (AttributeId a = 0; a < schema->attribute_count(); ++a) {
+    indices.push_back(static_cast<DomainIndex>(
+        rng.below(static_cast<std::uint64_t>(
+            schema->attribute(a).domain.size()))));
+  }
+  return Event::from_indices(schema, std::move(indices),
+                             static_cast<Timestamp>(rng.below(1 << 20)));
+}
+
+TEST(WireCodec, RandomizedProfileAndEventRoundTrips) {
+  Rng rng(2026);
+  for (int round = 0; round < 20; ++round) {
+    const SchemaPtr schema = random_int_schema(rng);
+
+    ProfileWorkloadOptions options;
+    options.count = 25;
+    options.dont_care_probability = 0.3;
+    options.equality_only = (round % 2 == 0);
+    options.range_width_mean = 0.2;
+    options.seed = static_cast<std::uint64_t>(round) + 1;
+    const ProfileSet profiles = generate_profiles(
+        schema, make_profile_distributions(schema, {"gauss"}), options);
+
+    for (const ProfileId id : profiles.active_ids()) {
+      const Profile& original = profiles.profile(id);
+      const wire::Message decoded =
+          wire::decode_message(wire::frame_profile(original), schema);
+      ASSERT_TRUE(std::holds_alternative<wire::ProfileMsg>(decoded));
+      expect_same_profile(original,
+                          std::get<wire::ProfileMsg>(decoded).profile);
+    }
+
+    for (int e = 0; e < 50; ++e) {
+      const Event original = random_event(schema, rng);
+      const Frame frame = wire::frame_event(original);
+      EXPECT_EQ(wire::peek_type(frame), wire::MessageType::kEvent);
+      const wire::Message decoded = wire::decode_message(frame, schema);
+      ASSERT_TRUE(std::holds_alternative<wire::EventMsg>(decoded));
+      const Event& roundtrip = std::get<wire::EventMsg>(decoded).event;
+      EXPECT_EQ(original.indices(), roundtrip.indices());
+      EXPECT_EQ(original.time(), roundtrip.time());
+    }
+  }
+}
+
+TEST(WireCodec, SchemaRoundTripsAllDomainKinds) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    SchemaBuilder builder;
+    const std::size_t attributes = 1 + rng.below(5);
+    for (std::size_t a = 0; a < attributes; ++a) {
+      const std::string name = "attr_" + std::to_string(a);
+      switch (rng.below(3)) {
+        case 0: {
+          const std::int64_t lo = rng.range(-100, 100);
+          builder.add_integer(name,
+                              lo, lo + static_cast<std::int64_t>(rng.below(50)));
+          break;
+        }
+        case 1: {
+          // Exact binary fractions: f64 fields are bit-exact on the wire,
+          // and these keep the domain size integral for SchemaBuilder.
+          const double resolution = 0.125 * static_cast<double>(
+              1 + rng.below(4));
+          const double lo = static_cast<double>(rng.range(-4, 4));
+          const double hi = lo + resolution * static_cast<double>(
+              1 + rng.below(32));
+          builder.add_real(name, lo, hi, resolution);
+          break;
+        }
+        default: {
+          // Category names may contain anything a length-prefixed string
+          // can carry — commas, blanks, backslashes, high bytes.
+          std::vector<std::string> categories;
+          const std::size_t count = 1 + rng.below(5);
+          for (std::size_t c = 0; c < count; ++c) {
+            std::string category = "c" + std::to_string(c);
+            if (rng.chance(0.5)) category += ", with\\ extras\t\xc3\xa9";
+            categories.push_back(std::move(category));
+          }
+          builder.add_categorical(name, std::move(categories));
+          break;
+        }
+      }
+    }
+    const SchemaPtr schema = builder.build();
+
+    const wire::Message decoded =
+        wire::decode_message(wire::frame_schema(*schema), nullptr);
+    ASSERT_TRUE(std::holds_alternative<wire::SchemaMsg>(decoded));
+    const SchemaPtr& roundtrip = std::get<wire::SchemaMsg>(decoded).schema;
+    EXPECT_EQ(schema->to_string(), roundtrip->to_string());
+    ASSERT_EQ(schema->attribute_count(), roundtrip->attribute_count());
+    for (AttributeId a = 0; a < schema->attribute_count(); ++a) {
+      const Domain& original = schema->attribute(a).domain;
+      const Domain& restored = roundtrip->attribute(a).domain;
+      ASSERT_EQ(original.kind(), restored.kind());
+      ASSERT_EQ(original.size(), restored.size());
+      for (DomainIndex i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(original.value_at(i), restored.value_at(i));
+      }
+    }
+  }
+}
+
+TEST(WireCodec, SubscribeAndUnsubscribeCarryKeys) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Profile profile =
+      parse_profile(schema, "temperature >= 35 && humidity >= 90");
+
+  const wire::Message sub = wire::decode_message(
+      wire::frame_subscribe(0xDEADBEEFCAFEULL, profile), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::SubscribeMsg>(sub));
+  EXPECT_EQ(std::get<wire::SubscribeMsg>(sub).key, 0xDEADBEEFCAFEULL);
+  expect_same_profile(profile, std::get<wire::SubscribeMsg>(sub).profile);
+
+  const wire::Message unsub =
+      wire::decode_message(wire::frame_unsubscribe(42), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::UnsubscribeMsg>(unsub));
+  EXPECT_EQ(std::get<wire::UnsubscribeMsg>(unsub).key, 42u);
+}
+
+TEST(WireCodec, EveryTruncationIsRejected) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const std::vector<Frame> frames = {
+      wire::frame_schema(*schema),
+      wire::frame_event(Event::from_pairs(schema, {{"temperature", 20},
+                                                   {"humidity", 50},
+                                                   {"radiation", 3}})),
+      wire::frame_profile(parse_profile(schema, "temperature >= 35")),
+      wire::frame_subscribe(7, parse_profile(schema, "humidity <= 5")),
+      wire::frame_unsubscribe(7),
+  };
+  for (const Frame& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const Frame truncated(frame.begin(),
+                            frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      expect_parse_failure(truncated, schema,
+                           "truncated at " + std::to_string(cut));
+    }
+    Frame padded = frame;
+    padded.push_back(0);
+    expect_parse_failure(padded, schema, "trailing garbage");
+  }
+}
+
+TEST(WireCodec, CorruptHeadersAreRejected) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Frame good = wire::frame_unsubscribe(1);
+
+  Frame bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  expect_parse_failure(bad_magic, schema, "bad magic");
+  EXPECT_THROW(wire::peek_type(bad_magic), Error);
+
+  Frame bad_version = good;
+  bad_version[2] = wire::kWireVersion + 1;
+  expect_parse_failure(bad_version, schema, "future version");
+
+  Frame bad_type = good;
+  bad_type[3] = 99;
+  expect_parse_failure(bad_type, schema, "unknown type");
+
+  Frame bad_length = good;
+  bad_length[4] ^= 0x01;  // length field no longer matches the buffer
+  expect_parse_failure(bad_length, schema, "length mismatch");
+
+  expect_parse_failure(Frame{}, schema, "empty buffer");
+}
+
+TEST(WireCodec, OutOfDomainPayloadsAreRejected) {
+  const SchemaPtr schema = testutil::example1_schema();
+  // Events and profiles valid for a wider schema must be rejected when
+  // decoded against a narrower one (index/attribute validation).
+  const SchemaPtr wide = SchemaBuilder()
+                             .add_integer("temperature", -30, 200)
+                             .add_integer("humidity", 0, 100)
+                             .add_integer("radiation", 1, 100)
+                             .add_integer("extra", 0, 9)
+                             .build();
+  expect_parse_failure(
+      wire::frame_event(Event::from_pairs(wide, {{"temperature", 199},
+                                                 {"humidity", 0},
+                                                 {"radiation", 1},
+                                                 {"extra", 0}})),
+      schema, "event attribute count mismatch");
+
+  const SchemaPtr three_wide = SchemaBuilder()
+                                   .add_integer("temperature", -30, 200)
+                                   .add_integer("humidity", 0, 100)
+                                   .add_integer("radiation", 1, 100)
+                                   .build();
+  expect_parse_failure(
+      wire::frame_event(Event::from_pairs(three_wide, {{"temperature", 199},
+                                                       {"humidity", 0},
+                                                       {"radiation", 1}})),
+      schema, "event index outside domain");
+  expect_parse_failure(
+      wire::frame_profile(parse_profile(three_wide, "temperature >= 150")),
+      schema, "profile interval outside domain");
+}
+
+TEST(WireCodec, ByteFlipFuzzNeverCrashes) {
+  // Flipping any single byte must either still decode (payload bytes can
+  // land on another valid value) or throw Error{kParse} — nothing else.
+  const SchemaPtr schema = testutil::example1_schema();
+  const std::vector<Frame> frames = {
+      wire::frame_schema(*schema),
+      wire::frame_event(Event::from_pairs(schema, {{"temperature", 0},
+                                                   {"humidity", 1},
+                                                   {"radiation", 2}})),
+      wire::frame_subscribe(
+          3, parse_profile(schema, "temperature >= 35 && radiation <= 60")),
+  };
+  Rng rng(99);
+  for (const Frame& frame : frames) {
+    for (std::size_t at = 0; at < frame.size(); ++at) {
+      Frame corrupted = frame;
+      corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      try {
+        (void)wire::decode_message(corrupted, schema);
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kParse)
+            << "byte " << at << ": " << e.what();
+      }
+    }
+  }
+}
+
+TEST(WireCodec, InflatedCountsAreRejectedBeforeAllocation) {
+  // A frame whose element count claims more data than the buffer holds must
+  // fail the count sanity bound, not attempt a giant allocation.
+  const SchemaPtr schema = testutil::example1_schema();
+  wire::Writer w;
+  w.u16(wire::kMagic);
+  w.u8(wire::kWireVersion);
+  w.u8(static_cast<std::uint8_t>(wire::MessageType::kEvent));
+  w.u32(4);            // payload: exactly the count field below
+  w.u32(0x40000000u);  // claims a billion attributes
+  expect_parse_failure(w.take(), schema, "inflated count");
+}
+
+}  // namespace
+}  // namespace genas
