@@ -1,0 +1,158 @@
+// Standalone composite-detection throughput report: events/sec through
+// Broker::publish_batch with a population of composite subscriptions driving
+// the detector, against the plain-subscription baseline on the identical
+// workload. Merged into BENCH_throughput.json (tools/run_bench.sh runs this
+// after bench_mesh).
+//
+//   ./bench_composite [output.json] [--quick]
+//
+// Workload: 3-attribute schema, gauss events with an increasing timestamp
+// axis; the composite population mixes seq/conj/disj/neg over range leaves.
+// The baseline registers the same leaf profiles as plain subscriptions, so
+// the delta is the detector + reorder-stage cost per delivered primitive.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dist/sampler.hpp"
+#include "ens/broker.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace genas;
+using Clock = std::chrono::steady_clock;
+
+std::vector<Event> make_events(const SchemaPtr& schema, std::size_t count) {
+  const JointDistribution joint = make_event_distribution(schema, {"gauss"});
+  EventSampler sampler(joint, 11);
+  std::vector<Event> events = sampler.sample_batch(count);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].set_time(static_cast<Timestamp>(i));
+  }
+  return events;
+}
+
+/// Composite population: `count` subscriptions cycling through the four
+/// operators, leaves sweeping the domain so selectivity varies.
+void add_composites(Broker& broker, const SchemaPtr& schema,
+                    std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>((i * 7) % 80);
+    const auto leaf = [&](const char* attr, std::int64_t at) {
+      return primitive(ProfileBuilder(schema)
+                           .where(attr, Op::kGe, Value(at))
+                           .build());
+    };
+    CompositeExprPtr expr;
+    switch (i % 4) {
+      case 0:
+        expr = seq(leaf("a0", lo), leaf("a1", lo / 2), 64);
+        break;
+      case 1:
+        expr = conj(leaf("a1", lo), leaf("a2", lo / 2), 64);
+        break;
+      case 2:
+        expr = disj(leaf("a0", lo + 10), leaf("a2", lo));
+        break;
+      default:
+        expr = neg(leaf("a2", 90), leaf("a0", lo), 32);
+        break;
+    }
+    broker.subscribe_composite(std::move(expr), [](const CompositeFiring&) {});
+  }
+}
+
+/// The same leaves as plain subscriptions (the no-detector baseline).
+void add_plain_leaves(Broker& broker, const SchemaPtr& schema,
+                      std::size_t composites) {
+  for (std::size_t i = 0; i < composites; ++i) {
+    const std::int64_t lo = static_cast<std::int64_t>((i * 7) % 80);
+    const auto sub = [&](const char* attr, std::int64_t at) {
+      broker.subscribe(ProfileBuilder(schema)
+                           .where(attr, Op::kGe, Value(at))
+                           .build(),
+                       [](const Notification&) {});
+    };
+    switch (i % 4) {
+      case 0: sub("a0", lo); sub("a1", lo / 2); break;
+      case 1: sub("a1", lo); sub("a2", lo / 2); break;
+      case 2: sub("a0", lo + 10); sub("a2", lo); break;
+      default: sub("a2", 90); sub("a0", lo); break;
+    }
+  }
+}
+
+double measure(Broker& broker, const std::vector<Event>& events,
+               bool flush_composites) {
+  constexpr std::size_t kBatch = 256;
+  // Warm-up pass builds trees and snapshots.
+  broker.publish_batch({events.data(), std::min(kBatch, events.size())});
+
+  const auto start = Clock::now();
+  for (std::size_t at = 0; at < events.size(); at += kBatch) {
+    const std::size_t n = std::min(kBatch, events.size() - at);
+    broker.publish_batch({events.data() + at, n});
+  }
+  if (flush_composites) broker.flush_composites();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(events.size()) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_throughput.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const SchemaPtr schema = SchemaBuilder()
+                               .add_integer("a0", 0, 99)
+                               .add_integer("a1", 0, 99)
+                               .add_integer("a2", 0, 99)
+                               .build();
+  const std::vector<Event> events =
+      make_events(schema, quick ? 20000 : 200000);
+  const std::size_t composites = 120;
+
+  std::vector<std::pair<std::string, double>> entries;
+
+  {
+    Broker broker(schema);
+    add_plain_leaves(broker, schema, composites);
+    const double rate = measure(broker, events, false);
+    entries.emplace_back("composite_baseline_plain_events_per_sec", rate);
+  }
+  {
+    Broker broker(schema);  // streaming detection: watermark at skew 64
+    broker.set_composite_skew(64);
+    add_composites(broker, schema, composites);
+    const double rate = measure(broker, events, true);
+    entries.emplace_back("composite_detect_skew64_events_per_sec", rate);
+  }
+  {
+    Broker broker(schema);  // buffer-until-flush detection
+    broker.set_composite_skew(1 << 30);
+    add_composites(broker, schema, composites);
+    const double rate = measure(broker, events, true);
+    entries.emplace_back("composite_detect_flush_events_per_sec", rate);
+  }
+
+  for (const auto& [key, rate] : entries) {
+    std::cerr << key << " = " << static_cast<std::uint64_t>(rate) << "\n";
+  }
+  genas::benchutil::merge_json(output, entries);
+  std::cout << "merged " << entries.size() << " composite entries into "
+            << output << "\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helper for the standalone bench reports: merges key/value entries
+// into an existing top-level JSON object file (or starts a fresh one) by
+// textual splice, matching the writer in bench_perf_report.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace genas::benchutil {
+
+inline void merge_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    text = buffer.str();
+  }
+  const auto rstrip = [&text] {
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == ' ' || text.back() == '\t')) {
+      text.pop_back();
+    }
+  };
+  rstrip();
+  if (!text.empty() && text.back() == '}') {
+    text.pop_back();  // only the object's own closing brace, never a nested one
+    rstrip();
+  }
+  std::ofstream os(path);
+  if (text.empty()) {
+    os << "{\n";
+  } else if (text.back() == '{') {
+    os << text << '\n';  // existing object was empty: no separating comma
+  } else {
+    os << text << ",\n";
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.1f", entries[i].second);
+    os << "  \"" << entries[i].first << "\": " << buffer
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+}  // namespace genas::benchutil

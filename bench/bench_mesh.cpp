@@ -11,14 +11,12 @@
 // and wait_idle() drain, i.e. it is end-to-end delivered throughput.
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "dist/sampler.hpp"
 #include "mesh/mesh.hpp"
 #include "sim/workload.hpp"
@@ -76,45 +74,6 @@ double measure_mode(const Topology& topology, net::RoutingMode mode,
   return static_cast<double>(events.size()) / elapsed;
 }
 
-/// Merges `entries` into an existing top-level JSON object file (or starts
-/// a fresh one): textual splice, matching the writer in bench_perf_report.
-void merge_json(const std::string& path,
-                const std::vector<std::pair<std::string, double>>& entries) {
-  std::string text;
-  {
-    std::ifstream is(path);
-    std::stringstream buffer;
-    buffer << is.rdbuf();
-    text = buffer.str();
-  }
-  const auto rstrip = [&text] {
-    while (!text.empty() &&
-           (text.back() == '\n' || text.back() == ' ' || text.back() == '\t')) {
-      text.pop_back();
-    }
-  };
-  rstrip();
-  if (!text.empty() && text.back() == '}') {
-    text.pop_back();  // only the object's own closing brace, never a nested one
-    rstrip();
-  }
-  std::ofstream os(path);
-  if (text.empty()) {
-    os << "{\n";
-  } else if (text.back() == '{') {
-    os << text << '\n';  // existing object was empty: no separating comma
-  } else {
-    os << text << ",\n";
-  }
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    char buffer[64];
-    std::snprintf(buffer, sizeof buffer, "%.1f", entries[i].second);
-    os << "  \"" << entries[i].first << "\": " << buffer
-       << (i + 1 < entries.size() ? ",\n" : "\n");
-  }
-  os << "}\n";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,7 +128,7 @@ int main(int argc, char** argv) {
       entries.emplace_back(key, rate);
     }
   }
-  merge_json(output, entries);
+  benchutil::merge_json(output, entries);
   std::cout << "merged " << entries.size() << " mesh entries into " << output
             << "\n";
   return 0;

@@ -9,6 +9,11 @@
 //   done                             freeze the schema, start the broker
 //   sub <profile expression>         subscribe (prints the assigned id)
 //   unsub <id>                       unsubscribe
+//   csub <composite expression>      composite subscribe, e.g.
+//                                    seq({a >= 3}, {b = 1}, w=10)
+//   cunsub <id>                      composite unsubscribe
+//   cskew <n>                        composite watermark skew tolerance
+//   cflush                           evaluate buffered composite instants
 //   pub <event expression>           publish ("a=1; b=2")
 //   policy <natural|v1|v2|v3> <linear|binary|interpolation|hash> [a1|a2|a3]
 //   tree                             dump the current profile tree
@@ -44,12 +49,19 @@ namespace {
 
 using namespace genas;
 
+void print_composite_firing(const CompositeFiring& f) {
+  std::cout << "  composite csub#" << f.subscription << " fired at t="
+            << f.time << "\n";
+}
+
 struct CliState {
   SchemaBuilder builder;
   SchemaPtr schema;
   std::unique_ptr<Broker> broker;
   OrderingPolicy policy;
   std::map<SubscriptionId, std::string> expressions;  // live subscriptions
+  std::map<CompositeId, std::string> composites;      // live composites
+  Timestamp composite_skew = 0;
 
   /// (Re)creates the broker with the current policy and re-subscribes all
   /// live expressions (they receive fresh subscription ids).
@@ -57,6 +69,7 @@ struct CliState {
     EngineOptions options;
     options.policy = policy;
     broker = std::make_unique<Broker>(schema, std::move(options));
+    broker->set_composite_skew(composite_skew);
     std::map<SubscriptionId, std::string> renewed;
     for (const auto& [old_id, expression] : expressions) {
       const SubscriptionId id =
@@ -67,6 +80,13 @@ struct CliState {
       renewed.emplace(id, expression);
     }
     expressions = std::move(renewed);
+    std::map<CompositeId, std::string> renewed_composites;
+    for (const auto& [old_id, expression] : composites) {
+      const CompositeId id =
+          broker->subscribe_composite(expression, print_composite_firing);
+      renewed_composites.emplace(id, expression);
+    }
+    composites = std::move(renewed_composites);
   }
 };
 
@@ -171,6 +191,23 @@ bool handle(CliState& state, const std::string& line) {
       state.broker->unsubscribe(id);
       state.expressions.erase(id);
       std::cout << "ok\n";
+    } else if (cmd == "csub") {
+      const CompositeId id =
+          state.broker->subscribe_composite(rest, print_composite_firing);
+      state.composites.emplace(id, rest);
+      std::cout << "ok: composite subscription " << id << "\n";
+    } else if (cmd == "cunsub") {
+      const CompositeId id = std::stoull(rest);
+      state.broker->unsubscribe_composite(id);
+      state.composites.erase(id);
+      std::cout << "ok\n";
+    } else if (cmd == "cskew") {
+      state.composite_skew = std::stoll(rest);
+      state.broker->set_composite_skew(state.composite_skew);
+      std::cout << "ok: composite skew " << state.composite_skew << "\n";
+    } else if (cmd == "cflush") {
+      state.broker->flush_composites();
+      std::cout << "ok\n";
     } else if (cmd == "policy") {
       state.policy = parse_policy(words);
       state.start_broker();  // rebuild with the new ordering policy
@@ -178,6 +215,18 @@ bool handle(CliState& state, const std::string& line) {
                 << " (subscriptions re-registered)\n";
     } else if (cmd == "pub") {
       const PublishResult result = state.broker->publish(rest);
+      std::cout << "ok: " << result.notified << " notifications, "
+                << result.operations << " ops\n";
+    } else if (cmd == "pubat") {
+      // pubat <time> <event expression> — timestamped publish, the input
+      // composite detection consumes.
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        throw Error(ErrorCode::kParse, "pubat <time> <event expression>");
+      }
+      const Timestamp time = std::stoll(rest.substr(0, space));
+      const PublishResult result =
+          state.broker->publish(std::string_view(rest).substr(space + 1), time);
       std::cout << "ok: " << result.notified << " notifications, "
                 << result.operations << " ops\n";
     } else if (cmd == "tree") {
@@ -288,7 +337,7 @@ int run_mesh(int argc, char** argv) {
       net.subscribe(node, expression, count_delivery);
       ++subscriptions;
     }
-  } else {
+  } else if (topology.composites.empty()) {
     std::size_t at = 0;
     for (const ProfileId id : config.profiles.active_ids()) {
       net.subscribe(at++ % topology.nodes, config.profiles.profile(id),
@@ -296,18 +345,33 @@ int run_mesh(int argc, char** argv) {
       ++subscriptions;
     }
   }
+  // Composite subscriptions (csub lines): detection at the placing node,
+  // decomposed primitive profiles routed like plain subscriptions.
+  std::atomic<std::uint64_t> composite_firings{0};
+  for (const auto& [node, expression] : topology.composites) {
+    net.subscribe_composite(node, expression,
+                            [&composite_firings](net::NodeId, SubscriptionId,
+                                                 Timestamp) {
+                              composite_firings.fetch_add(
+                                  1, std::memory_order_relaxed);
+                            });
+  }
   net.wait_idle();
 
   const JointDistribution joint =
       make_event_distribution(config.schema, {dist_name});
   EventSampler sampler(joint, seed);
-  const std::vector<Event> events = sampler.sample_batch(event_count);
+  std::vector<Event> events = sampler.sample_batch(event_count);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].set_time(static_cast<Timestamp>(i));  // composite time axis
+  }
 
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < events.size(); ++i) {
     net.publish(i % topology.nodes, events[i]);
   }
   net.wait_idle();
+  net.flush_composites();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -317,9 +381,13 @@ int run_mesh(int argc, char** argv) {
   std::cout << "mesh: " << topology.nodes << " nodes, "
             << topology.links.size() << " links, mode "
             << net::to_string(mode) << "\n";
-  std::cout << "subscriptions: " << subscriptions << ", events: "
+  std::cout << "subscriptions: " << subscriptions << " (+ "
+            << topology.composites.size() << " composite), events: "
             << event_count << " (dist " << dist_name << ", seed " << seed
             << ")\n";
+  if (!topology.composites.empty()) {
+    std::cout << "composite firings: " << composite_firings.load() << "\n";
+  }
   std::cout << "events_published=" << stats.events_published
             << " event_messages=" << stats.event_messages
             << " profile_messages=" << stats.profile_messages

@@ -1,6 +1,8 @@
 #include "ens/broker.hpp"
 
+#include <algorithm>
 #include <array>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
@@ -78,9 +80,41 @@ SubscriptionId Broker::subscribe(std::string_view expression,
 
 void Broker::set_delivery_sink(NotificationCallback sink) {
   const std::scoped_lock lock(mutex_);
-  sink_ = sink == nullptr ? nullptr
-                          : std::make_shared<const NotificationCallback>(
-                                std::move(sink));
+  if (default_sink_id_ != 0) {
+    std::erase_if(sinks_, [this](const SinkEntry& entry) {
+      return entry.id == default_sink_id_;
+    });
+    default_sink_id_ = 0;
+  }
+  if (sink != nullptr) {
+    default_sink_id_ = next_sink_id_++;
+    sinks_.push_back(
+        SinkEntry{default_sink_id_, std::make_shared<const NotificationCallback>(
+                                        std::move(sink))});
+  }
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+SinkId Broker::add_delivery_sink(NotificationCallback sink) {
+  GENAS_REQUIRE(sink != nullptr, ErrorCode::kInvalidArgument,
+                "delivery sink requires a callable");
+  const std::scoped_lock lock(mutex_);
+  const SinkId id = next_sink_id_++;
+  sinks_.push_back(SinkEntry{
+      id, std::make_shared<const NotificationCallback>(std::move(sink))});
+  version_.fetch_add(1, std::memory_order_release);
+  return id;
+}
+
+void Broker::remove_delivery_sink(SinkId id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it =
+      std::find_if(sinks_.begin(), sinks_.end(),
+                   [id](const SinkEntry& entry) { return entry.id == id; });
+  GENAS_REQUIRE(it != sinks_.end(), ErrorCode::kNotFound,
+                "unknown delivery sink " + std::to_string(id));
+  sinks_.erase(it);
+  if (id == default_sink_id_) default_sink_id_ = 0;
   version_.fetch_add(1, std::memory_order_release);
 }
 
@@ -93,6 +127,157 @@ void Broker::unsubscribe(SubscriptionId id) {
   by_profile_.erase(it->second.profile);
   subscriptions_.erase(it);
   version_.fetch_add(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Composite subscriptions.
+
+namespace {
+
+/// Rebuilds `expr` with each profile leaf replaced by its detector-level
+/// (profile-id) form; `ids` maps leaf nodes to their registered engine ids.
+CompositeExprPtr mirror_with_ids(
+    const CompositeExpr& expr,
+    const std::unordered_map<const CompositeExpr*, ProfileId>& ids) {
+  switch (expr.kind()) {
+    case CompositeExpr::Kind::kPrimitive:
+      return primitive(ids.at(&expr));
+    case CompositeExpr::Kind::kSeq:
+      return seq(mirror_with_ids(*expr.left(), ids),
+                 mirror_with_ids(*expr.right(), ids), expr.window());
+    case CompositeExpr::Kind::kConj:
+      return conj(mirror_with_ids(*expr.left(), ids),
+                  mirror_with_ids(*expr.right(), ids), expr.window());
+    case CompositeExpr::Kind::kDisj:
+      return disj(mirror_with_ids(*expr.left(), ids),
+                  mirror_with_ids(*expr.right(), ids));
+    case CompositeExpr::Kind::kNeg:
+      return neg(mirror_with_ids(*expr.left(), ids),
+                 mirror_with_ids(*expr.right(), ids), expr.window());
+  }
+  throw_error(ErrorCode::kInternal, "unreachable composite kind");
+}
+
+}  // namespace
+
+CompositeId Broker::subscribe_composite(CompositeExprPtr expression,
+                                        CompositeCallback callback) {
+  GENAS_REQUIRE(expression != nullptr, ErrorCode::kInvalidArgument,
+                "composite subscription requires an expression");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "composite subscription requires a callback");
+  const std::vector<const CompositeExpr*> leaves = leaf_nodes(*expression);
+  for (const CompositeExpr* leaf : leaves) {
+    GENAS_REQUIRE(
+        leaf->leaf_profile() != nullptr, ErrorCode::kInvalidArgument,
+        "composite subscription requires profile leaves (primitive(Profile))");
+    GENAS_REQUIRE(leaf->leaf_profile()->schema() == schema_,
+                  ErrorCode::kInvalidArgument,
+                  "composite leaf schema differs from broker schema");
+  }
+
+  // Decompose: register each leaf profile as an internal primitive
+  // subscription whose deliveries drive the composite runtime. A shared
+  // subtree contributes its leaf once.
+  std::unordered_map<const CompositeExpr*, ProfileId> leaf_ids;
+  std::vector<SubscriptionId> leaf_subs;
+  leaf_subs.reserve(leaves.size());
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const CompositeExpr* leaf : leaves) {
+      if (leaf_ids.contains(leaf)) continue;
+      const ProfileId pid = engine_.subscribe(*leaf->leaf_profile());
+      const SubscriptionId sid = next_id_++;
+      subscriptions_.emplace(
+          sid, Subscription{pid, std::make_shared<const NotificationCallback>(
+                                     [this, pid](const Notification& n) {
+                                       composite_ingest(pid, n.event.time());
+                                     })});
+      by_profile_.emplace(pid, sid);
+      ++internal_subscriptions_;
+      leaf_ids.emplace(leaf, pid);
+      leaf_subs.push_back(sid);
+    }
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  const CompositeExprPtr mirror = mirror_with_ids(*expression, leaf_ids);
+  const std::scoped_lock lock(composite_mutex_);
+  const CompositeId id = composite_detector_.add(
+      mirror,
+      [this](const CompositeFiring& f) { composite_pending_.push_back(f); });
+  composites_.emplace(
+      id, CompositeEntry{std::make_shared<const CompositeCallback>(
+                             std::move(callback)),
+                         std::move(leaf_subs)});
+  return id;
+}
+
+CompositeId Broker::subscribe_composite(std::string_view expression,
+                                        CompositeCallback callback) {
+  return subscribe_composite(parse_composite(schema_, expression),
+                             std::move(callback));
+}
+
+void Broker::unsubscribe_composite(CompositeId id) {
+  std::vector<SubscriptionId> leaves;
+  {
+    const std::scoped_lock lock(composite_mutex_);
+    const auto it = composites_.find(id);
+    GENAS_REQUIRE(it != composites_.end(), ErrorCode::kNotFound,
+                  "unknown composite subscription " + std::to_string(id));
+    composite_detector_.remove(id);
+    leaves = std::move(it->second.leaves);
+    composites_.erase(it);
+  }
+  const std::scoped_lock lock(mutex_);
+  for (const SubscriptionId sid : leaves) {
+    const auto it = subscriptions_.find(sid);
+    if (it == subscriptions_.end()) continue;
+    engine_.unsubscribe(it->second.profile);
+    by_profile_.erase(it->second.profile);
+    subscriptions_.erase(it);
+    --internal_subscriptions_;
+  }
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t Broker::composite_count() const {
+  const std::scoped_lock lock(composite_mutex_);
+  return composites_.size();
+}
+
+void Broker::set_composite_skew(Timestamp skew) {
+  const std::scoped_lock lock(composite_mutex_);
+  composite_ingress_.set_skew(skew);
+}
+
+void Broker::flush_composites() {
+  std::unique_lock<std::mutex> lock(composite_mutex_);
+  composite_ingress_.flush();
+  dispatch_composite_firings(lock);
+}
+
+void Broker::composite_ingest(ProfileId profile, Timestamp time) {
+  std::unique_lock<std::mutex> lock(composite_mutex_);
+  composite_ingress_.push(profile, time);
+  if (composite_pending_.empty()) return;
+  dispatch_composite_firings(lock);
+}
+
+void Broker::dispatch_composite_firings(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::pair<std::shared_ptr<const CompositeCallback>,
+                        CompositeFiring>>
+      out;
+  out.reserve(composite_pending_.size());
+  for (const CompositeFiring& firing : composite_pending_) {
+    const auto it = composites_.find(firing.subscription);
+    if (it == composites_.end()) continue;  // racing unsubscribe_composite
+    out.emplace_back(it->second.callback, firing);
+  }
+  composite_pending_.clear();
+  lock.unlock();
+  for (const auto& [callback, firing] : out) (*callback)(firing);
 }
 
 std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
@@ -144,7 +329,10 @@ std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
       fresh->routes[profile] =
           Route{subscription, subscriptions_.at(subscription).callback};
     }
-    fresh->sink = sink_;
+    fresh->sinks.reserve(sinks_.size());
+    for (const SinkEntry& entry : sinks_) {
+      fresh->sinks.push_back(entry.callback);
+    }
     snapshot_ = std::move(fresh);
   }
   slot->broker = broker_id_;
@@ -186,7 +374,7 @@ PublishResult Broker::publish(const Event& event) {
   for (const Delivery& delivery : deliveries) {
     const Notification notification{delivery.subscription, event};
     (*delivery.callback)(notification);
-    if (snapshot->sink != nullptr) (*snapshot->sink)(notification);
+    for (const auto& sink : snapshot->sinks) (*sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
   return result;
@@ -211,7 +399,14 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
   // unsubscribe from a callback erases their table entries mid-pass.
   std::vector<std::shared_ptr<const NotificationCallback>> keepalive;
 
-  std::shared_ptr<const NotificationCallback> sink;
+  // Held at function scope: the drain below dereferences raw pointers into
+  // the snapshot's route table, and a re-entrant publish from a callback
+  // would otherwise replace the only other owner (the thread-local cache).
+  std::shared_ptr<const Snapshot> snapshot;
+
+  std::vector<std::shared_ptr<const NotificationCallback>> sink_storage;
+  const std::vector<std::shared_ptr<const NotificationCallback>>* sinks =
+      &sink_storage;
 
   if (engine_.adaptive_enabled()) {
     // Serialized matching (the adaptive estimator mutates per event), but
@@ -224,7 +419,10 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
     std::vector<std::size_t> offsets = std::move(offsets_scratch);
     {
       const std::scoped_lock lock(mutex_);
-      sink = sink_;
+      sink_storage.reserve(sinks_.size());
+      for (const SinkEntry& entry : sinks_) {
+        sink_storage.push_back(entry.callback);
+      }
       const EngineBatchMatch outcome =
           engine_.match_batch(events, matched, offsets);
       result.operations = outcome.operations;
@@ -245,9 +443,8 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
     matched_scratch = std::move(matched);
     offsets_scratch = std::move(offsets);
   } else {
-    const std::shared_ptr<const Snapshot> snapshot =
-        acquire_snapshot(&result.rebuilt);
-    sink = snapshot->sink;
+    snapshot = acquire_snapshot(&result.rebuilt);
+    sinks = &snapshot->sinks;
     for (std::size_t i = 0; i < events.size(); ++i) {
       const FlatMatch match = snapshot->match->flat->match(events[i]);
       result.operations += match.operations;
@@ -272,7 +469,7 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
     const Notification notification{delivery.subscription,
                                     events[delivery.event_index]};
     (*delivery.callback)(notification);
-    if (sink != nullptr) (*sink)(notification);
+    for (const auto& sink : *sinks) (*sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
   return result;
@@ -289,7 +486,7 @@ ServiceCounters Broker::counters() const {
 
 std::size_t Broker::subscription_count() const {
   const std::scoped_lock lock(mutex_);
-  return subscriptions_.size();
+  return subscriptions_.size() - internal_subscriptions_;
 }
 
 ProfileStatistics Broker::profile_statistics() const {

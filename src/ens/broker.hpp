@@ -41,12 +41,16 @@
 #include <unordered_map>
 
 #include "core/filter_engine.hpp"
+#include "ens/composite.hpp"
 #include "ens/statistics.hpp"
 
 namespace genas {
 
 /// Handle of one subscription.
 using SubscriptionId = std::uint64_t;
+
+/// Handle of one broker-wide delivery sink.
+using SinkId = std::uint64_t;
 
 /// Delivered to a subscriber when an event matches its profile.
 struct Notification {
@@ -96,15 +100,63 @@ class Broker {
 
   const SchemaPtr& schema() const noexcept { return schema_; }
 
-  /// Installs (or, with nullptr, clears) a broker-wide delivery sink: an
-  /// observer invoked for every delivered notification, after the owning
-  /// subscription's callback, outside all locks, on the publishing thread.
-  /// External transports tap the full delivery stream this way — the mesh
-  /// runtime counts per-node deliveries without wrapping each callback —
-  /// and like callbacks, the sink may re-enter the broker.
+  // --- Composite subscriptions (the paper's §5 extension) ----------------
+  //
+  // A composite subscription is an expression over profile leaves
+  // (`primitive(Profile)` / parse_composite). subscribe_composite
+  // decomposes it: each leaf profile is registered through the ordinary
+  // snapshot/FilterEngine path as an internal primitive subscription whose
+  // deliveries drive a broker-internal CompositeDetector — the lock-free
+  // publish hot path is untouched, and a composite coexists with plain
+  // subscriptions and delivery sinks. Detection is watermark-based:
+  // primitive firings buffer in a reorder stage (CompositeIngress) and an
+  // instant is evaluated once a later instant passes the skew tolerance
+  // (set_composite_skew; default 0) — so distributed transports delivering
+  // out of order by up to the skew detect exactly like an ordered stream.
+  // flush_composites() evaluates everything still buffered (quiescence /
+  // end of stream). Composite callbacks run on the publishing (or
+  // flushing) thread, outside all broker locks; they may re-enter the
+  // broker, including subscribe_composite/unsubscribe_composite.
+
+  /// Registers a composite subscription; every leaf must carry a profile
+  /// with this broker's schema. Returns its handle.
+  CompositeId subscribe_composite(CompositeExprPtr expression,
+                                  CompositeCallback callback);
+  /// Parses the textual composite form, then registers it.
+  CompositeId subscribe_composite(std::string_view expression,
+                                  CompositeCallback callback);
+  /// Withdraws a composite subscription and its internal leaf profiles.
+  void unsubscribe_composite(CompositeId id);
+  /// Live composite subscriptions.
+  std::size_t composite_count() const;
+  /// Watermark skew tolerance for composite detection (>= 0; default 0).
+  void set_composite_skew(Timestamp skew);
+  /// Evaluates all buffered composite instants, in timestamp order.
+  void flush_composites();
+
+  /// Installs (or, with nullptr, clears) the broker's *default* delivery
+  /// sink: an observer invoked for every delivered notification, after the
+  /// owning subscription's callback, outside all locks, on the publishing
+  /// thread. External transports tap the full delivery stream this way —
+  /// the mesh runtime counts per-node deliveries without wrapping each
+  /// callback — and like callbacks, a sink may re-enter the broker.
+  ///
+  /// Swap semantics are explicit: set_delivery_sink replaces only the sink
+  /// a previous set_delivery_sink call installed. Sinks installed through
+  /// add_delivery_sink are independent and are never clobbered by it.
   void set_delivery_sink(NotificationCallback sink);
 
+  /// Installs an additional delivery sink and returns its handle. All
+  /// installed sinks observe every delivery, in installation order (the
+  /// set_delivery_sink slot counts as one of them).
+  SinkId add_delivery_sink(NotificationCallback sink);
+  /// Removes a sink installed by add_delivery_sink; Error{kNotFound} for
+  /// unknown handles.
+  void remove_delivery_sink(SinkId id);
+
   ServiceCounters counters() const;
+  /// Live user subscriptions (composite-internal leaf registrations are
+  /// excluded; see composite_count() for composites).
   std::size_t subscription_count() const;
 
   /// Profile-side statistics (P_p) over the current subscriptions.
@@ -136,8 +188,9 @@ class Broker {
     std::uint64_t version = 0;
     std::shared_ptr<const MatchSnapshot> match;  // tree + flat compilation
     std::vector<Route> routes;
-    /// Broker-wide delivery observer; null when unset.
-    std::shared_ptr<const NotificationCallback> sink;
+    /// Broker-wide delivery observers, in installation order; empty when
+    /// none are installed.
+    std::vector<std::shared_ptr<const NotificationCallback>> sinks;
   };
 
   /// Returns the current snapshot: the thread-local cached handle when its
@@ -145,12 +198,22 @@ class Broker {
   /// snapshot if stale — under the mutation mutex.
   std::shared_ptr<const Snapshot> acquire_snapshot(bool* rebuilt);
 
+  /// Feeds one internal leaf firing into the composite runtime, then
+  /// dispatches any completed composite callbacks outside composite_mutex_.
+  void composite_ingest(ProfileId profile, Timestamp time);
+  /// Moves composite_pending_ out (composite_mutex_ must be held by `lock`),
+  /// releases the lock, and invokes the subscribers' callbacks.
+  void dispatch_composite_firings(std::unique_lock<std::mutex>& lock);
+
   SchemaPtr schema_;
   mutable std::mutex mutex_;  // guards engine_, tables, snapshot rebuild
   FilterEngine engine_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
   std::unordered_map<ProfileId, SubscriptionId> by_profile_;
   SubscriptionId next_id_ = 1;
+  /// Composite-internal leaf registrations inside subscriptions_ (excluded
+  /// from subscription_count()); guarded by mutex_.
+  std::size_t internal_subscriptions_ = 0;
 
   /// Distinguishes brokers in the thread-local snapshot caches (slots must
   /// never alias across broker instances, even address-reused ones).
@@ -160,7 +223,30 @@ class Broker {
   /// next mutation bumps it (always bumped under mutex_, read lock-free).
   std::atomic<std::uint64_t> version_{1};
   std::shared_ptr<const Snapshot> snapshot_;  // guarded by mutex_
-  std::shared_ptr<const NotificationCallback> sink_;  // guarded by mutex_
+
+  /// Installed delivery sinks, in installation order; guarded by mutex_.
+  struct SinkEntry {
+    SinkId id = 0;
+    std::shared_ptr<const NotificationCallback> callback;
+  };
+  std::vector<SinkEntry> sinks_;
+  SinkId next_sink_id_ = 1;
+  /// Sink owned by set_delivery_sink (its explicit-swap slot); 0 when none.
+  SinkId default_sink_id_ = 0;
+
+  /// Composite runtime. composite_mutex_ serializes detector and reorder
+  /// state; it is never nested with mutex_ and never held while invoking
+  /// user callbacks (firings collect in composite_pending_ and dispatch
+  /// after release, so composite callbacks may re-enter the broker).
+  mutable std::mutex composite_mutex_;
+  CompositeDetector composite_detector_;
+  CompositeIngress composite_ingress_{composite_detector_};
+  std::vector<CompositeFiring> composite_pending_;
+  struct CompositeEntry {
+    std::shared_ptr<const CompositeCallback> callback;
+    std::vector<SubscriptionId> leaves;  ///< internal leaf subscription ids
+  };
+  std::unordered_map<CompositeId, CompositeEntry> composites_;
 
   // Service counters (atomic so the lock-free publish path can bump them).
   std::atomic<std::uint64_t> events_published_{0};

@@ -1,9 +1,12 @@
 #include "ens/composite.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
+#include "profile/parser.hpp"
 
 namespace genas {
 
@@ -17,6 +20,15 @@ CompositeExprPtr primitive(ProfileId profile) {
   CompositeExpr node;
   node.kind_ = CompositeExpr::Kind::kPrimitive;
   node.profile_ = profile;
+  return make_node(std::move(node));
+}
+
+CompositeExprPtr primitive(Profile profile) {
+  GENAS_REQUIRE(profile.schema() != nullptr, ErrorCode::kInvalidArgument,
+                "composite leaf requires a schema-bound profile");
+  CompositeExpr node;
+  node.kind_ = CompositeExpr::Kind::kPrimitive;
+  node.leaf_ = std::make_shared<const Profile>(std::move(profile));
   return make_node(std::move(node));
 }
 
@@ -62,8 +74,8 @@ CompositeExprPtr neg(CompositeExprPtr absent, CompositeExprPtr then,
                      Timestamp window) {
   GENAS_REQUIRE(absent != nullptr && then != nullptr,
                 ErrorCode::kInvalidArgument, "neg requires two operands");
-  GENAS_REQUIRE(window > 0, ErrorCode::kInvalidArgument,
-                "neg requires a positive window");
+  GENAS_REQUIRE(window >= 0, ErrorCode::kInvalidArgument,
+                "neg requires a non-negative window");
   CompositeExpr node;
   node.kind_ = CompositeExpr::Kind::kNeg;
   node.left_ = std::move(absent);
@@ -76,7 +88,11 @@ std::string CompositeExpr::to_string() const {
   std::ostringstream os;
   switch (kind_) {
     case Kind::kPrimitive:
-      os << 'p' << profile_;
+      if (leaf_ != nullptr) {
+        os << '{' << format_profile(*leaf_) << '}';
+      } else {
+        os << 'p' << profile_;
+      }
       break;
     case Kind::kSeq:
       os << "seq(" << left_->to_string() << ", " << right_->to_string()
@@ -91,12 +107,150 @@ std::string CompositeExpr::to_string() const {
          << ')';
       break;
     case Kind::kNeg:
-      os << "neg(!" << left_->to_string() << " before " << right_->to_string()
+      os << "neg(" << left_->to_string() << ", " << right_->to_string()
          << ", w=" << window_ << ')';
       break;
   }
   return os.str();
 }
+
+namespace {
+void collect_leaves(const CompositeExpr& expr,
+                    std::vector<const CompositeExpr*>& out) {
+  if (expr.kind() == CompositeExpr::Kind::kPrimitive) {
+    out.push_back(&expr);
+    return;
+  }
+  if (expr.left() != nullptr) collect_leaves(*expr.left(), out);
+  if (expr.right() != nullptr) collect_leaves(*expr.right(), out);
+}
+}  // namespace
+
+std::vector<const CompositeExpr*> leaf_nodes(const CompositeExpr& expr) {
+  std::vector<const CompositeExpr*> leaves;
+  collect_leaves(expr, leaves);
+  return leaves;
+}
+
+bool has_profile_leaves(const CompositeExpr& expr) {
+  for (const CompositeExpr* leaf : leaf_nodes(expr)) {
+    if (leaf->leaf_profile() == nullptr) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Textual composite form.
+
+namespace {
+
+class CompositeParser {
+ public:
+  CompositeParser(const SchemaPtr& schema, std::string_view text)
+      : schema_(schema), text_(text) {}
+
+  CompositeExprPtr parse() {
+    CompositeExprPtr expr = expression();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after expression");
+    return expr;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw_error(ErrorCode::kParse, "composite (at offset " +
+                                       std::to_string(pos_) + "): " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  CompositeExprPtr expression() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected an expression");
+    if (text_[pos_] == '{') {
+      const std::size_t close = text_.find('}', pos_ + 1);
+      if (close == std::string_view::npos) fail("unterminated '{' leaf");
+      const std::string_view inner = text_.substr(pos_ + 1, close - pos_ - 1);
+      pos_ = close + 1;
+      return primitive(parse_profile(schema_, inner));
+    }
+
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] >= 'a' && text_[end] <= 'z') {
+      ++end;
+    }
+    const std::string_view op = text_.substr(pos_, end - pos_);
+    pos_ = end;
+    const bool is_seq = op == "seq";
+    const bool is_conj = op == "conj";
+    const bool is_disj = op == "disj";
+    const bool is_neg = op == "neg";
+    if (!is_seq && !is_conj && !is_disj && !is_neg) {
+      fail("expected seq|conj|disj|neg or a '{profile}' leaf");
+    }
+
+    expect('(');
+    CompositeExprPtr a = expression();
+    expect(',');
+    CompositeExprPtr b = expression();
+    Timestamp window = 0;
+    if (!is_disj) {
+      expect(',');
+      window = parse_window();
+    }
+    expect(')');
+    if (is_seq) return seq(std::move(a), std::move(b), window);
+    if (is_conj) return conj(std::move(a), std::move(b), window);
+    if (is_neg) return neg(std::move(a), std::move(b), window);
+    return disj(std::move(a), std::move(b));
+  }
+
+  Timestamp parse_window() {
+    skip_ws();
+    // Accept the `w=` prefix to_string() emits.
+    if (pos_ + 1 < text_.size() && text_[pos_] == 'w' &&
+        text_[pos_ + 1] == '=') {
+      pos_ += 2;
+    }
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    Timestamp value = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) fail("expected a window integer");
+    if (value < 0) fail("window must be non-negative");
+    pos_ = static_cast<std::size_t>(ptr - text_.data());
+    return value;
+  }
+
+  const SchemaPtr& schema_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CompositeExprPtr parse_composite(const SchemaPtr& schema,
+                                 std::string_view text) {
+  GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                "composite parsing requires a schema");
+  return CompositeParser(schema, text).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Detector.
 
 namespace {
 /// Flattens the expression tree, returning the index of `expr`'s slot.
@@ -133,11 +287,41 @@ CompositeId CompositeDetector::add(CompositeExprPtr expression,
   flatten(entry.expression.get(), entry.nodes, entry.left_child,
           entry.right_child);
   entry.states.resize(entry.nodes.size());
-  entries_.push_back(std::move(entry));
-  return entries_.back().id;
+  const CompositeId id = entry.id;
+  if (iterating_ > 0) {
+    pending_add_.push_back(std::move(entry));
+  } else {
+    entries_.push_back(std::move(entry));
+  }
+  return id;
+}
+
+bool CompositeDetector::pending_removal(CompositeId id) const {
+  return std::find(pending_remove_.begin(), pending_remove_.end(), id) !=
+         pending_remove_.end();
 }
 
 void CompositeDetector::remove(CompositeId id) {
+  if (iterating_ > 0) {
+    // A sweep is running: never touch entries_ under the iteration. Entries
+    // added during this sweep can be erased directly (the sweep never sees
+    // pending_add_); settled entries are only marked.
+    const auto pending = std::find_if(
+        pending_add_.begin(), pending_add_.end(),
+        [id](const EntryData& e) { return e.id == id; });
+    if (pending != pending_add_.end()) {
+      pending_add_.erase(pending);
+      return;
+    }
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [id](const EntryData& e) { return e.id == id; });
+    GENAS_REQUIRE(it != entries_.end() && !pending_removal(id),
+                  ErrorCode::kNotFound,
+                  "unknown composite subscription " + std::to_string(id));
+    pending_remove_.push_back(id);
+    return;
+  }
   const auto it =
       std::find_if(entries_.begin(), entries_.end(),
                    [id](const EntryData& e) { return e.id == id; });
@@ -146,52 +330,71 @@ void CompositeDetector::remove(CompositeId id) {
   entries_.erase(it);
 }
 
+void CompositeDetector::apply_deferred() {
+  for (const CompositeId id : pending_remove_) {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [id](const EntryData& e) { return e.id == id; });
+    if (it != entries_.end()) entries_.erase(it);
+  }
+  pending_remove_.clear();
+  for (EntryData& entry : pending_add_) {
+    entries_.push_back(std::move(entry));
+  }
+  pending_add_.clear();
+}
+
 Timestamp CompositeDetector::evaluate(EntryData& entry, std::size_t node,
-                                      ProfileId profile, Timestamp time) {
+                                      std::span<const ProfileId> profiles,
+                                      Timestamp time) {
   const CompositeExpr& expr = *entry.nodes[node];
   NodeState& state = entry.states[node];
 
   // Evaluate children first (bottom-up stimulus propagation).
-  Timestamp left_now = -1;
-  Timestamp right_now = -1;
+  Timestamp left_now = kCompositeNever;
+  Timestamp right_now = kCompositeNever;
   if (entry.left_child[node] >= 0) {
     left_now = evaluate(entry, static_cast<std::size_t>(entry.left_child[node]),
-                        profile, time);
+                        profiles, time);
   }
   if (entry.right_child[node] >= 0) {
     right_now = evaluate(
-        entry, static_cast<std::size_t>(entry.right_child[node]), profile,
+        entry, static_cast<std::size_t>(entry.right_child[node]), profiles,
         time);
   }
 
-  Timestamp fired = -1;
+  Timestamp fired = kCompositeNever;
   switch (expr.kind()) {
     case CompositeExpr::Kind::kPrimitive:
-      if (expr.profile() == profile) fired = time;
+      if (std::find(profiles.begin(), profiles.end(), expr.profile()) !=
+          profiles.end()) {
+        fired = time;
+      }
       break;
 
     case CompositeExpr::Kind::kSeq:
       // "A then B": B strictly after A, within the window; A is consumed.
-      if (left_now >= 0) state.left_fired = left_now;
-      if (right_now >= 0 && state.left_fired >= 0 &&
+      if (left_now != kCompositeNever) state.left_fired = left_now;
+      if (right_now != kCompositeNever && state.left_fired != kCompositeNever &&
           state.left_fired < right_now &&
           right_now - state.left_fired <= expr.window()) {
         fired = right_now;
-        state.left_fired = -1;
+        state.left_fired = kCompositeNever;
       }
       break;
 
     case CompositeExpr::Kind::kConj:
       // Both within the window, any order; both are consumed.
-      if (left_now >= 0) state.left_fired = left_now;
-      if (right_now >= 0) state.right_fired = right_now;
-      if (state.left_fired >= 0 && state.right_fired >= 0 &&
+      if (left_now != kCompositeNever) state.left_fired = left_now;
+      if (right_now != kCompositeNever) state.right_fired = right_now;
+      if (state.left_fired != kCompositeNever &&
+          state.right_fired != kCompositeNever &&
           std::max(state.left_fired, state.right_fired) -
                   std::min(state.left_fired, state.right_fired) <=
               expr.window()) {
         fired = std::max(state.left_fired, state.right_fired);
-        state.left_fired = -1;
-        state.right_fired = -1;
+        state.left_fired = kCompositeNever;
+        state.right_fired = kCompositeNever;
       }
       break;
 
@@ -200,26 +403,93 @@ Timestamp CompositeDetector::evaluate(EntryData& entry, std::size_t node,
       break;
 
     case CompositeExpr::Kind::kNeg:
-      // `then` fires with no `absent` in the preceding window. The blocker
+      // `then` fires with no `absent` in the preceding window (inclusive:
+      // a simultaneous blocker suppresses, even at window 0). The blocker
       // is not consumed: it suppresses every completion inside its window.
-      if (left_now >= 0) state.left_fired = left_now;
-      if (right_now >= 0 &&
-          (state.left_fired < 0 || right_now - state.left_fired > expr.window())) {
+      if (left_now != kCompositeNever) state.left_fired = left_now;
+      if (right_now != kCompositeNever &&
+          (state.left_fired == kCompositeNever ||
+           right_now < state.left_fired ||
+           right_now - state.left_fired > expr.window())) {
         fired = right_now;
       }
       break;
   }
 
-  if (fired >= 0) state.last_fired = fired;
+  if (fired != kCompositeNever) state.last_fired = fired;
   return fired;
 }
 
 void CompositeDetector::on_match(ProfileId profile, Timestamp time) {
-  for (EntryData& entry : entries_) {
-    const Timestamp fired = evaluate(entry, 0, profile, time);
-    if (fired >= 0) {
+  on_event({&profile, 1}, time);
+}
+
+void CompositeDetector::on_event(std::span<const ProfileId> profiles,
+                                 Timestamp time) {
+  if (profiles.empty()) return;
+  // Unwind-safe sweep depth: a throwing callback must still restore
+  // iterating_ and apply deferred mutations, or add/remove would defer
+  // forever afterwards.
+  struct SweepGuard {
+    CompositeDetector& detector;
+    explicit SweepGuard(CompositeDetector& d) : detector(d) {
+      ++detector.iterating_;
+    }
+    ~SweepGuard() {
+      if (--detector.iterating_ == 0) detector.apply_deferred();
+    }
+  } guard(*this);
+  // Index loop: entries_ is never resized while a sweep runs (add/remove
+  // defer), so the indices stay valid across re-entrant callbacks.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    EntryData& entry = entries_[i];
+    if (!pending_remove_.empty() && pending_removal(entry.id)) continue;
+    const Timestamp fired = evaluate(entry, 0, profiles, time);
+    if (fired != kCompositeNever) {
       entry.callback(CompositeFiring{entry.id, fired});
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reorder stage.
+
+void CompositeIngress::set_skew(Timestamp skew) {
+  GENAS_REQUIRE(skew >= 0, ErrorCode::kInvalidArgument,
+                "composite skew tolerance must be >= 0");
+  skew_ = skew;
+}
+
+void CompositeIngress::push(ProfileId profile, Timestamp time) {
+  pending_[time].push_back(profile);
+  if (max_seen_ == kCompositeNever || time > max_seen_) max_seen_ = time;
+  if (max_seen_ == kCompositeNever) return;
+  // Watermark: instants strictly below max_seen - skew can no longer gain
+  // stimuli within the tolerance. Clamp the subtraction (skew can exceed
+  // the whole timestamp range by design — "buffer until flush").
+  if (max_seen_ < std::numeric_limits<Timestamp>::min() + skew_) return;
+  release_below(max_seen_ - skew_);
+}
+
+void CompositeIngress::flush() {
+  while (!pending_.empty()) {
+    const auto it = pending_.begin();
+    const Timestamp time = it->first;
+    // Detach before feeding: a re-entrant push from a detector callback
+    // must not invalidate the node being released.
+    std::vector<ProfileId> batch = std::move(it->second);
+    pending_.erase(it);
+    detector_.on_event(batch, time);
+  }
+}
+
+void CompositeIngress::release_below(Timestamp watermark) {
+  while (!pending_.empty() && pending_.begin()->first < watermark) {
+    const auto it = pending_.begin();
+    const Timestamp time = it->first;
+    std::vector<ProfileId> batch = std::move(it->second);
+    pending_.erase(it);
+    detector_.on_event(batch, time);
   }
 }
 

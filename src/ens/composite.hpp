@@ -10,22 +10,45 @@
 //   conj(A, B, window)      both A and B within `window`, any order
 //   disj(A, B)              either A or B
 //   neg(A, B, window)       B fires with no A in the preceding `window`
+//                           (window 0: only a simultaneous A blocks)
 //
-// The detector consumes the broker's (profile, timestamp) notification
-// stream and evaluates each composite subscription's expression tree
-// incrementally; each operator node keeps only the last relevant child
-// timestamps, so detection is O(expression size) per primitive firing.
+// Leaves come in two forms: profile-expression leaves (`primitive(Profile)`,
+// the service-level form the Broker accepts, serializes over the wire, and
+// decomposes for distributed routing) and profile-id leaves
+// (`primitive(ProfileId)`, the detector-level form fed by a broker's
+// notification stream). The Broker decomposes the first form into the
+// second when a composite subscription is registered.
+//
+// The detector consumes a (profile, timestamp) notification stream and
+// evaluates each composite subscription's expression tree incrementally;
+// each operator node keeps only the last relevant child timestamps, so
+// detection is O(expression size) per stimulus. All stimuli sharing one
+// call (`on_event`) are simultaneous: an event matching both operands of a
+// conj completes it in one step, and a neg blocker suppresses a
+// same-instant completion deterministically. Out-of-order timestamps do
+// not corrupt state — a stale stimulus merely fails the operators' window
+// checks — but combinations spanning a reordering can be missed, which is
+// what CompositeIngress (a watermark reorder stage with a bounded skew
+// tolerance) exists to absorb in distributed deployments.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "event/event.hpp"
 #include "profile/profile.hpp"
 
 namespace genas {
+
+/// Sentinel for "no timestamp": distinct from every legal event time
+/// (including a legitimate time of -1).
+inline constexpr Timestamp kCompositeNever =
+    std::numeric_limits<Timestamp>::min();
 
 /// Expression tree of a composite subscription. Build with the factory
 /// functions below; expressions are immutable and shareable.
@@ -38,14 +61,25 @@ class CompositeExpr {
 
   Kind kind() const noexcept { return kind_; }
   ProfileId profile() const noexcept { return profile_; }
+  /// Profile-expression payload of a service-level leaf; null for operator
+  /// nodes and for detector-level (profile-id) leaves.
+  const std::shared_ptr<const Profile>& leaf_profile() const noexcept {
+    return leaf_;
+  }
   const CompositeExprPtr& left() const noexcept { return left_; }
   const CompositeExprPtr& right() const noexcept { return right_; }
   Timestamp window() const noexcept { return window_; }
 
+  /// Renders the expression. For profile-expression leaves the output is
+  /// `parse_composite`-compatible: leaves print as `{profile expression}`,
+  /// operators as `seq(A, B, w=10)` / `conj(A, B, w=10)` / `disj(A, B)` /
+  /// `neg(A, B, w=10)`. Profile-id leaves print as `pN` (not parseable —
+  /// ids only mean something inside one broker).
   std::string to_string() const;
 
  private:
   friend CompositeExprPtr primitive(ProfileId profile);
+  friend CompositeExprPtr primitive(Profile profile);
   friend CompositeExprPtr seq(CompositeExprPtr a, CompositeExprPtr b,
                               Timestamp window);
   friend CompositeExprPtr conj(CompositeExprPtr a, CompositeExprPtr b,
@@ -58,18 +92,41 @@ class CompositeExpr {
 
   Kind kind_ = Kind::kPrimitive;
   ProfileId profile_ = 0;
+  std::shared_ptr<const Profile> leaf_;  // service-level leaves only
   CompositeExprPtr left_;
   CompositeExprPtr right_;
   Timestamp window_ = 0;
 };
 
 CompositeExprPtr primitive(ProfileId profile);
+CompositeExprPtr primitive(Profile profile);
 CompositeExprPtr seq(CompositeExprPtr a, CompositeExprPtr b, Timestamp window);
 CompositeExprPtr conj(CompositeExprPtr a, CompositeExprPtr b,
                       Timestamp window);
 CompositeExprPtr disj(CompositeExprPtr a, CompositeExprPtr b);
+/// `window` may be 0 for neg: only a blocker at the completing timestamp
+/// suppresses. seq/conj require a positive window.
 CompositeExprPtr neg(CompositeExprPtr absent, CompositeExprPtr then,
                      Timestamp window);
+
+/// Leaf nodes in evaluation (pre-order) sequence. The decomposition order is
+/// part of the wire contract: broker and mesh key the decomposed primitive
+/// profiles by this order.
+std::vector<const CompositeExpr*> leaf_nodes(const CompositeExpr& expr);
+
+/// True when every leaf is a service-level (profile-expression) leaf.
+bool has_profile_leaves(const CompositeExpr& expr);
+
+/// Parses the textual composite form produced by to_string():
+///
+///   expr   := op '(' expr ',' expr [',' ['w='] window] ')' | '{' profile '}'
+///   op     := seq | conj | disj | neg
+///
+/// Leaves are profile expressions in braces, parsed with parse_profile
+/// against `schema`; window is a non-negative integer (seq/conj: positive).
+/// Malformed input throws Error{kParse}.
+CompositeExprPtr parse_composite(const SchemaPtr& schema,
+                                 std::string_view text);
 
 /// Handle of one composite subscription.
 using CompositeId = std::uint64_t;
@@ -83,23 +140,36 @@ struct CompositeFiring {
 using CompositeCallback = std::function<void(const CompositeFiring&)>;
 
 /// Incremental composite-event detector.
+///
+/// Re-entrancy: add() and remove() may be called from inside a callback
+/// that on_match()/on_event() is currently invoking. Mutations are deferred
+/// until the running sweep finishes — a removed subscription stops firing
+/// immediately (later entries of the same sweep skip it); an added one
+/// first sees the next stimulus.
 class CompositeDetector {
  public:
   CompositeId add(CompositeExprPtr expression, CompositeCallback callback);
   void remove(CompositeId id);
 
   /// Feeds one primitive firing: profile `profile` matched at `time`.
-  /// Timestamps must be non-decreasing across calls.
   void on_match(ProfileId profile, Timestamp time);
 
-  std::size_t subscription_count() const noexcept { return entries_.size(); }
+  /// Feeds one instant: all `profiles` matched simultaneously at `time`.
+  /// Feeding instants in non-decreasing time order detects every
+  /// combination; out-of-order instants are tolerated but combinations that
+  /// span the reordering may be missed (see CompositeIngress).
+  void on_event(std::span<const ProfileId> profiles, Timestamp time);
+
+  std::size_t subscription_count() const noexcept {
+    return entries_.size() + pending_add_.size() - pending_remove_.size();
+  }
 
  private:
   /// Per-subscription evaluation state: one slot per expression node.
   struct NodeState {
-    Timestamp last_fired = -1;  ///< most recent completion, -1 = never
-    Timestamp left_fired = -1;  ///< operator bookkeeping (seq/conj)
-    Timestamp right_fired = -1;
+    Timestamp last_fired = kCompositeNever;  ///< most recent completion
+    Timestamp left_fired = kCompositeNever;  ///< operator bookkeeping
+    Timestamp right_fired = kCompositeNever;
   };
 
   struct EntryData {
@@ -113,11 +183,57 @@ class CompositeDetector {
   };
 
   /// Returns the firing time if the node completed on this stimulus.
-  Timestamp evaluate(EntryData& entry, std::size_t node, ProfileId profile,
-                     Timestamp time);
+  Timestamp evaluate(EntryData& entry, std::size_t node,
+                     std::span<const ProfileId> profiles, Timestamp time);
+
+  bool pending_removal(CompositeId id) const;
+  void apply_deferred();
 
   std::vector<EntryData> entries_;
   CompositeId next_id_ = 1;
+
+  /// Sweep depth; while > 0, add/remove defer into the vectors below.
+  int iterating_ = 0;
+  std::vector<EntryData> pending_add_;
+  std::vector<CompositeId> pending_remove_;
+};
+
+/// Watermark reorder stage in front of a CompositeDetector.
+///
+/// Distributed delivery is not globally ordered: primitive firings reach a
+/// subscriber's detector with bounded timestamp skew. CompositeIngress
+/// buffers stimuli per instant and releases an instant — as one simultaneous
+/// on_event batch, in timestamp order — only once the watermark
+/// (`max time seen - skew`) has passed it. Stimuli arriving later than the
+/// skew bound are fed immediately (late, never dropped); combinations they
+/// complete may be missed, exactly the detector's out-of-order contract.
+/// flush() releases everything buffered (end of stream / quiescence).
+class CompositeIngress {
+ public:
+  explicit CompositeIngress(CompositeDetector& detector)
+      : detector_(detector) {}
+
+  /// Skew tolerance; must be >= 0. Raising it mid-stream is safe; lowering
+  /// it takes effect on the next push.
+  void set_skew(Timestamp skew);
+  Timestamp skew() const noexcept { return skew_; }
+
+  /// Buffers one stimulus and releases every instant the watermark passed.
+  void push(ProfileId profile, Timestamp time);
+
+  /// Releases everything still buffered, in timestamp order.
+  void flush();
+
+  /// Instants currently held back.
+  std::size_t buffered() const noexcept { return pending_.size(); }
+
+ private:
+  void release_below(Timestamp watermark);
+
+  CompositeDetector& detector_;
+  std::map<Timestamp, std::vector<ProfileId>> pending_;
+  Timestamp max_seen_ = kCompositeNever;
+  Timestamp skew_ = 0;
 };
 
 }  // namespace genas

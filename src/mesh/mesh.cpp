@@ -50,11 +50,20 @@ struct LocalSubscribeMsg {
 struct LocalUnsubscribeMsg {
   SubscriptionId key = 0;
 };
+struct LocalCompositeSubscribeMsg {
+  SubscriptionId key = 0;
+  CompositeExprPtr expression;
+  MeshCompositeCallback callback;
+};
+struct LocalCompositeUnsubscribeMsg {
+  SubscriptionId key = 0;
+};
 
 }  // namespace
 
 struct NodeMsg {
-  std::variant<FrameMsg, PublishMsg, LocalSubscribeMsg, LocalUnsubscribeMsg>
+  std::variant<FrameMsg, PublishMsg, LocalSubscribeMsg, LocalUnsubscribeMsg,
+               LocalCompositeSubscribeMsg, LocalCompositeUnsubscribeMsg>
       payload;
 };
 
@@ -79,6 +88,14 @@ struct MeshNetwork::Node {
 
   /// Mesh subscription key -> local broker subscription id (worker-owned).
   std::unordered_map<SubscriptionId, SubscriptionId> local_subs;
+
+  /// Mesh composite key -> local detection handle plus the network keys its
+  /// decomposed leaf profiles propagate under (worker-owned).
+  struct CompositeLocal {
+    CompositeId local = 0;
+    std::vector<SubscriptionId> leaf_keys;
+  };
+  std::unordered_map<SubscriptionId, CompositeLocal> local_composites;
 
   // Counters in the overlay's currency; atomics because stats() reads them
   // while the worker runs.
@@ -129,6 +146,7 @@ NodeId MeshNetwork::add_node() {
   engine_options.policy = options_.policy;
   engine_options.prior = options_.event_distribution;
   node->broker = std::make_unique<Broker>(schema_, std::move(engine_options));
+  node->broker->set_composite_skew(options_.composite_skew);
   Node* raw = node.get();
   node->broker->set_delivery_sink([raw](const Notification&) {
     raw->deliveries.fetch_add(1, std::memory_order_relaxed);
@@ -194,7 +212,7 @@ SubscriptionId MeshNetwork::subscribe(NodeId node, Profile profile,
       next_key_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::scoped_lock lock(registry_mutex_);
-    key_origin_.emplace(key, node);
+    key_origin_.emplace(key, KeyInfo{node, false});
   }
   try {
     enqueue(node, NodeMsg{LocalSubscribeMsg{key, std::move(profile),
@@ -213,17 +231,68 @@ SubscriptionId MeshNetwork::subscribe(NodeId node, std::string_view expression,
                    std::move(callback));
 }
 
+SubscriptionId MeshNetwork::subscribe_composite(NodeId node,
+                                                CompositeExprPtr expression,
+                                                MeshCompositeCallback callback) {
+  validate_node(node);
+  GENAS_REQUIRE(expression != nullptr, ErrorCode::kInvalidArgument,
+                "composite subscription requires an expression");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "mesh subscription requires a callback");
+  // Validate on the caller's thread: the worker can only record errors.
+  for (const CompositeExpr* leaf : leaf_nodes(*expression)) {
+    GENAS_REQUIRE(
+        leaf->leaf_profile() != nullptr, ErrorCode::kInvalidArgument,
+        "composite subscription requires profile leaves (primitive(Profile))");
+    GENAS_REQUIRE(leaf->leaf_profile()->schema() == schema_,
+                  ErrorCode::kInvalidArgument,
+                  "composite leaf schema differs from mesh schema");
+  }
+  const SubscriptionId key =
+      next_key_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    key_origin_.emplace(key, KeyInfo{node, true});
+  }
+  try {
+    enqueue(node, NodeMsg{LocalCompositeSubscribeMsg{
+                      key, std::move(expression), std::move(callback)}});
+  } catch (...) {
+    const std::scoped_lock lock(registry_mutex_);
+    key_origin_.erase(key);
+    throw;
+  }
+  return key;
+}
+
+SubscriptionId MeshNetwork::subscribe_composite(NodeId node,
+                                                std::string_view expression,
+                                                MeshCompositeCallback callback) {
+  return subscribe_composite(node, parse_composite(schema_, expression),
+                             std::move(callback));
+}
+
 void MeshNetwork::unsubscribe(SubscriptionId key) {
-  NodeId origin = 0;
+  KeyInfo info;
   {
     const std::scoped_lock lock(registry_mutex_);
     const auto it = key_origin_.find(key);
     GENAS_REQUIRE(it != key_origin_.end(), ErrorCode::kNotFound,
                   "unknown mesh subscription key " + std::to_string(key));
-    origin = it->second;
+    info = it->second;
     key_origin_.erase(it);
   }
-  enqueue(origin, NodeMsg{LocalUnsubscribeMsg{key}});
+  if (info.composite) {
+    enqueue(info.origin, NodeMsg{LocalCompositeUnsubscribeMsg{key}});
+  } else {
+    enqueue(info.origin, NodeMsg{LocalUnsubscribeMsg{key}});
+  }
+}
+
+void MeshNetwork::flush_composites() {
+  for (const auto& node : nodes_) {
+    if (node->broker != nullptr) node->broker->flush_composites();
+  }
 }
 
 void MeshNetwork::publish(NodeId node, Event event) {
@@ -477,6 +546,53 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
       broadcast_frame(node, node.peers.size(),
                       share(wire::frame_unsubscribe(unsub->key)));
     }
+    return;
+  }
+
+  if (auto* csub = std::get_if<LocalCompositeSubscribeMsg>(&message.payload)) {
+    const NodeId node_id = node.id;
+    const SubscriptionId key = csub->key;
+    MeshCompositeCallback callback = std::move(csub->callback);
+    // Detection runs here, in this node's broker; the composite callback
+    // fires on this worker (or on a flush_composites() caller).
+    const CompositeId local = node.broker->subscribe_composite(
+        csub->expression,
+        [callback = std::move(callback), key,
+         node_id](const CompositeFiring& firing) {
+          callback(node_id, key, firing.time);
+        });
+    Node::CompositeLocal entry{local, {}};
+    if (options_.mode != RoutingMode::kFlooding) {
+      // Each decomposed leaf propagates like a plain subscription under its
+      // own internal network key — remote nodes cannot tell the difference,
+      // so covering and promotion apply unchanged.
+      for (const CompositeExpr* leaf : leaf_nodes(*csub->expression)) {
+        const SubscriptionId leaf_key =
+            next_key_.fetch_add(1, std::memory_order_relaxed);
+        entry.leaf_keys.push_back(leaf_key);
+        broadcast_frame(
+            node, node.peers.size(),
+            share(wire::frame_subscribe(leaf_key, *leaf->leaf_profile())));
+      }
+    }
+    node.local_composites.emplace(key, std::move(entry));
+    return;
+  }
+
+  if (auto* cunsub =
+          std::get_if<LocalCompositeUnsubscribeMsg>(&message.payload)) {
+    const auto it = node.local_composites.find(cunsub->key);
+    GENAS_CHECK(it != node.local_composites.end(),
+                "mesh composite unsubscribe for a key this node never "
+                "registered");
+    node.broker->unsubscribe_composite(it->second.local);
+    if (options_.mode != RoutingMode::kFlooding) {
+      for (const SubscriptionId leaf_key : it->second.leaf_keys) {
+        broadcast_frame(node, node.peers.size(),
+                        share(wire::frame_unsubscribe(leaf_key)));
+      }
+    }
+    node.local_composites.erase(it);
     return;
   }
 }

@@ -25,6 +25,17 @@
 // re-promotes the entries it suppressed and propagates them onward like
 // fresh subscriptions.
 //
+// Composite subscriptions (SAMOS-style detection at the subscriber, with
+// Siena-style routing of the decomposed profiles): subscribe_composite
+// registers the expression with the origin node's broker — which runs the
+// detection tree — and propagates each decomposed primitive profile over
+// the links under its own key, exactly like a plain subscription. Remote
+// nodes hold only ordinary routing entries, so covering, promotion, and
+// forwarding decisions are identical by construction, and only primitive
+// events matching some leaf cross links. Timestamp skew from unordered
+// multi-hop delivery is absorbed by the broker's watermark reorder stage
+// (MeshOptions::composite_skew; flush_composites() drains the tails).
+//
 // Concurrency and liveness:
 //   * Backpressure applies at ingress: publish()/subscribe() block while
 //     the origin mailbox is full. Workers themselves never block on a full
@@ -48,6 +59,11 @@
 // runtimes are directly comparable — the oracle test asserts identical
 // delivery multisets and routing-entry counts. profile_messages counts
 // routing-table installs (the overlay's definition), not raw frames.
+// `deliveries` counts every local broker notification, including primitive
+// deliveries into a composite subscription's detection tap — deliberately:
+// that is exactly what an overlay holding the decomposed leaf profiles as
+// plain subscriptions counts, so the composite oracle can compare the two
+// runtimes entry for entry.
 #pragma once
 
 #include <atomic>
@@ -84,12 +100,25 @@ struct MeshOptions {
   std::optional<JointDistribution> event_distribution;
   /// Mailbox capacity per node; full mailboxes block external producers.
   std::size_t mailbox_capacity = 1024;
+  /// Watermark skew tolerance of every node's composite detector: mesh
+  /// delivery is not globally ordered, so primitive firings reach a
+  /// subscriber's detector with timestamp skew. An instant is evaluated
+  /// once a stimulus more than `composite_skew` newer has been seen (or on
+  /// flush_composites()). Generous by default; tune to the workload's
+  /// clock units.
+  Timestamp composite_skew = 1 << 20;
 };
 
 /// Delivery callback: subscription `key` at `node` matched `event`.
 /// Runs on the node's worker thread.
 using MeshCallback =
     std::function<void(NodeId node, SubscriptionId key, const Event& event)>;
+
+/// Composite firing callback: composite subscription `key` at `node`
+/// completed at `time`. Runs on the node's worker thread (or on the caller
+/// of flush_composites()).
+using MeshCompositeCallback =
+    std::function<void(NodeId node, SubscriptionId key, Timestamp time)>;
 
 /// Per-link view of a node's state.
 struct LinkStats {
@@ -126,8 +155,27 @@ class MeshNetwork {
   SubscriptionId subscribe(NodeId node, std::string_view expression,
                            MeshCallback callback);
 
-  /// Withdraws a subscription by key (asynchronous, like subscribe).
+  /// Registers a composite subscription at `node`. The expression (profile
+  /// leaves; see parse_composite) is decomposed: detection runs in `node`'s
+  /// broker, and each leaf profile propagates through the mesh exactly like
+  /// a plain subscription — with covering, and with its own network key —
+  /// so remote nodes forward only the primitive events the composite could
+  /// consume. Firings surface once the node's watermark passes them
+  /// (composite_skew) or when flush_composites() drains the tails.
+  SubscriptionId subscribe_composite(NodeId node, CompositeExprPtr expression,
+                                     MeshCompositeCallback callback);
+  SubscriptionId subscribe_composite(NodeId node, std::string_view expression,
+                                     MeshCompositeCallback callback);
+
+  /// Withdraws a subscription — plain or composite — by key (asynchronous,
+  /// like subscribe). A composite's decomposed leaf profiles retract from
+  /// every link table, re-promoting entries they covered.
   void unsubscribe(SubscriptionId key);
+
+  /// Evaluates every node's buffered composite instants (timestamp order
+  /// per node). Call after wait_idle() for a deterministic end-of-stream
+  /// drain; firings run on the calling thread.
+  void flush_composites();
 
   /// Publishes an event at `node`: enqueues it for the node's worker
   /// (blocking while the mailbox is full) and returns; matching, delivery,
@@ -197,7 +245,13 @@ class MeshNetwork {
 
   std::atomic<std::uint64_t> next_key_{1};
   mutable std::mutex registry_mutex_;
-  std::unordered_map<SubscriptionId, NodeId> key_origin_;  // live keys
+  /// Live externally-visible keys (decomposed composite leaves get internal
+  /// keys that never appear here).
+  struct KeyInfo {
+    NodeId origin = 0;
+    bool composite = false;
+  };
+  std::unordered_map<SubscriptionId, KeyInfo> key_origin_;
 
   mutable std::mutex error_mutex_;
   std::string first_error_;

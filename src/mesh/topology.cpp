@@ -68,21 +68,26 @@ MeshTopology load_topology(std::istream& is) {
       continue;
     }
 
-    if (starts_with(body, "sub ")) {
-      const std::string_view rest = trim(body.substr(4));
+    if (starts_with(body, "sub ") || starts_with(body, "csub ")) {
+      const bool composite = body[0] == 'c';
+      const char* what = composite ? "csub" : "sub";
+      const std::string_view rest = trim(body.substr(composite ? 5 : 4));
       const std::size_t space = rest.find(' ');
       if (space == std::string_view::npos) {
-        topology_fail(line_no, "sub needs a node id and an expression");
+        topology_fail(line_no, std::string(what) +
+                                   " needs a node id and an expression");
       }
       const std::size_t node = parse_index(rest.substr(0, space), line_no);
       if (node >= topology.nodes) {
-        topology_fail(line_no, "sub references an unknown node");
+        topology_fail(line_no,
+                      std::string(what) + " references an unknown node");
       }
       const std::string_view expression = trim(rest.substr(space));
       if (expression.empty()) {
-        topology_fail(line_no, "sub has an empty expression");
+        topology_fail(line_no, std::string(what) + " has an empty expression");
       }
-      topology.subscriptions.emplace_back(node, std::string(expression));
+      auto& into = composite ? topology.composites : topology.subscriptions;
+      into.emplace_back(node, std::string(expression));
       continue;
     }
 
@@ -107,6 +112,9 @@ std::string topology_to_string(const MeshTopology& topology) {
   }
   for (const auto& [node, expression] : topology.subscriptions) {
     os << "sub " << node << ' ' << expression << '\n';
+  }
+  for (const auto& [node, expression] : topology.composites) {
+    os << "csub " << node << ' ' << expression << '\n';
   }
   return os.str();
 }

@@ -8,6 +8,9 @@
 //   nodes <n>                  node count (ids 0..n-1); must come first
 //   link <a> <b>               bidirectional link (the mesh stays a forest)
 //   sub <node> <expression>    subscription placed at a node
+//   csub <node> <expression>   composite subscription placed at a node
+//                              (parse_composite syntax, e.g.
+//                              seq({a >= 3}, {b = 1}, w=10))
 //
 // The CLI's `mesh` subcommand and tests drive MeshNetwork from these files;
 // parse failures throw Error{kParse} with the offending line number.
@@ -29,6 +32,7 @@ struct MeshTopology {
   std::size_t nodes = 0;
   std::vector<std::pair<net::NodeId, net::NodeId>> links;
   std::vector<std::pair<net::NodeId, std::string>> subscriptions;
+  std::vector<std::pair<net::NodeId, std::string>> composites;
 };
 
 /// Parses a topology; throws Error{kParse} with the offending line.

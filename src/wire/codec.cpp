@@ -15,6 +15,9 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::kProfile:     return "profile";
     case MessageType::kSubscribe:   return "subscribe";
     case MessageType::kUnsubscribe: return "unsubscribe";
+    case MessageType::kCompositeSubscribe:   return "csubscribe";
+    case MessageType::kCompositeUnsubscribe: return "cunsubscribe";
+    case MessageType::kCompositeFiring:      return "cfiring";
   }
   return "?";
 }
@@ -278,6 +281,87 @@ Profile decode_profile(Reader& r, const SchemaPtr& schema) {
 
 namespace {
 
+void encode_composite_node(Writer& w, const CompositeExpr& expr,
+                           std::size_t depth) {
+  // Symmetric with the decoder's cap: never emit a frame the other end
+  // must refuse (and bound the encoder's own recursion).
+  GENAS_REQUIRE(depth <= kMaxCompositeDepth, ErrorCode::kInvalidArgument,
+                "composite expression nested deeper than " +
+                    std::to_string(kMaxCompositeDepth));
+  w.u8(static_cast<std::uint8_t>(expr.kind()));
+  switch (expr.kind()) {
+    case CompositeExpr::Kind::kPrimitive:
+      GENAS_REQUIRE(expr.leaf_profile() != nullptr,
+                    ErrorCode::kInvalidArgument,
+                    "only profile-leaf composite expressions serialize "
+                    "(profile-id leaves are broker-local)");
+      encode_profile(w, *expr.leaf_profile());
+      break;
+    case CompositeExpr::Kind::kSeq:
+    case CompositeExpr::Kind::kConj:
+    case CompositeExpr::Kind::kNeg:
+      w.i64(expr.window());
+      encode_composite_node(w, *expr.left(), depth + 1);
+      encode_composite_node(w, *expr.right(), depth + 1);
+      break;
+    case CompositeExpr::Kind::kDisj:
+      encode_composite_node(w, *expr.left(), depth + 1);
+      encode_composite_node(w, *expr.right(), depth + 1);
+      break;
+  }
+}
+
+}  // namespace
+
+void encode_composite(Writer& w, const CompositeExpr& expr) {
+  encode_composite_node(w, expr, 0);
+}
+
+namespace {
+
+CompositeExprPtr decode_composite_node(Reader& r, const SchemaPtr& schema,
+                                       std::size_t depth) {
+  if (depth > kMaxCompositeDepth) {
+    parse_fail("composite expression nested deeper than " +
+               std::to_string(kMaxCompositeDepth));
+  }
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(CompositeExpr::Kind::kPrimitive):
+      return primitive(decode_profile(r, schema));
+    case static_cast<std::uint8_t>(CompositeExpr::Kind::kSeq):
+    case static_cast<std::uint8_t>(CompositeExpr::Kind::kConj):
+    case static_cast<std::uint8_t>(CompositeExpr::Kind::kNeg): {
+      const Timestamp window = r.i64();
+      CompositeExprPtr left = decode_composite_node(r, schema, depth + 1);
+      CompositeExprPtr right = decode_composite_node(r, schema, depth + 1);
+      // The factories validate window bounds (kInvalidArgument -> kParse).
+      if (kind == static_cast<std::uint8_t>(CompositeExpr::Kind::kSeq)) {
+        return seq(std::move(left), std::move(right), window);
+      }
+      if (kind == static_cast<std::uint8_t>(CompositeExpr::Kind::kConj)) {
+        return conj(std::move(left), std::move(right), window);
+      }
+      return neg(std::move(left), std::move(right), window);
+    }
+    case static_cast<std::uint8_t>(CompositeExpr::Kind::kDisj): {
+      CompositeExprPtr left = decode_composite_node(r, schema, depth + 1);
+      CompositeExprPtr right = decode_composite_node(r, schema, depth + 1);
+      return disj(std::move(left), std::move(right));
+    }
+    default:
+      parse_fail("unknown composite node kind " + std::to_string(kind));
+  }
+}
+
+}  // namespace
+
+CompositeExprPtr decode_composite(Reader& r, const SchemaPtr& schema) {
+  return as_parse([&] { return decode_composite_node(r, schema, 0); });
+}
+
+namespace {
+
 /// Starts a frame; returns the position of the length field to patch.
 std::size_t begin_frame(Writer& w, MessageType type) {
   w.u16(kMagic);
@@ -332,6 +416,31 @@ std::vector<std::uint8_t> frame_unsubscribe(std::uint64_t key) {
   return end_frame(w, at);
 }
 
+std::vector<std::uint8_t> frame_composite_subscribe(std::uint64_t key,
+                                                    const CompositeExpr& expr) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kCompositeSubscribe);
+  w.u64(key);
+  encode_composite(w, expr);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_composite_unsubscribe(std::uint64_t key) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kCompositeUnsubscribe);
+  w.u64(key);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_composite_firing(std::uint64_t key,
+                                                 Timestamp time) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kCompositeFiring);
+  w.u64(key);
+  w.i64(time);
+  return end_frame(w, at);
+}
+
 namespace {
 
 MessageType read_header(Reader& r, std::size_t frame_size) {
@@ -342,7 +451,7 @@ MessageType read_header(Reader& r, std::size_t frame_size) {
   }
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kSchema) ||
-      type > static_cast<std::uint8_t>(MessageType::kUnsubscribe)) {
+      type > static_cast<std::uint8_t>(MessageType::kCompositeFiring)) {
     parse_fail("unknown message type " + std::to_string(type));
   }
   const std::uint32_t length = r.u32();
@@ -387,6 +496,23 @@ Message decode_message(std::span<const std::uint8_t> frame,
     }
     case MessageType::kUnsubscribe: {
       UnsubscribeMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kCompositeSubscribe: {
+      const std::uint64_t key = r.u64();
+      CompositeSubscribeMsg msg{key, decode_composite(r, schema)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kCompositeUnsubscribe: {
+      CompositeUnsubscribeMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kCompositeFiring: {
+      const std::uint64_t key = r.u64();
+      CompositeFiringMsg msg{key, r.i64()};
       r.expect_done();
       return msg;
     }

@@ -29,6 +29,13 @@
 //                u8 op, u32 interval_count, count * (i64 lo, i64 hi)
 //   subscribe    u64 subscription key, profile payload
 //   unsubscribe  u64 subscription key
+//   csubscribe   u64 subscription key, composite expression pre-order:
+//                u8 kind, then primitive: profile payload |
+//                seq/conj/neg: i64 window, left expr, right expr |
+//                disj: left expr, right expr (depth capped at
+//                kMaxCompositeDepth)
+//   cunsubscribe u64 subscription key
+//   cfiring      u64 subscription key, i64 completion timestamp
 //
 // Events and profiles are encoded against a schema both ends share (the
 // mesh distributes it out of band or via a kSchema frame); decode_* take
@@ -42,6 +49,7 @@
 #include <variant>
 #include <vector>
 
+#include "ens/composite.hpp"
 #include "event/event.hpp"
 #include "profile/profile.hpp"
 
@@ -50,12 +58,19 @@ namespace genas::wire {
 inline constexpr std::uint16_t kMagic = 0x4757;  // "GW"
 inline constexpr std::uint8_t kWireVersion = 1;
 
+/// Nesting bound for composite expression payloads: decoding is recursive,
+/// so unbounded depth would let a hostile frame exhaust the stack.
+inline constexpr std::size_t kMaxCompositeDepth = 64;
+
 enum class MessageType : std::uint8_t {
   kSchema = 1,
   kEvent = 2,
   kProfile = 3,
   kSubscribe = 4,
   kUnsubscribe = 5,
+  kCompositeSubscribe = 6,
+  kCompositeUnsubscribe = 7,
+  kCompositeFiring = 8,
 };
 
 std::string_view to_string(MessageType type) noexcept;
@@ -115,6 +130,11 @@ void encode_event(Writer& w, const Event& event);
 Event decode_event(Reader& r, const SchemaPtr& schema);
 void encode_profile(Writer& w, const Profile& profile);
 Profile decode_profile(Reader& r, const SchemaPtr& schema);
+/// Pre-order expression encoding; every leaf must be a profile leaf
+/// (`primitive(Profile)`) — detector-level id leaves are broker-local and
+/// refuse to serialize with Error{kInvalidArgument}.
+void encode_composite(Writer& w, const CompositeExpr& expr);
+CompositeExprPtr decode_composite(Reader& r, const SchemaPtr& schema);
 
 // Framed messages (header + payload, ready for a link).
 std::vector<std::uint8_t> frame_schema(const Schema& schema);
@@ -123,6 +143,11 @@ std::vector<std::uint8_t> frame_profile(const Profile& profile);
 std::vector<std::uint8_t> frame_subscribe(std::uint64_t key,
                                           const Profile& profile);
 std::vector<std::uint8_t> frame_unsubscribe(std::uint64_t key);
+std::vector<std::uint8_t> frame_composite_subscribe(std::uint64_t key,
+                                                    const CompositeExpr& expr);
+std::vector<std::uint8_t> frame_composite_unsubscribe(std::uint64_t key);
+std::vector<std::uint8_t> frame_composite_firing(std::uint64_t key,
+                                                 Timestamp time);
 
 /// Decoded frame contents.
 struct SchemaMsg {
@@ -141,8 +166,21 @@ struct SubscribeMsg {
 struct UnsubscribeMsg {
   std::uint64_t key;
 };
+struct CompositeSubscribeMsg {
+  std::uint64_t key;
+  CompositeExprPtr expression;
+};
+struct CompositeUnsubscribeMsg {
+  std::uint64_t key;
+};
+struct CompositeFiringMsg {
+  std::uint64_t key;
+  Timestamp time;
+};
 using Message =
-    std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg>;
+    std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg,
+                 CompositeSubscribeMsg, CompositeUnsubscribeMsg,
+                 CompositeFiringMsg>;
 
 /// Frame type without decoding the payload; throws Error{kParse} on a
 /// malformed header.

@@ -1,8 +1,15 @@
-// Tests for the composite-event algebra and detector.
+// Tests for the composite-event algebra and detector: operator semantics,
+// window boundaries (firing exactly at `window`, legitimate negative
+// timestamps vs. the never-fired sentinel, zero-width neg windows),
+// re-entrant add/remove from inside callbacks, simultaneous-stimulus
+// (on_event) semantics, the watermark reorder stage, and the textual
+// composite form.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 #include "ens/composite.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
 
 namespace genas {
 namespace {
@@ -124,8 +131,298 @@ TEST_F(CompositeTest, Validation) {
   EXPECT_THROW(seq(nullptr, primitive(1), 5), Error);
   EXPECT_THROW(seq(primitive(1), primitive(2), 0), Error);
   EXPECT_THROW(conj(primitive(1), primitive(2), -1), Error);
+  EXPECT_THROW(neg(primitive(1), primitive(2), -1), Error);
   EXPECT_THROW(detector_.add(nullptr, [](const CompositeFiring&) {}), Error);
   EXPECT_THROW(detector_.add(primitive(1), nullptr), Error);
+}
+
+// --- window boundaries ------------------------------------------------------
+
+TEST_F(CompositeTest, SequenceFiresExactlyAtWindow) {
+  add(seq(primitive(1), primitive(2), 10));
+  detector_.on_match(1, 5);
+  detector_.on_match(2, 15);  // B - A == window: inclusive, fires
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], 15);
+
+  detector_.on_match(1, 20);
+  detector_.on_match(2, 31);  // one past the window: expired
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_F(CompositeTest, ConjunctionFiresExactlyAtWindow) {
+  add(conj(primitive(1), primitive(2), 10));
+  detector_.on_match(2, 0);
+  detector_.on_match(1, 10);  // spread == window: fires
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], 10);
+}
+
+TEST_F(CompositeTest, NegativeTimestampsAreLegitimate) {
+  // -1 must behave as an ordinary instant, not as "never fired": the
+  // sentinel is kCompositeNever, far outside the timestamp range.
+  add(seq(primitive(1), primitive(2), 10));
+  detector_.on_match(1, -5);
+  detector_.on_match(2, -1);  // 4 <= 10 after A: fires at time -1
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0], -1);
+
+  fired_.clear();
+  CompositeDetector other;
+  other.add(disj(primitive(1), primitive(2)),
+            [this](const CompositeFiring& f) { fired_.push_back(f.time); });
+  other.on_match(1, -1);  // a lone firing at -1 must surface
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{-1}));
+}
+
+TEST_F(CompositeTest, NegationZeroWidthWindow) {
+  // window 0: only a simultaneous blocker suppresses.
+  add(neg(primitive(1), primitive(2), 0));
+  detector_.on_match(1, 4);
+  detector_.on_match(2, 5);  // blocker 1 earlier: outside the zero window
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+
+  ProfileId both[] = {1, 2};
+  detector_.on_event(both, 6);  // simultaneous blocker suppresses
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_F(CompositeTest, NegationIgnoresBlockerAfterCompletion) {
+  // A blocker *later* than the completion must not suppress it (possible
+  // only with out-of-order feeds; the detector must not misfire on the
+  // signed arithmetic).
+  add(neg(primitive(1), primitive(2), 10));
+  detector_.on_match(1, 50);  // future blocker arrives first
+  detector_.on_match(2, 45);  // completion earlier than the blocker: fires
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{45}));
+}
+
+// --- simultaneous stimuli (on_event) ---------------------------------------
+
+TEST_F(CompositeTest, SimultaneousConjunctionCompletesInOneInstant) {
+  add(conj(primitive(1), primitive(2), 10));
+  ProfileId both[] = {1, 2};
+  detector_.on_event(both, 7);
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{7}));
+}
+
+TEST_F(CompositeTest, SimultaneousSequenceStaysStrict) {
+  add(seq(primitive(1), primitive(2), 10));
+  ProfileId both[] = {1, 2};
+  detector_.on_event(both, 7);  // "then" is strict: no firing
+  EXPECT_TRUE(fired_.empty());
+  detector_.on_match(2, 9);  // the A of instant 7 is armed, though
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{9}));
+}
+
+TEST_F(CompositeTest, SimultaneousNegationBlockerWins) {
+  add(neg(primitive(1), primitive(2), 10));
+  ProfileId both[] = {1, 2};
+  detector_.on_event(both, 7);  // deterministic: the blocker suppresses
+  EXPECT_TRUE(fired_.empty());
+}
+
+// --- re-entrant mutation ----------------------------------------------------
+
+TEST_F(CompositeTest, ReentrantRemoveFromCallback) {
+  // Removing subscriptions from inside a callback must not invalidate the
+  // sweep. Both entries match the same stimulus; the first callback removes
+  // BOTH entries — the second must then not fire at all.
+  std::vector<CompositeId> ids;
+  std::size_t first_fired = 0;
+  std::size_t second_fired = 0;
+  ids.push_back(detector_.add(disj(primitive(1), primitive(2)),
+                              [&](const CompositeFiring&) {
+                                ++first_fired;
+                                detector_.remove(ids[0]);
+                                detector_.remove(ids[1]);
+                              }));
+  ids.push_back(detector_.add(disj(primitive(1), primitive(3)),
+                              [&](const CompositeFiring&) {
+                                ++second_fired;
+                              }));
+  detector_.on_match(1, 5);
+  EXPECT_EQ(first_fired, 1u);
+  EXPECT_EQ(second_fired, 0u);  // removed mid-sweep: skipped
+  EXPECT_EQ(detector_.subscription_count(), 0u);
+  detector_.on_match(1, 6);
+  EXPECT_EQ(first_fired, 1u);
+}
+
+TEST_F(CompositeTest, ReentrantAddFromCallback) {
+  // An entry added from inside a callback joins after the sweep and sees
+  // only later stimuli.
+  std::size_t added_fired = 0;
+  detector_.add(disj(primitive(1), primitive(2)), [&](const CompositeFiring&) {
+    if (detector_.subscription_count() == 1) {
+      detector_.add(disj(primitive(1), primitive(3)),
+                    [&](const CompositeFiring&) { ++added_fired; });
+    }
+  });
+  detector_.on_match(1, 5);
+  EXPECT_EQ(detector_.subscription_count(), 2u);
+  EXPECT_EQ(added_fired, 0u);  // not fed the triggering stimulus
+  detector_.on_match(1, 6);
+  EXPECT_EQ(added_fired, 1u);
+}
+
+TEST_F(CompositeTest, ReentrantAddThenRemoveInSameSweep) {
+  CompositeId added = 0;
+  detector_.add(disj(primitive(1), primitive(2)), [&](const CompositeFiring&) {
+    added = detector_.add(disj(primitive(1), primitive(3)),
+                          [](const CompositeFiring&) {});
+    detector_.remove(added);  // removing a pending add cancels it
+  });
+  detector_.on_match(1, 5);
+  EXPECT_EQ(detector_.subscription_count(), 1u);
+  EXPECT_THROW(detector_.remove(added), Error);
+}
+
+TEST_F(CompositeTest, ReentrantDoubleRemoveThrows) {
+  std::size_t throws = 0;
+  CompositeId id = 0;
+  id = detector_.add(disj(primitive(1), primitive(2)),
+                     [&](const CompositeFiring&) {
+                       detector_.remove(id);
+                       try {
+                         detector_.remove(id);  // already pending: unknown
+                       } catch (const Error& e) {
+                         EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+                         ++throws;
+                       }
+                     });
+  detector_.on_match(1, 5);
+  EXPECT_EQ(throws, 1u);
+  EXPECT_EQ(detector_.subscription_count(), 0u);
+}
+
+// --- watermark reorder stage ------------------------------------------------
+
+class IngressTest : public ::testing::Test {
+ protected:
+  CompositeDetector detector_;
+  CompositeIngress ingress_{detector_};
+  std::vector<Timestamp> fired_;
+
+  void add(const CompositeExprPtr& expr) {
+    detector_.add(expr, [this](const CompositeFiring& f) {
+      fired_.push_back(f.time);
+    });
+  }
+};
+
+TEST_F(IngressTest, ReordersWithinSkew) {
+  add(seq(primitive(1), primitive(2), 10));
+  ingress_.set_skew(5);
+  // Delivered out of order: B@8 arrives before A@6. With skew 5 the
+  // instants buffer and release sorted, so the seq still completes.
+  ingress_.push(2, 8);
+  ingress_.push(1, 6);
+  EXPECT_TRUE(fired_.empty());  // watermark (8-5) has not passed 8 yet
+  ingress_.push(3, 20);         // advances the watermark past both
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{8}));
+}
+
+TEST_F(IngressTest, SkewZeroReleasesAllEarlierInstants) {
+  add(seq(primitive(1), primitive(2), 10));
+  ingress_.push(1, 5);
+  ingress_.push(2, 7);   // releases instant 5 (A armed); 7 still buffered
+  EXPECT_TRUE(fired_.empty());
+  ingress_.push(3, 8);   // releases instant 7: the seq completes
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{7}));
+  EXPECT_EQ(ingress_.buffered(), 1u);  // instant 8 held back
+}
+
+TEST_F(IngressTest, FlushReleasesEverything) {
+  add(conj(primitive(1), primitive(2), 10));
+  ingress_.set_skew(1000);
+  ingress_.push(2, 9);
+  ingress_.push(1, 3);
+  EXPECT_TRUE(fired_.empty());
+  ingress_.flush();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{9}));
+  EXPECT_EQ(ingress_.buffered(), 0u);
+}
+
+TEST_F(IngressTest, SimultaneousStimuliStaySimultaneous) {
+  // Two stimuli of one instant arriving separately must still evaluate as
+  // one on_event batch (the neg blocker wins deterministically).
+  add(neg(primitive(1), primitive(2), 10));
+  ingress_.push(2, 5);
+  ingress_.push(1, 5);
+  ingress_.flush();
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(IngressTest, LateStimuliAreFedNotDropped) {
+  add(disj(primitive(1), primitive(2)));
+  ingress_.push(1, 100);  // watermark at 100
+  ingress_.flush();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{100}));
+  ingress_.push(2, 3);  // far beyond the (zero) skew: released immediately
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{100, 3}));
+}
+
+TEST_F(IngressTest, RejectsNegativeSkew) {
+  EXPECT_THROW(ingress_.set_skew(-1), Error);
+}
+
+// --- profile leaves and the textual form -----------------------------------
+
+TEST(CompositeExprText, ProfileLeavesRoundTripThroughToString) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const auto expr = parse_composite(
+      schema,
+      "neg({radiation >= 5}, seq({temperature >= 35}, {humidity >= 90}, "
+      "w=10), w=7)");
+  ASSERT_TRUE(has_profile_leaves(*expr));
+  EXPECT_EQ(expr->kind(), CompositeExpr::Kind::kNeg);
+  EXPECT_EQ(expr->window(), 7);
+  EXPECT_EQ(expr->right()->kind(), CompositeExpr::Kind::kSeq);
+
+  // to_string() emits the parseable form; a re-parse is structurally equal.
+  const std::string text = expr->to_string();
+  const auto again = parse_composite(schema, text);
+  EXPECT_EQ(again->to_string(), text);
+
+  const auto leaves = leaf_nodes(*expr);
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_TRUE(leaves[0]->leaf_profile()->matches(Event::from_pairs(
+      schema,
+      {{"temperature", 0}, {"humidity", 0}, {"radiation", 7}})));
+}
+
+TEST(CompositeExprText, WindowAcceptsBareIntegers) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const auto expr =
+      parse_composite(schema, "conj({temperature >= 35}, {humidity >= 90}, 4)");
+  EXPECT_EQ(expr->window(), 4);
+}
+
+TEST(CompositeExprText, ParseFailures) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const auto expect_parse_error = [&](std::string_view text) {
+    try {
+      parse_composite(schema, text);
+      FAIL() << "expected Error{kParse} for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << text;
+    }
+  };
+  expect_parse_error("");
+  expect_parse_error("bogus({temperature >= 35}, {humidity >= 90}, 4)");
+  expect_parse_error("seq({temperature >= 35}, {humidity >= 90})");  // window
+  expect_parse_error("seq({temperature >= 35}, {humidity >= 90}, -3)");
+  expect_parse_error("seq({temperature >= 35, {humidity >= 90}, 3)");
+  expect_parse_error("disj({temperature >= 35}, {humidity >= 90}) junk");
+  expect_parse_error("{not a profile}");
+  expect_parse_error("seq({temperature >= 35}, {humidity >= 90}, 3");
+}
+
+TEST(CompositeExprText, IdLeavesDoNotClaimProfiles) {
+  const auto expr = seq(primitive(1), primitive(2), 10);
+  EXPECT_FALSE(has_profile_leaves(*expr));
+  EXPECT_EQ(expr->left()->leaf_profile(), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// Tests for first-class composite subscriptions at the Broker: decomposition
+// into internal primitive profiles, watermark-driven firing, flush, skew,
+// unsubscription, coexistence with delivery sinks, and re-entrancy from
+// composite callbacks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+class CompositeBrokerTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+  Broker broker_{schema_};
+  std::vector<Timestamp> fired_;
+
+  CompositeCallback recorder() {
+    return [this](const CompositeFiring& f) { fired_.push_back(f.time); };
+  }
+
+  void publish(std::int64_t t, std::int64_t h, std::int64_t r,
+               Timestamp time) {
+    Event event = Event::from_pairs(
+        schema_, {{"temperature", t}, {"humidity", h}, {"radiation", r}});
+    event.set_time(time);
+    broker_.publish(event);
+  }
+};
+
+TEST_F(CompositeBrokerTest, SequenceDetectsAcrossPublishes) {
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  EXPECT_EQ(broker_.composite_count(), 1u);
+  // Decomposed leaves are internal: not user subscriptions.
+  EXPECT_EQ(broker_.subscription_count(), 0u);
+
+  publish(40, 0, 1, 1);   // A
+  publish(0, 95, 1, 5);   // B, 4 <= 10 after A
+  EXPECT_TRUE(fired_.empty());  // instant 5 awaits the watermark
+  // The watermark advances on primitive (leaf-matching) stimuli: a later A
+  // pushes it past instant 5 and the sequence fires — no flush needed.
+  publish(40, 0, 1, 6);
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+}
+
+TEST_F(CompositeBrokerTest, FlushReleasesTheTail) {
+  broker_.subscribe_composite(
+      conj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  publish(0, 95, 1, 2);
+  publish(40, 0, 1, 7);
+  EXPECT_TRUE(fired_.empty());
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{7}));
+}
+
+TEST_F(CompositeBrokerTest, OneEventCanCompleteAConjunctionAlone) {
+  // A single event matching both leaves is one simultaneous instant.
+  broker_.subscribe_composite(
+      conj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  publish(40, 95, 1, 3);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{3}));
+}
+
+TEST_F(CompositeBrokerTest, SkewToleratesOutOfOrderPublishes) {
+  broker_.set_composite_skew(100);
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  // B arrives before A (timestamp-wise): the reorder stage sorts them.
+  publish(0, 95, 1, 8);
+  publish(40, 0, 1, 6);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{8}));
+}
+
+TEST_F(CompositeBrokerTest, TextualFormSubscribes) {
+  broker_.subscribe_composite(
+      "seq({temperature >= 35}, {humidity >= 90}, w=10)", recorder());
+  publish(40, 0, 1, 1);
+  publish(0, 95, 1, 5);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+}
+
+TEST_F(CompositeBrokerTest, UnsubscribeCompositeRemovesLeaves) {
+  const CompositeId id = broker_.subscribe_composite(
+      disj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90"))),
+      recorder());
+  publish(40, 0, 1, 1);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{1}));
+
+  broker_.unsubscribe_composite(id);
+  EXPECT_EQ(broker_.composite_count(), 0u);
+  // The internal leaf subscriptions are gone: a matching event produces no
+  // notification (and thus no further firing).
+  const std::uint64_t notifications_before =
+      broker_.counters().notifications;
+  publish(40, 95, 1, 3);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(broker_.counters().notifications, notifications_before);
+  EXPECT_THROW(broker_.unsubscribe_composite(id), Error);
+}
+
+TEST_F(CompositeBrokerTest, CoexistsWithDeliverySinksAndPlainSubs) {
+  // The composite tap must not disturb a user sink or plain subscriptions
+  // (the regression the multi-sink API exists for).
+  int sink_seen = 0;
+  int plain_seen = 0;
+  broker_.set_delivery_sink([&](const Notification&) { ++sink_seen; });
+  broker_.subscribe("temperature >= 35",
+                    [&](const Notification&) { ++plain_seen; });
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+
+  publish(40, 0, 1, 1);
+  publish(0, 95, 1, 2);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{2}));
+  EXPECT_EQ(plain_seen, 1);
+  // The sink observes the plain delivery and both internal leaf taps.
+  EXPECT_EQ(sink_seen, 3);
+  EXPECT_EQ(broker_.subscription_count(), 1u);
+}
+
+TEST_F(CompositeBrokerTest, CompositeCallbackMayReenterTheBroker) {
+  CompositeId second = 0;
+  std::vector<Timestamp> second_fired;
+  const CompositeId first = broker_.subscribe_composite(
+      disj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90"))),
+      [&](const CompositeFiring& f) {
+        fired_.push_back(f.time);
+        if (second == 0) {
+          second = broker_.subscribe_composite(
+              disj(primitive(parse_profile(schema_, "radiation >= 50")),
+                   primitive(parse_profile(schema_, "radiation >= 90"))),
+              [&](const CompositeFiring& g) {
+                second_fired.push_back(g.time);
+              });
+        }
+      });
+  publish(40, 0, 1, 1);
+  broker_.flush_composites();  // fires the first; its callback adds `second`
+  publish(0, 0, 60, 2);        // matches only the re-entrantly added one
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{1}));
+  EXPECT_EQ(second_fired, (std::vector<Timestamp>{2}));
+
+  // Re-entrant unsubscribe from a composite callback.
+  CompositeId third = 0;
+  third = broker_.subscribe_composite(
+      disj(primitive(parse_profile(schema_, "temperature <= -20")),
+           primitive(parse_profile(schema_, "temperature <= -25"))),
+      [&](const CompositeFiring& f) {
+        fired_.push_back(f.time);
+        broker_.unsubscribe_composite(third);
+      });
+  publish(-22, 0, 1, 10);
+  publish(-22, 0, 1, 11);  // advances the watermark: `third` fires at 10 and
+                           // unsubscribes itself mid-delivery
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{1, 10}));
+  EXPECT_EQ(broker_.composite_count(), 2u);
+  broker_.unsubscribe_composite(first);
+  broker_.unsubscribe_composite(second);
+}
+
+TEST_F(CompositeBrokerTest, Validation) {
+  // Detector-level (profile-id) leaves are broker-local: rejected.
+  EXPECT_THROW(
+      broker_.subscribe_composite(seq(primitive(1), primitive(2), 10),
+                                  recorder()),
+      Error);
+  // Foreign-schema leaves are rejected.
+  const SchemaPtr other = testutil::example1_schema();
+  EXPECT_THROW(broker_.subscribe_composite(
+                   primitive(parse_profile(other, "temperature >= 0")),
+                   recorder()),
+               Error);
+  EXPECT_THROW(broker_.subscribe_composite(
+                   primitive(parse_profile(schema_, "temperature >= 0")),
+                   nullptr),
+               Error);
+  EXPECT_THROW(broker_.subscribe_composite(CompositeExprPtr{}, recorder()),
+               Error);
+  EXPECT_THROW(broker_.unsubscribe_composite(12345), Error);
+  EXPECT_THROW(broker_.set_composite_skew(-1), Error);
+}
+
+TEST_F(CompositeBrokerTest, NotificationTimestampDrivesDetectionNotArrival) {
+  // Detection consumes event timestamps: publishing the same wall-clock
+  // instant with distinct event times still orders the sequence.
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 5),
+      recorder());
+  publish(40, 0, 1, 100);
+  publish(0, 95, 1, 200);  // far outside the window
+  broker_.flush_composites();
+  EXPECT_TRUE(fired_.empty());
+}
+
+}  // namespace
+}  // namespace genas

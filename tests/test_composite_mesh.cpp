@@ -1,0 +1,377 @@
+// Distributed composite-event oracle: a composite subscription must produce
+// the identical firing multiset on a 1-node broker (the reference) and on
+// line/star/tree meshes in every routing mode — and its decomposed primitive
+// profiles must route across links exactly like plain subscriptions, so in
+// the covered/routing modes only matching primitive events cross links
+// (asserted against an OverlayNetwork holding the decomposed leaves).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/topology.hpp"
+#include "net/overlay.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+using mesh::MeshNetwork;
+using mesh::MeshOptions;
+using net::NodeId;
+using net::OverlayNetwork;
+using net::OverlayOptions;
+using net::RoutingMode;
+
+/// (subscription index, firing time) multiset, thread-safe.
+class FiringLog {
+ public:
+  void record(std::size_t index, Timestamp time) {
+    const std::scoped_lock lock(mutex_);
+    entries_.emplace_back(index, time);
+  }
+  std::vector<std::pair<std::size_t, Timestamp>> sorted() const {
+    std::vector<std::pair<std::size_t, Timestamp>> copy;
+    {
+      const std::scoped_lock lock(mutex_);
+      copy = entries_;
+    }
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::size_t, Timestamp>> entries_;
+};
+
+struct Topology {
+  std::string name;
+  std::size_t nodes;
+  std::vector<std::pair<NodeId, NodeId>> links;
+};
+
+std::vector<Topology> oracle_topologies() {
+  return {
+      {"line4", 4, {{0, 1}, {1, 2}, {2, 3}}},
+      {"star5", 5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}},
+      {"tree7", 7, {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}},
+  };
+}
+
+/// Composite subscriptions exercising every operator, with overlapping
+/// range leaves so covering relations occur between decomposed profiles.
+std::vector<std::string> oracle_composites() {
+  return {
+      "seq({temperature >= 35}, {humidity >= 90}, w=40)",
+      "conj({temperature >= 20}, {radiation >= 50}, w=60)",
+      "disj({temperature >= 40}, {humidity >= 95})",
+      "neg({radiation >= 80}, {temperature >= 30}, w=25)",
+      "seq(disj({temperature >= 35}, {temperature <= -10}), {radiation >= 40},"
+      " w=50)",
+      "conj({humidity >= 50}, {humidity >= 80}, w=30)",
+  };
+}
+
+/// Deterministic event stream with unique timestamps.
+std::vector<Event> oracle_events(const SchemaPtr& schema) {
+  std::vector<Event> events;
+  for (std::int64_t i = 0; i < 160; ++i) {
+    Event event = Event::from_pairs(
+        schema, {{"temperature", (i * 13) % 81 - 30},
+                 {"humidity", (i * 29) % 101},
+                 {"radiation", (i * 17) % 100 + 1}});
+    event.set_time(static_cast<Timestamp>(i));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+constexpr Timestamp kOracleSkew = 1 << 20;  // buffer everything until flush
+
+/// The 1-node reference: every composite on one broker, events in
+/// publication order, one flush at the end.
+std::vector<std::pair<std::size_t, Timestamp>> reference_firings(
+    const SchemaPtr& schema, const std::vector<std::string>& composites,
+    const std::vector<Event>& events) {
+  Broker broker(schema);
+  broker.set_composite_skew(kOracleSkew);
+  FiringLog log;
+  for (std::size_t i = 0; i < composites.size(); ++i) {
+    broker.subscribe_composite(
+        composites[i],
+        [&log, i](const CompositeFiring& f) { log.record(i, f.time); });
+  }
+  for (const Event& event : events) broker.publish(event);
+  broker.flush_composites();
+  return log.sorted();
+}
+
+TEST(CompositeMeshOracle, FiresIdenticallyOnBrokerAndAllTopologies) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const std::vector<std::string> composites = oracle_composites();
+  const std::vector<Event> events = oracle_events(schema);
+  const auto expected = reference_firings(schema, composites, events);
+  ASSERT_FALSE(expected.empty());  // the workload must exercise detection
+
+  for (const Topology& topology : oracle_topologies()) {
+    for (const RoutingMode mode :
+         {RoutingMode::kRouting, RoutingMode::kRoutingCovered,
+          RoutingMode::kFlooding}) {
+      const std::string context =
+          topology.name + "/" + std::string(net::to_string(mode));
+
+      MeshOptions options;
+      options.mode = mode;
+      options.composite_skew = kOracleSkew;
+      MeshNetwork mesh(schema, options);
+      for (std::size_t n = 0; n < topology.nodes; ++n) mesh.add_node();
+      for (const auto& [a, b] : topology.links) mesh.connect(a, b);
+      mesh.start();
+
+      // The overlay reference for link traffic: the decomposed primitive
+      // profiles as plain subscriptions at the same nodes, same order.
+      OverlayOptions overlay_options;
+      overlay_options.mode = mode;
+      OverlayNetwork overlay(schema, overlay_options);
+      for (std::size_t n = 0; n < topology.nodes; ++n) overlay.add_broker();
+      for (const auto& [a, b] : topology.links) overlay.connect(a, b);
+
+      FiringLog log;
+      for (std::size_t i = 0; i < composites.size(); ++i) {
+        const NodeId at = i % topology.nodes;
+        mesh.subscribe_composite(
+            at, composites[i],
+            [&log, i](NodeId, SubscriptionId, Timestamp time) {
+              log.record(i, time);
+            });
+        mesh.wait_idle();  // serialize propagation (covering is
+                           // install-order sensitive)
+        const CompositeExprPtr expr = parse_composite(schema, composites[i]);
+        for (const CompositeExpr* leaf : leaf_nodes(*expr)) {
+          overlay.subscribe(at, *leaf->leaf_profile());
+        }
+      }
+
+      // Decomposed-leaf routing state is exactly the overlay's.
+      for (std::size_t n = 0; n < topology.nodes; ++n) {
+        EXPECT_EQ(mesh.routing_entries(n), overlay.routing_entries(n))
+            << context << " node " << n;
+      }
+
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        overlay.publish(i % topology.nodes, events[i]);
+        mesh.publish(i % topology.nodes, events[i]);
+      }
+      mesh.wait_idle();
+      mesh.flush_composites();
+
+      // The tentpole assertion: identical firing multiset everywhere.
+      EXPECT_EQ(log.sorted(), expected) << context;
+
+      // Only primitive events matching a decomposed leaf cross links (the
+      // overlay forwards exactly those); in flooding both cross every link.
+      EXPECT_EQ(mesh.stats().event_messages, overlay.stats().event_messages)
+          << context;
+      EXPECT_EQ(mesh.stats().profile_messages,
+                overlay.stats().profile_messages)
+          << context;
+      // Leaf deliveries at the detection nodes agree with the overlay's
+      // plain-subscription deliveries.
+      EXPECT_EQ(mesh.stats().deliveries, overlay.stats().deliveries)
+          << context;
+
+      mesh.shutdown();
+      EXPECT_EQ(mesh.first_error(), "") << context;
+    }
+  }
+}
+
+class CompositeMeshTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = testutil::example1_schema();
+
+  Event make_event(std::int64_t t, std::int64_t h, std::int64_t r,
+                   Timestamp time) {
+    Event event = Event::from_pairs(
+        schema_, {{"temperature", t}, {"humidity", h}, {"radiation", r}});
+    event.set_time(time);
+    return event;
+  }
+
+  std::unique_ptr<MeshNetwork> make_line(RoutingMode mode) {
+    MeshOptions options;
+    options.mode = mode;
+    auto mesh = std::make_unique<MeshNetwork>(schema_, options);
+    for (int i = 0; i < 4; ++i) mesh->add_node();
+    mesh->connect(0, 1);
+    mesh->connect(1, 2);
+    mesh->connect(2, 3);
+    mesh->start();
+    return mesh;
+  }
+};
+
+TEST_F(CompositeMeshTest, NonMatchingPrimitivesNeverCrossLinks) {
+  // Covered mode: events matching no decomposed leaf stay at their node.
+  const auto net = make_line(RoutingMode::kRoutingCovered);
+  MeshNetwork& mesh = *net;
+  std::atomic<std::uint64_t> firings{0};
+  mesh.subscribe_composite(
+      3, "seq({temperature >= 45}, {humidity >= 95}, w=10)",
+      [&](NodeId, SubscriptionId, Timestamp) {
+        firings.fetch_add(1, std::memory_order_relaxed);
+      });
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 2u);  // both leaves installed toward 3
+
+  for (int i = 0; i < 50; ++i) {
+    mesh.publish(0, make_event(0, 50, 1, i));  // matches neither leaf
+  }
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.stats().event_messages, 0u);
+
+  mesh.publish(0, make_event(48, 0, 1, 100));   // matches the seq's A leaf
+  mesh.publish(0, make_event(0, 98, 1, 101));   // matches the seq's B leaf
+  mesh.wait_idle();
+  mesh.flush_composites();
+  EXPECT_EQ(mesh.stats().event_messages, 6u);  // 2 events x 3 line hops
+  EXPECT_EQ(firings.load(), 1u);
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST_F(CompositeMeshTest, UnsubscribeRetractsDecomposedLeaves) {
+  const auto net = make_line(RoutingMode::kRoutingCovered);
+  MeshNetwork& mesh = *net;
+  std::atomic<std::uint64_t> firings{0};
+  const SubscriptionId key = mesh.subscribe_composite(
+      3, "conj({temperature >= 30}, {humidity >= 80}, w=20)",
+      [&](NodeId, SubscriptionId, Timestamp) {
+        firings.fetch_add(1, std::memory_order_relaxed);
+      });
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 2u);
+  EXPECT_EQ(mesh.routing_entries(1), 2u);
+  EXPECT_EQ(mesh.routing_entries(2), 2u);
+
+  mesh.unsubscribe(key);
+  mesh.wait_idle();
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(mesh.routing_entries(n), 0u) << n;
+  }
+  mesh.publish(0, make_event(40, 90, 1, 1));
+  mesh.wait_idle();
+  mesh.flush_composites();
+  EXPECT_EQ(firings.load(), 0u);
+  EXPECT_EQ(mesh.stats().event_messages, 0u);
+  EXPECT_THROW(mesh.unsubscribe(key), Error);
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST_F(CompositeMeshTest, CoveringCollapsesCompositeLeavesAcrossSubscribers) {
+  // A plain subscription covering a composite's leaf suppresses the leaf's
+  // routing entry (they share the link tables), and vice versa.
+  const auto net = make_line(RoutingMode::kRoutingCovered);
+  MeshNetwork& mesh = *net;
+  mesh.subscribe(3, "temperature >= 20",
+                 [](NodeId, SubscriptionId, const Event&) {});
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 1u);
+
+  std::atomic<std::uint64_t> firings{0};
+  mesh.subscribe_composite(
+      3, "seq({temperature >= 35}, {humidity >= 90}, w=10)",
+      [&](NodeId, SubscriptionId, Timestamp) {
+        firings.fetch_add(1, std::memory_order_relaxed);
+      });
+  mesh.wait_idle();
+  // The A leaf is covered by the plain "temperature >= 20" entry; only the
+  // humidity leaf adds a routing entry.
+  EXPECT_EQ(mesh.routing_entries(0), 2u);
+  EXPECT_EQ(mesh.routing_entries(1), 2u);
+
+  // Events still reach node 3 (the cover forwards them) and detection runs.
+  mesh.publish(0, make_event(37, 0, 1, 1));   // A via the covering entry
+  mesh.publish(0, make_event(0, 95, 1, 4));   // B
+  mesh.wait_idle();
+  mesh.flush_composites();
+  EXPECT_EQ(firings.load(), 1u);
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST_F(CompositeMeshTest, TopologyFileDrivesCompositesEndToEnd) {
+  const mesh::MeshTopology topology = mesh::topology_from_string(
+      "nodes 3\n"
+      "link 0 1\n"
+      "link 1 2\n"
+      "csub 2 seq({temperature >= 35}, {humidity >= 90}, w=10)\n");
+  ASSERT_EQ(topology.composites.size(), 1u);
+
+  MeshOptions options;
+  options.mode = RoutingMode::kRoutingCovered;
+  MeshNetwork mesh(schema_, options);
+  for (std::size_t n = 0; n < topology.nodes; ++n) mesh.add_node();
+  for (const auto& [a, b] : topology.links) mesh.connect(a, b);
+  mesh.start();
+
+  std::atomic<std::uint64_t> firings{0};
+  for (const auto& [node, expression] : topology.composites) {
+    mesh.subscribe_composite(node, expression,
+                             [&](NodeId, SubscriptionId, Timestamp) {
+                               firings.fetch_add(1, std::memory_order_relaxed);
+                             });
+  }
+  mesh.wait_idle();
+  mesh.publish(0, make_event(40, 0, 1, 1));
+  mesh.publish(0, make_event(0, 95, 1, 4));
+  mesh.wait_idle();
+  mesh.flush_composites();
+  EXPECT_EQ(firings.load(), 1u);
+
+  // The textual renderer round-trips csub lines.
+  const mesh::MeshTopology again =
+      mesh::topology_from_string(mesh::topology_to_string(topology));
+  EXPECT_EQ(again.composites, topology.composites);
+  mesh.shutdown();
+}
+
+TEST_F(CompositeMeshTest, ValidationHappensOnTheCallerThread) {
+  const auto net = make_line(RoutingMode::kRouting);
+  MeshNetwork& mesh = *net;
+  const auto callback = [](NodeId, SubscriptionId, Timestamp) {};
+  // Id-form leaves, foreign schemas, and null callbacks throw immediately.
+  EXPECT_THROW(
+      mesh.subscribe_composite(0, seq(primitive(1), primitive(2), 5),
+                               callback),
+      Error);
+  const SchemaPtr other = testutil::example1_schema();
+  EXPECT_THROW(mesh.subscribe_composite(
+                   0, primitive(parse_profile(other, "temperature >= 0")),
+                   callback),
+               Error);
+  EXPECT_THROW(
+      mesh.subscribe_composite(0, "disj({temperature >= 0}, {humidity >= 0})",
+                               mesh::MeshCompositeCallback{}),
+      Error);
+  EXPECT_THROW(mesh.subscribe_composite(9, "disj({temperature >= 0}, "
+                                           "{humidity >= 0})",
+                                        callback),
+               Error);
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+}  // namespace
+}  // namespace genas

@@ -1,0 +1,205 @@
+// Concurrency stress for composite subscriptions, run under ThreadSanitizer
+// in CI: concurrent publishers drive a broker (and a mesh) while composite
+// subscriptions churn and flushes race the ingest path. Assertions are
+// liveness/accounting sanity — the real check is TSan finding no races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "mesh/mesh.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
+
+namespace genas {
+namespace {
+
+Event stress_event(const SchemaPtr& schema, std::uint64_t i) {
+  Event event = Event::from_pairs(
+      schema, {{"temperature", static_cast<std::int64_t>(i * 13 % 81) - 30},
+               {"humidity", static_cast<std::int64_t>(i * 29 % 101)},
+               {"radiation", static_cast<std::int64_t>(i * 17 % 100) + 1}});
+  event.set_time(static_cast<Timestamp>(i));
+  return event;
+}
+
+TEST(CompositeStress, ConcurrentPublishersWithCompositeChurn) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  broker.set_composite_skew(1 << 16);
+
+  std::atomic<std::uint64_t> firings{0};
+  const CompositeCallback on_fire = [&](const CompositeFiring&) {
+    firings.fetch_add(1, std::memory_order_relaxed);
+  };
+  // A stable composite that lives through the whole run.
+  broker.subscribe_composite(
+      "seq({temperature >= 20}, {humidity >= 60}, w=1000)", on_fire);
+  // Plain subscription sharing the broker.
+  std::atomic<std::uint64_t> plain{0};
+  broker.subscribe("radiation >= 50", [&](const Notification&) {
+    plain.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kPublishers = 4;
+  constexpr std::uint64_t kEventsPerThread = 400;
+  std::atomic<bool> stop{false};
+
+  std::thread churner([&] {
+    // Composite subscriptions come and go while publishes are in flight.
+    while (!stop.load(std::memory_order_relaxed)) {
+      const CompositeId id = broker.subscribe_composite(
+          "conj({temperature >= 0}, {radiation >= 30}, w=500)", on_fire);
+      broker.flush_composites();
+      broker.unsubscribe_composite(id);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&, t] {
+      std::vector<Event> batch;
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(t) * kEventsPerThread + i;
+        if (i % 8 == 0) {
+          batch.clear();
+          for (std::uint64_t b = 0; b < 4; ++b) {
+            batch.push_back(stress_event(schema, n + b));
+          }
+          broker.publish_batch(batch);
+        } else {
+          broker.publish(stress_event(schema, n));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : publishers) thread.join();
+  stop.store(true);
+  churner.join();
+
+  // Deterministic completion after the storm: one A then one B, newer than
+  // every stressed timestamp, then a full flush.
+  Event a = Event::from_pairs(
+      schema, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  a.set_time(1'000'000);
+  Event b = Event::from_pairs(
+      schema, {{"temperature", 0}, {"humidity", 90}, {"radiation", 1}});
+  b.set_time(1'000'001);
+  broker.publish(a);
+  broker.publish(b);
+  broker.flush_composites();
+
+  EXPECT_GT(plain.load(), 0u);
+  EXPECT_EQ(broker.composite_count(), 1u);
+  EXPECT_EQ(broker.subscription_count(), 1u);
+  EXPECT_GT(firings.load(), 0u);
+}
+
+TEST(CompositeStress, MeshCompositeChurnUnderConcurrentPublishers) {
+  const SchemaPtr schema = testutil::example1_schema();
+  mesh::MeshOptions options;
+  options.mode = net::RoutingMode::kRoutingCovered;
+  options.mailbox_capacity = 64;  // force backpressure + outbox staging
+  mesh::MeshNetwork mesh(schema, options);
+  for (int i = 0; i < 4; ++i) mesh.add_node();
+  mesh.connect(0, 1);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  mesh.start();
+
+  std::atomic<std::uint64_t> firings{0};
+  const mesh::MeshCompositeCallback on_fire =
+      [&](net::NodeId, SubscriptionId, Timestamp) {
+        firings.fetch_add(1, std::memory_order_relaxed);
+      };
+  mesh.subscribe_composite(
+      3, "seq({temperature >= 20}, {humidity >= 60}, w=1000)", on_fire);
+  std::atomic<std::uint64_t> plain{0};
+  mesh.subscribe(2, "radiation >= 50",
+                 [&](net::NodeId, SubscriptionId, const Event&) {
+                   plain.fetch_add(1, std::memory_order_relaxed);
+                 });
+  mesh.wait_idle();
+
+  constexpr int kPublishers = 3;
+  constexpr std::uint64_t kEventsPerThread = 300;
+  std::atomic<bool> stop{false};
+
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SubscriptionId key = mesh.subscribe_composite(
+          1, "disj({temperature >= 45}, {humidity >= 95})", on_fire);
+      mesh.unsubscribe(key);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(t) * kEventsPerThread + i;
+        mesh.publish(n % 4, stress_event(schema, n));
+      }
+    });
+  }
+  for (std::thread& thread : publishers) thread.join();
+  stop.store(true);
+  churner.join();
+
+  // Deterministic completion after the storm (see the broker variant).
+  Event a = Event::from_pairs(
+      schema, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  a.set_time(1'000'000);
+  Event b = Event::from_pairs(
+      schema, {{"temperature", 0}, {"humidity", 90}, {"radiation", 1}});
+  b.set_time(1'000'001);
+  mesh.publish(0, std::move(a));
+  mesh.publish(0, std::move(b));
+  mesh.wait_idle();
+  mesh.flush_composites();
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+  EXPECT_GT(plain.load(), 0u);
+  EXPECT_GT(firings.load(), 0u);
+}
+
+TEST(CompositeStress, ShutdownRacesCompositeSubscribe) {
+  // Subscribing composites while another thread shuts the mesh down must
+  // either succeed or throw Error{kState} — never crash or deadlock.
+  const SchemaPtr schema = testutil::example1_schema();
+  for (int round = 0; round < 8; ++round) {
+    mesh::MeshOptions options;
+    mesh::MeshNetwork mesh(schema, options);
+    mesh.add_node();
+    mesh.add_node();
+    mesh.connect(0, 1);
+    mesh.start();
+
+    std::thread subscriber([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          mesh.subscribe_composite(
+              i % 2, "conj({temperature >= 0}, {humidity >= 0}, w=10)",
+              [](net::NodeId, SubscriptionId, Timestamp) {});
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kState);
+          break;
+        }
+      }
+    });
+    mesh.shutdown();
+    subscriber.join();
+    EXPECT_EQ(mesh.first_error(), "");
+  }
+}
+
+}  // namespace
+}  // namespace genas

@@ -434,7 +434,8 @@ TEST(MeshTopology, ParsesLinksAndSubscriptions) {
       "link 1 2\n"
       "link 2 3\n"
       "sub 3 temperature >= 35 && humidity >= 90\n"
-      "sub 0 radiation <= 10\n");
+      "sub 0 radiation <= 10\n"
+      "csub 1 seq({temperature >= 35}, {humidity >= 90}, w=10)\n");
   EXPECT_EQ(topology.nodes, 4u);
   ASSERT_EQ(topology.links.size(), 3u);
   EXPECT_EQ(topology.links[1], (std::pair<net::NodeId, net::NodeId>{1, 2}));
@@ -442,6 +443,10 @@ TEST(MeshTopology, ParsesLinksAndSubscriptions) {
   EXPECT_EQ(topology.subscriptions[0].first, 3u);
   EXPECT_EQ(topology.subscriptions[0].second,
             "temperature >= 35 && humidity >= 90");
+  ASSERT_EQ(topology.composites.size(), 1u);
+  EXPECT_EQ(topology.composites[0].first, 1u);
+  EXPECT_EQ(topology.composites[0].second,
+            "seq({temperature >= 35}, {humidity >= 90}, w=10)");
 
   // Round-trips through the text renderer.
   const mesh::MeshTopology again =
@@ -449,6 +454,7 @@ TEST(MeshTopology, ParsesLinksAndSubscriptions) {
   EXPECT_EQ(again.nodes, topology.nodes);
   EXPECT_EQ(again.links, topology.links);
   EXPECT_EQ(again.subscriptions, topology.subscriptions);
+  EXPECT_EQ(again.composites, topology.composites);
 }
 
 TEST(MeshTopology, ParseFailuresCarryLineNumbers) {
@@ -470,6 +476,8 @@ TEST(MeshTopology, ParseFailuresCarryLineNumbers) {
   expect_fail("nodes 2\nlink 0\n", "two node ids");
   expect_fail("nodes 2\nsub 7 temperature >= 0\n", "unknown node");
   expect_fail("nodes 2\nsub 0\n", "expression");
+  expect_fail("nodes 2\ncsub 7 disj({a >= 0}, {b >= 0})\n", "unknown node");
+  expect_fail("nodes 2\ncsub 0\n", "expression");
   expect_fail("nodes 2\nbogus\n", "unknown directive");
   expect_fail("", "no nodes");
 }

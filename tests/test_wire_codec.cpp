@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -286,6 +287,143 @@ TEST(WireCodec, ByteFlipFuzzNeverCrashes) {
         EXPECT_EQ(e.code(), ErrorCode::kParse)
             << "byte " << at << ": " << e.what();
       }
+    }
+  }
+}
+
+TEST(WireCodec, CompositeFramesRoundTrip) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const CompositeExprPtr expr = parse_composite(
+      schema,
+      "neg({radiation >= 50}, seq({temperature >= 35}, {humidity >= 90}, "
+      "w=10), w=7)");
+
+  const wire::Message sub = wire::decode_message(
+      wire::frame_composite_subscribe(0xABCDEF01u, *expr), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::CompositeSubscribeMsg>(sub));
+  const auto& msg = std::get<wire::CompositeSubscribeMsg>(sub);
+  EXPECT_EQ(msg.key, 0xABCDEF01u);
+  ASSERT_NE(msg.expression, nullptr);
+  // Structural identity via the canonical text form (profile leaves render
+  // their normalized expressions).
+  EXPECT_EQ(msg.expression->to_string(), expr->to_string());
+  EXPECT_TRUE(has_profile_leaves(*msg.expression));
+
+  const wire::Message unsub = wire::decode_message(
+      wire::frame_composite_unsubscribe(77), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::CompositeUnsubscribeMsg>(unsub));
+  EXPECT_EQ(std::get<wire::CompositeUnsubscribeMsg>(unsub).key, 77u);
+
+  const wire::Message firing = wire::decode_message(
+      wire::frame_composite_firing(9, -12345), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::CompositeFiringMsg>(firing));
+  EXPECT_EQ(std::get<wire::CompositeFiringMsg>(firing).key, 9u);
+  EXPECT_EQ(std::get<wire::CompositeFiringMsg>(firing).time, -12345);
+}
+
+TEST(WireCodec, RandomizedCompositeRoundTrips) {
+  Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    const SchemaPtr schema = random_int_schema(rng);
+    // Random expression tree over random single-attribute range profiles.
+    const std::function<CompositeExprPtr(int)> build =
+        [&](int depth) -> CompositeExprPtr {
+      if (depth >= 4 || rng.below(3) == 0) {
+        const AttributeId attr = static_cast<AttributeId>(
+            rng.below(static_cast<std::uint64_t>(schema->attribute_count())));
+        const Domain& domain = schema->attribute(attr).domain;
+        const DomainIndex lo =
+            static_cast<DomainIndex>(rng.below(
+                static_cast<std::uint64_t>(domain.size())));
+        return primitive(ProfileBuilder(schema)
+                             .where(schema->attribute(attr).name, Op::kGe,
+                                    domain.value_at(lo))
+                             .build());
+      }
+      switch (rng.below(4)) {
+        case 0: return seq(build(depth + 1), build(depth + 1),
+                           1 + static_cast<Timestamp>(rng.below(100)));
+        case 1: return conj(build(depth + 1), build(depth + 1),
+                            1 + static_cast<Timestamp>(rng.below(100)));
+        case 2: return disj(build(depth + 1), build(depth + 1));
+        default: return neg(build(depth + 1), build(depth + 1),
+                            static_cast<Timestamp>(rng.below(100)));
+      }
+    };
+    const CompositeExprPtr expr = build(0);
+    const Frame frame = wire::frame_composite_subscribe(round, *expr);
+    const wire::Message decoded = wire::decode_message(frame, schema);
+    ASSERT_TRUE(std::holds_alternative<wire::CompositeSubscribeMsg>(decoded));
+    EXPECT_EQ(std::get<wire::CompositeSubscribeMsg>(decoded)
+                  .expression->to_string(),
+              expr->to_string());
+
+    // Every truncation of the composite frame is rejected.
+    for (std::size_t cut = 0; cut < frame.size(); cut += 3) {
+      expect_parse_failure(
+          Frame(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(cut)),
+          schema, "composite truncated at " + std::to_string(cut));
+    }
+  }
+}
+
+TEST(WireCodec, CompositeDepthBombIsRejected) {
+  // A hostile frame nesting operators past kMaxCompositeDepth must fail
+  // with kParse before exhausting the stack.
+  const SchemaPtr schema = testutil::example1_schema();
+  wire::Writer w;
+  w.u16(wire::kMagic);
+  w.u8(wire::kWireVersion);
+  w.u8(static_cast<std::uint8_t>(wire::MessageType::kCompositeSubscribe));
+  const std::size_t depth = wire::kMaxCompositeDepth + 8;
+  w.u32(static_cast<std::uint32_t>(8 + depth * 9));  // key + nested seq spine
+  w.u64(1);  // key
+  for (std::size_t d = 0; d < depth; ++d) {
+    w.u8(static_cast<std::uint8_t>(CompositeExpr::Kind::kSeq));
+    w.i64(10);
+  }
+  expect_parse_failure(w.take(), schema, "depth bomb");
+}
+
+TEST(WireCodec, CompositeIdLeavesRefuseToSerialize) {
+  // Detector-level leaves carry broker-local profile ids; putting them on
+  // the wire would be meaningless at the receiver.
+  EXPECT_THROW(wire::frame_composite_subscribe(
+                   1, *seq(primitive(1), primitive(2), 5)),
+               Error);
+}
+
+TEST(WireCodec, EncoderEnforcesTheDepthCapSymmetrically) {
+  // The encoder must never emit a frame its own decoder refuses: an
+  // expression nested past kMaxCompositeDepth fails at encode time.
+  const SchemaPtr schema = testutil::example1_schema();
+  CompositeExprPtr deep = parse_composite(schema, "{temperature >= 0}");
+  for (std::size_t d = 0; d < wire::kMaxCompositeDepth + 4; ++d) {
+    deep = disj(deep, parse_composite(schema, "{humidity >= 0}"));
+  }
+  try {
+    wire::frame_composite_subscribe(1, *deep);
+    FAIL() << "expected Error{kInvalidArgument}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCodec, CompositeByteFlipFuzzNeverCrashes) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Frame frame = wire::frame_composite_subscribe(
+      5, *parse_composite(
+             schema, "conj({temperature >= 35}, {humidity >= 90}, w=10)"));
+  Rng rng(7);
+  for (int round = 0; round < 400; ++round) {
+    Frame corrupted = frame;
+    const std::size_t at = rng.below(corrupted.size());
+    corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      (void)wire::decode_message(corrupted, schema);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse)
+          << "byte " << at << ": " << e.what();
     }
   }
 }

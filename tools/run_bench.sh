@@ -20,12 +20,16 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DGENAS_BUILD_TESTS=OFF \
   -DGENAS_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" -j "$(nproc)" --target bench_perf_report bench_mesh
+cmake --build "$build_dir" -j "$(nproc)" --target bench_perf_report bench_mesh \
+  bench_composite
 
 "$build_dir/bench/bench_perf_report" "$output" $quick_flag
 # Mesh runtime numbers (4-node line/star across routing modes) merge into
 # the same JSON, after the single-broker report has written it.
 "$build_dir/bench/bench_mesh" "$output" $quick_flag
+# Composite-detection throughput (detector + reorder stage on top of
+# publish_batch, vs. the plain-leaf baseline) merges last.
+"$build_dir/bench/bench_composite" "$output" $quick_flag
 echo "--- $output ---"
 cat "$output"
 
