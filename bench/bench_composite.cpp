@@ -10,6 +10,12 @@
 // axis; the composite population mixes seq/conj/disj/neg over range leaves.
 // The baseline registers the same leaf profiles as plain subscriptions, so
 // the delta is the detector + reorder-stage cost per delivered primitive.
+//
+// The *wide* workload is the dispatch-index case: hundreds of composites
+// over selective bucket leaves, so each stimulus affects a handful of
+// entries. It runs twice — per-leaf dispatch index on (the default) and off
+// (the O(subscriptions) sweep) — and aborts unless both produce the
+// identical firing multiset; the two entries' ratio is the index speedup.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -86,6 +92,61 @@ void add_plain_leaves(Broker& broker, const SchemaPtr& schema,
   }
 }
 
+/// Firing record of one run: count plus an order-insensitive multiset hash,
+/// so index and sweep runs can assert bit-identical detection.
+struct FiringDigest {
+  std::uint64_t count = 0;
+  std::uint64_t hash = 0;
+
+  void record(const CompositeFiring& firing) {
+    ++count;
+    std::uint64_t h = firing.subscription * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(firing.time) + 0x517CC1B727220A95ull +
+         (h << 6) + (h >> 2);
+    hash += h;  // commutative: multiset equality, not order
+  }
+
+  bool operator==(const FiringDigest&) const = default;
+};
+
+/// Wide-subscription population: `count` composites over selective 2-wide
+/// bucket leaves tiling each attribute domain, cycling the four operators.
+/// Every event matches exactly one bucket per attribute, so a stimulus
+/// affects ~count/50 entries — the workload the per-leaf dispatch index
+/// exists for. Equal bucket leaves recur across composites, so the
+/// refcounted dedup collapses the engine population to the distinct
+/// buckets.
+void add_wide_composites(Broker& broker, const SchemaPtr& schema,
+                         std::size_t count, FiringDigest& digest) {
+  const auto leaf = [&](const char* attr, std::size_t i,
+                        std::size_t stride) {
+    const auto lo = static_cast<std::int64_t>(((i + stride) * 2) % 100);
+    return primitive(ProfileBuilder(schema)
+                         .between(attr, Value(lo), Value(lo + 1))
+                         .build());
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    CompositeExprPtr expr;
+    switch (i % 4) {
+      case 0:
+        expr = seq(leaf("a0", i, 0), leaf("a1", i, 17), 16);
+        break;
+      case 1:
+        expr = conj(leaf("a1", i, 0), leaf("a2", i, 29), 16);
+        break;
+      case 2:
+        expr = disj(leaf("a0", i, 11), leaf("a2", i, 0));
+        break;
+      default:
+        expr = neg(leaf("a2", i, 7), leaf("a0", i, 3), 8);
+        break;
+    }
+    broker.subscribe_composite(
+        std::move(expr),
+        [&digest](const CompositeFiring& f) { digest.record(f); });
+  }
+}
+
 double measure(Broker& broker, const std::vector<Event>& events,
                bool flush_composites) {
   constexpr std::size_t kBatch = 256;
@@ -147,6 +208,35 @@ int main(int argc, char** argv) {
     const double rate = measure(broker, events, true);
     entries.emplace_back("composite_detect_flush_events_per_sec", rate);
   }
+
+  // Wide-subscription case: dispatch index vs. the swept oracle baseline on
+  // the identical workload; the firing multisets must agree exactly.
+  const std::size_t wide = 480;
+  FiringDigest index_digest;
+  FiringDigest sweep_digest;
+  {
+    Broker broker(schema);
+    broker.set_composite_skew(64);
+    add_wide_composites(broker, schema, wide, index_digest);
+    const double rate = measure(broker, events, true);
+    entries.emplace_back("composite_detect_wide_index_events_per_sec", rate);
+  }
+  {
+    Broker broker(schema);
+    broker.set_composite_skew(64);
+    broker.set_composite_index_enabled(false);  // O(subscriptions) sweep
+    add_wide_composites(broker, schema, wide, sweep_digest);
+    const double rate = measure(broker, events, true);
+    entries.emplace_back("composite_detect_wide_sweep_events_per_sec", rate);
+  }
+  if (!(index_digest == sweep_digest)) {
+    std::cerr << "FATAL: index and sweep firing multisets diverge ("
+              << index_digest.count << " vs " << sweep_digest.count
+              << " firings)\n";
+    return 1;
+  }
+  std::cerr << "wide firing multiset identical across index/sweep: "
+            << index_digest.count << " firings\n";
 
   for (const auto& [key, rate] : entries) {
     std::cerr << key << " = " << static_cast<std::uint64_t>(rate) << "\n";

@@ -14,6 +14,8 @@
 //   cunsub <id>                      composite unsubscribe
 //   cskew <n>                        composite watermark skew tolerance
 //   cflush                           evaluate buffered composite instants
+//   cadvance <t>                     time-driven watermark tick: evaluate
+//                                    instants older than t - skew
 //   pub <event expression>           publish ("a=1; b=2")
 //   policy <natural|v1|v2|v3> <linear|binary|interpolation|hash> [a1|a2|a3]
 //   tree                             dump the current profile tree
@@ -24,7 +26,7 @@
 // topology file plus a config_io service configuration:
 //
 //   genas_cli mesh <topology> <config> [--mode flooding|routing|covered]
-//                  [--events N] [--dist NAME] [--seed S]
+//                  [--events N] [--dist NAME] [--seed S] [--auto-watermark]
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -208,6 +210,10 @@ bool handle(CliState& state, const std::string& line) {
     } else if (cmd == "cflush") {
       state.broker->flush_composites();
       std::cout << "ok\n";
+    } else if (cmd == "cadvance") {
+      state.broker->advance_watermark(std::stoll(rest));
+      std::cout << "ok: " << state.broker->composite_buffered()
+                << " instants still buffered\n";
     } else if (cmd == "policy") {
       state.policy = parse_policy(words);
       state.start_broker();  // rebuild with the new ordering policy
@@ -272,11 +278,12 @@ int run_mesh(int argc, char** argv) {
   std::size_t event_count = 1000;
   std::string dist_name = "equal";
   std::uint64_t seed = 1;
+  bool auto_watermark = false;
 
   const auto usage = [] {
     std::cerr << "usage: genas_cli mesh <topology> <config> "
                  "[--mode flooding|routing|covered] [--events N] "
-                 "[--dist NAME] [--seed S]\n";
+                 "[--dist NAME] [--seed S] [--auto-watermark]\n";
     return 2;
   };
   for (int i = 2; i < argc; ++i) {
@@ -297,6 +304,8 @@ int run_mesh(int argc, char** argv) {
       dist_name = next();
     } else if (arg == "--seed") {
       seed = std::stoull(next());
+    } else if (arg == "--auto-watermark") {
+      auto_watermark = true;  // all traffic drives composite watermarks
     } else if (topology_path.empty()) {
       topology_path = arg;
     } else if (config_path.empty()) {
@@ -319,6 +328,7 @@ int run_mesh(int argc, char** argv) {
 
   mesh::MeshOptions options;
   options.mode = mode;
+  options.auto_advance_watermark = auto_watermark;
   mesh::MeshNetwork net(config.schema, options);
   for (std::size_t n = 0; n < topology.nodes; ++n) net.add_node();
   for (const auto& [a, b] : topology.links) net.connect(a, b);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
+#include "profile/profile.hpp"
 
 namespace genas {
 
@@ -176,29 +178,44 @@ CompositeId Broker::subscribe_composite(CompositeExprPtr expression,
                   "composite leaf schema differs from broker schema");
   }
 
-  // Decompose: register each leaf profile as an internal primitive
-  // subscription whose deliveries drive the composite runtime. A shared
-  // subtree contributes its leaf once.
+  // Decompose: register each *distinct* leaf profile as an internal
+  // primitive subscription whose deliveries drive the composite runtime.
+  // Registration is refcounted broker-wide and keyed by profile equality
+  // (canonical_profile_key), so equal leaves — duplicated within this
+  // expression, shared subtrees, or leaves of other live composites —
+  // reuse one engine registration and produce one ingress stimulus per
+  // matching event.
   std::unordered_map<const CompositeExpr*, ProfileId> leaf_ids;
-  std::vector<SubscriptionId> leaf_subs;
-  leaf_subs.reserve(leaves.size());
+  std::vector<std::string> leaf_keys;  // distinct keys this composite refs
   {
     const std::scoped_lock lock(mutex_);
+    bool registered_new = false;
     for (const CompositeExpr* leaf : leaves) {
       if (leaf_ids.contains(leaf)) continue;
-      const ProfileId pid = engine_.subscribe(*leaf->leaf_profile());
-      const SubscriptionId sid = next_id_++;
-      subscriptions_.emplace(
-          sid, Subscription{pid, std::make_shared<const NotificationCallback>(
-                                     [this, pid](const Notification& n) {
-                                       composite_ingest(pid, n.event.time());
-                                     })});
-      by_profile_.emplace(pid, sid);
-      ++internal_subscriptions_;
-      leaf_ids.emplace(leaf, pid);
-      leaf_subs.push_back(sid);
+      std::string key = canonical_profile_key(*leaf->leaf_profile());
+      auto [it, inserted] = composite_leaves_.try_emplace(std::move(key));
+      if (inserted) {
+        const ProfileId pid = engine_.subscribe(*leaf->leaf_profile());
+        const SubscriptionId sid = next_id_++;
+        subscriptions_.emplace(
+            sid,
+            Subscription{pid, std::make_shared<const NotificationCallback>(
+                                  [this, pid](const Notification& n) {
+                                    composite_ingest(pid, n.event.time());
+                                  })});
+        by_profile_.emplace(pid, sid);
+        ++internal_subscriptions_;
+        it->second = LeafRegistration{pid, sid, 0};
+        registered_new = true;
+      }
+      leaf_ids.emplace(leaf, it->second.profile);
+      if (std::find(leaf_keys.begin(), leaf_keys.end(), it->first) ==
+          leaf_keys.end()) {
+        ++it->second.refs;  // one reference per composite per distinct leaf
+        leaf_keys.push_back(it->first);
+      }
     }
-    version_.fetch_add(1, std::memory_order_release);
+    if (registered_new) version_.fetch_add(1, std::memory_order_release);
   }
 
   const CompositeExprPtr mirror = mirror_with_ids(*expression, leaf_ids);
@@ -209,7 +226,7 @@ CompositeId Broker::subscribe_composite(CompositeExprPtr expression,
   composites_.emplace(
       id, CompositeEntry{std::make_shared<const CompositeCallback>(
                              std::move(callback)),
-                         std::move(leaf_subs)});
+                         std::move(leaf_keys)});
   return id;
 }
 
@@ -220,26 +237,33 @@ CompositeId Broker::subscribe_composite(std::string_view expression,
 }
 
 void Broker::unsubscribe_composite(CompositeId id) {
-  std::vector<SubscriptionId> leaves;
+  std::vector<std::string> leaf_keys;
   {
     const std::scoped_lock lock(composite_mutex_);
     const auto it = composites_.find(id);
     GENAS_REQUIRE(it != composites_.end(), ErrorCode::kNotFound,
                   "unknown composite subscription " + std::to_string(id));
     composite_detector_.remove(id);
-    leaves = std::move(it->second.leaves);
+    leaf_keys = std::move(it->second.leaf_keys);
     composites_.erase(it);
   }
   const std::scoped_lock lock(mutex_);
-  for (const SubscriptionId sid : leaves) {
-    const auto it = subscriptions_.find(sid);
-    if (it == subscriptions_.end()) continue;
-    engine_.unsubscribe(it->second.profile);
-    by_profile_.erase(it->second.profile);
-    subscriptions_.erase(it);
-    --internal_subscriptions_;
+  bool retracted = false;
+  for (const std::string& key : leaf_keys) {
+    const auto it = composite_leaves_.find(key);
+    if (it == composite_leaves_.end()) continue;
+    if (--it->second.refs > 0) continue;  // other composites still use it
+    const auto sub = subscriptions_.find(it->second.subscription);
+    if (sub != subscriptions_.end()) {
+      engine_.unsubscribe(sub->second.profile);
+      by_profile_.erase(sub->second.profile);
+      subscriptions_.erase(sub);
+      --internal_subscriptions_;
+    }
+    composite_leaves_.erase(it);
+    retracted = true;
   }
-  version_.fetch_add(1, std::memory_order_release);
+  if (retracted) version_.fetch_add(1, std::memory_order_release);
 }
 
 std::size_t Broker::composite_count() const {
@@ -247,14 +271,47 @@ std::size_t Broker::composite_count() const {
   return composites_.size();
 }
 
+std::size_t Broker::composite_leaf_count() const {
+  const std::scoped_lock lock(mutex_);
+  return composite_leaves_.size();
+}
+
+std::size_t Broker::composite_buffered() const {
+  const std::scoped_lock lock(composite_mutex_);
+  return composite_ingress_.buffered();
+}
+
 void Broker::set_composite_skew(Timestamp skew) {
   const std::scoped_lock lock(composite_mutex_);
   composite_ingress_.set_skew(skew);
 }
 
+void Broker::set_composite_index_enabled(bool enabled) {
+  const std::scoped_lock lock(composite_mutex_);
+  composite_detector_.set_use_index(enabled);
+}
+
 void Broker::flush_composites() {
   std::unique_lock<std::mutex> lock(composite_mutex_);
   composite_ingress_.flush();
+  dispatch_composite_firings(lock);
+}
+
+void Broker::advance_watermark(Timestamp now) {
+  std::unique_lock<std::mutex> lock(composite_mutex_);
+  composite_ingress_.advance_to(now);
+  // Armed-state GC runs here — and only here — so the stimulus-driven push
+  // path stays deterministic for beyond-skew late stimuli (whether they
+  // complete must not depend on unrelated broker traffic). Skipped when
+  // the watermark has not moved past the last collected horizon: a no-op
+  // sweep would otherwise cost O(composites) per auto-advance batch.
+  const Timestamp mark = composite_ingress_.watermark();
+  if (mark != kCompositeNever &&
+      (composite_expired_horizon_ == kCompositeNever ||
+       mark > composite_expired_horizon_)) {
+    composite_detector_.expire_before(mark);
+    composite_expired_horizon_ = mark;
+  }
   dispatch_composite_firings(lock);
 }
 

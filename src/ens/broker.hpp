@@ -108,15 +108,21 @@ class Broker {
   // snapshot/FilterEngine path as an internal primitive subscription whose
   // deliveries drive a broker-internal CompositeDetector — the lock-free
   // publish hot path is untouched, and a composite coexists with plain
-  // subscriptions and delivery sinks. Detection is watermark-based:
-  // primitive firings buffer in a reorder stage (CompositeIngress) and an
-  // instant is evaluated once a later instant passes the skew tolerance
-  // (set_composite_skew; default 0) — so distributed transports delivering
-  // out of order by up to the skew detect exactly like an ordered stream.
-  // flush_composites() evaluates everything still buffered (quiescence /
-  // end of stream). Composite callbacks run on the publishing (or
-  // flushing) thread, outside all broker locks; they may re-enter the
-  // broker, including subscribe_composite/unsubscribe_composite.
+  // subscriptions and delivery sinks. Leaf registration is refcounted and
+  // keyed by profile equality (canonical_profile_key): equal leaf profiles
+  // — across composites, or duplicated within one expression — share one
+  // engine registration and one ingress stimulus per matching event; the
+  // registration retracts when the last composite using it unsubscribes.
+  // Detection is watermark-based: primitive firings buffer in a reorder
+  // stage (CompositeIngress) and an instant is evaluated once a later
+  // instant passes the skew tolerance (set_composite_skew; default 0) — so
+  // distributed transports delivering out of order by up to the skew detect
+  // exactly like an ordered stream. flush_composites() evaluates everything
+  // still buffered (quiescence / end of stream); advance_watermark(now) is
+  // the time-driven tick for sparse streams. Composite callbacks run on the
+  // publishing (or flushing/advancing) thread, outside all broker locks;
+  // they may re-enter the broker, including
+  // subscribe_composite/unsubscribe_composite.
 
   /// Registers a composite subscription; every leaf must carry a profile
   /// with this broker's schema. Returns its handle.
@@ -129,10 +135,26 @@ class Broker {
   void unsubscribe_composite(CompositeId id);
   /// Live composite subscriptions.
   std::size_t composite_count() const;
+  /// Distinct leaf profiles currently registered for composite detection
+  /// (the refcounted dedup table's size — equal leaves count once).
+  std::size_t composite_leaf_count() const;
+  /// Composite instants buffered in the reorder stage.
+  std::size_t composite_buffered() const;
   /// Watermark skew tolerance for composite detection (>= 0; default 0).
   void set_composite_skew(Timestamp skew);
   /// Evaluates all buffered composite instants, in timestamp order.
   void flush_composites();
+  /// Time-driven watermark tick: advances composite detection to `now` as
+  /// if a (non-buffered) stimulus at `now` had been seen — instants the new
+  /// watermark passed evaluate and fire, and armed operator state whose
+  /// window has fully passed is garbage-collected. Bounds composite firing
+  /// latency and buffered-instant memory on sparse streams without
+  /// flush_composites() calls. Callbacks run on the calling thread.
+  void advance_watermark(Timestamp now);
+  /// Debug/oracle switch for the detector's per-leaf dispatch index
+  /// (default on). With the index off, every stimulus sweeps all composite
+  /// subscriptions; firing multisets are identical in both modes.
+  void set_composite_index_enabled(bool enabled);
 
   /// Installs (or, with nullptr, clears) the broker's *default* delivery
   /// sink: an observer invoked for every delivered notification, after the
@@ -242,11 +264,27 @@ class Broker {
   CompositeDetector composite_detector_;
   CompositeIngress composite_ingress_{composite_detector_};
   std::vector<CompositeFiring> composite_pending_;
+  /// Highest horizon already passed to expire_before; advance_watermark
+  /// skips the O(composites) GC sweep until the watermark moves past it.
+  /// Guarded by composite_mutex_. GC runs only from advance_watermark, so
+  /// the stimulus-driven push path stays deterministic for late stimuli.
+  Timestamp composite_expired_horizon_ = kCompositeNever;
   struct CompositeEntry {
     std::shared_ptr<const CompositeCallback> callback;
-    std::vector<SubscriptionId> leaves;  ///< internal leaf subscription ids
+    /// Canonical keys of the distinct leaf profiles this composite holds a
+    /// reference on (one per distinct profile, duplicates collapsed).
+    std::vector<std::string> leaf_keys;
   };
   std::unordered_map<CompositeId, CompositeEntry> composites_;
+  /// Refcounted composite-leaf registrations, keyed by profile equality
+  /// (canonical_profile_key); guarded by mutex_ like the subscription
+  /// tables it feeds.
+  struct LeafRegistration {
+    ProfileId profile = 0;
+    SubscriptionId subscription = 0;
+    std::size_t refs = 0;
+  };
+  std::unordered_map<std::string, LeafRegistration> composite_leaves_;
 
   // Service counters (atomic so the lock-free publish path can bump them).
   std::atomic<std::uint64_t> events_published_{0};

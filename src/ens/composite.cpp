@@ -287,13 +287,66 @@ CompositeId CompositeDetector::add(CompositeExprPtr expression,
   flatten(entry.expression.get(), entry.nodes, entry.left_child,
           entry.right_child);
   entry.states.resize(entry.nodes.size());
+  for (const CompositeExpr* node : entry.nodes) {
+    if (node->kind() == CompositeExpr::Kind::kPrimitive) {
+      entry.leaf_profiles.push_back(node->profile());
+    }
+  }
+  // Distinct leaf profiles only: a duplicated leaf must index (and later
+  // unindex) its entry exactly once.
+  std::sort(entry.leaf_profiles.begin(), entry.leaf_profiles.end());
+  entry.leaf_profiles.erase(
+      std::unique(entry.leaf_profiles.begin(), entry.leaf_profiles.end()),
+      entry.leaf_profiles.end());
   const CompositeId id = entry.id;
   if (iterating_ > 0) {
     pending_add_.push_back(std::move(entry));
   } else {
-    entries_.push_back(std::move(entry));
+    install(std::move(entry));
   }
   return id;
+}
+
+void CompositeDetector::install(EntryData&& entry) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = std::move(entry);
+  } else {
+    slot = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(std::move(entry));
+    slot_stamp_.push_back(0);
+  }
+  EntryData& installed = entries_[slot];
+  installed.live = true;
+  for (const ProfileId profile : installed.leaf_profiles) {
+    index_[profile].push_back(slot);
+  }
+  slot_of_.emplace(installed.id, slot);
+  ++live_count_;
+}
+
+void CompositeDetector::detach(std::uint32_t slot) {
+  EntryData& entry = entries_[slot];
+  for (const ProfileId profile : entry.leaf_profiles) {
+    const auto bucket = index_.find(profile);
+    if (bucket == index_.end()) continue;
+    std::erase(bucket->second, slot);
+    if (bucket->second.empty()) index_.erase(bucket);
+  }
+  slot_of_.erase(entry.id);
+  entry.live = false;
+  // Release the heavy members now; the slot itself waits on the free list.
+  entry.expression.reset();
+  entry.callback = nullptr;
+  entry.nodes.clear();
+  entry.left_child.clear();
+  entry.right_child.clear();
+  entry.states.clear();
+  entry.leaf_profiles.clear();
+  free_slots_.push_back(slot);
+  --live_count_;
 }
 
 bool CompositeDetector::pending_removal(CompositeId id) const {
@@ -303,7 +356,7 @@ bool CompositeDetector::pending_removal(CompositeId id) const {
 
 void CompositeDetector::remove(CompositeId id) {
   if (iterating_ > 0) {
-    // A sweep is running: never touch entries_ under the iteration. Entries
+    // A sweep is running: never touch the slab under the iteration. Entries
     // added during this sweep can be erased directly (the sweep never sees
     // pending_add_); settled entries are only marked.
     const auto pending = std::find_if(
@@ -313,33 +366,26 @@ void CompositeDetector::remove(CompositeId id) {
       pending_add_.erase(pending);
       return;
     }
-    const auto it =
-        std::find_if(entries_.begin(), entries_.end(),
-                     [id](const EntryData& e) { return e.id == id; });
-    GENAS_REQUIRE(it != entries_.end() && !pending_removal(id),
+    GENAS_REQUIRE(slot_of_.contains(id) && !pending_removal(id),
                   ErrorCode::kNotFound,
                   "unknown composite subscription " + std::to_string(id));
     pending_remove_.push_back(id);
     return;
   }
-  const auto it =
-      std::find_if(entries_.begin(), entries_.end(),
-                   [id](const EntryData& e) { return e.id == id; });
-  GENAS_REQUIRE(it != entries_.end(), ErrorCode::kNotFound,
+  const auto it = slot_of_.find(id);
+  GENAS_REQUIRE(it != slot_of_.end(), ErrorCode::kNotFound,
                 "unknown composite subscription " + std::to_string(id));
-  entries_.erase(it);
+  detach(it->second);
 }
 
 void CompositeDetector::apply_deferred() {
   for (const CompositeId id : pending_remove_) {
-    const auto it =
-        std::find_if(entries_.begin(), entries_.end(),
-                     [id](const EntryData& e) { return e.id == id; });
-    if (it != entries_.end()) entries_.erase(it);
+    const auto it = slot_of_.find(id);
+    if (it != slot_of_.end()) detach(it->second);
   }
   pending_remove_.clear();
   for (EntryData& entry : pending_add_) {
-    entries_.push_back(std::move(entry));
+    install(std::move(entry));
   }
   pending_add_.clear();
 }
@@ -416,12 +462,29 @@ Timestamp CompositeDetector::evaluate(EntryData& entry, std::size_t node,
       break;
   }
 
-  if (fired != kCompositeNever) state.last_fired = fired;
   return fired;
 }
 
 void CompositeDetector::on_match(ProfileId profile, Timestamp time) {
   on_event({&profile, 1}, time);
+}
+
+namespace {
+/// Thread-local affected-slot scratch, moved out while in use so re-entrant
+/// on_event calls from callbacks get their own buffer.
+std::vector<std::uint32_t>& affected_scratch_slot() {
+  static thread_local std::vector<std::uint32_t> scratch;
+  return scratch;
+}
+}  // namespace
+
+void CompositeDetector::dispatch(EntryData& entry,
+                                 std::span<const ProfileId> profiles,
+                                 Timestamp time) {
+  const Timestamp fired = evaluate(entry, 0, profiles, time);
+  if (fired != kCompositeNever) {
+    entry.callback(CompositeFiring{entry.id, fired});
+  }
 }
 
 void CompositeDetector::on_event(std::span<const ProfileId> profiles,
@@ -439,16 +502,87 @@ void CompositeDetector::on_event(std::span<const ProfileId> profiles,
       if (--detector.iterating_ == 0) detector.apply_deferred();
     }
   } guard(*this);
-  // Index loop: entries_ is never resized while a sweep runs (add/remove
-  // defer), so the indices stay valid across re-entrant callbacks.
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    EntryData& entry = entries_[i];
-    if (!pending_remove_.empty() && pending_removal(entry.id)) continue;
-    const Timestamp fired = evaluate(entry, 0, profiles, time);
-    if (fired != kCompositeNever) {
-      entry.callback(CompositeFiring{entry.id, fired});
+
+  // Gather the slots to evaluate. The slab is never resized while a sweep
+  // runs (add/remove defer), so slot numbers stay valid across re-entrant
+  // callbacks. Gathering completes before any callback runs, so the visit
+  // stamps of a nested on_event (which bumps stamp_) cannot corrupt this
+  // sweep's dedup — by then this sweep only reads its local `affected` list.
+  std::vector<std::uint32_t> affected =
+      std::move(affected_scratch_slot());
+  affected.clear();
+  if (use_index_) {
+    const std::uint64_t mark = ++stamp_;
+    for (const ProfileId profile : profiles) {
+      const auto bucket = index_.find(profile);
+      if (bucket == index_.end()) continue;
+      for (const std::uint32_t slot : bucket->second) {
+        if (slot_stamp_[slot] == mark) continue;  // several leaves stimulated
+        slot_stamp_[slot] = mark;
+        affected.push_back(slot);
+      }
+    }
+  } else {
+    // Oracle sweep: every live entry, regardless of the stimulus.
+    for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
+      if (entries_[slot].live) affected.push_back(slot);
     }
   }
+  // Registration (id) order — bit-identical callback order to the sweep
+  // even when freelisted slots were reused out of order.
+  std::sort(affected.begin(), affected.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return entries_[a].id < entries_[b].id;
+            });
+
+  for (const std::uint32_t slot : affected) {
+    EntryData& entry = entries_[slot];
+    if (!entry.live) continue;
+    if (!pending_remove_.empty() && pending_removal(entry.id)) continue;
+    dispatch(entry, profiles, time);
+  }
+  affected.clear();
+  affected_scratch_slot() = std::move(affected);
+}
+
+void CompositeDetector::expire_before(Timestamp horizon) {
+  const auto expired = [horizon](Timestamp armed, Timestamp window) {
+    // Unsigned difference: exact even when the span exceeds the signed
+    // range (armed can sit anywhere in the timestamp domain).
+    return armed != kCompositeNever && horizon > armed &&
+           static_cast<std::uint64_t>(horizon) -
+                   static_cast<std::uint64_t>(armed) >
+               static_cast<std::uint64_t>(window);
+  };
+  for (EntryData& entry : entries_) {
+    if (!entry.live) continue;
+    for (std::size_t n = 0; n < entry.nodes.size(); ++n) {
+      const CompositeExpr& expr = *entry.nodes[n];
+      if (expr.kind() == CompositeExpr::Kind::kPrimitive ||
+          expr.kind() == CompositeExpr::Kind::kDisj) {
+        continue;  // no armed state
+      }
+      NodeState& state = entry.states[n];
+      if (expired(state.left_fired, expr.window())) {
+        state.left_fired = kCompositeNever;
+      }
+      if (expired(state.right_fired, expr.window())) {
+        state.right_fired = kCompositeNever;
+      }
+    }
+  }
+}
+
+std::size_t CompositeDetector::armed_count() const noexcept {
+  std::size_t count = 0;
+  for (const EntryData& entry : entries_) {
+    if (!entry.live) continue;
+    for (const NodeState& state : entry.states) {
+      if (state.left_fired != kCompositeNever) ++count;
+      if (state.right_fired != kCompositeNever) ++count;
+    }
+  }
+  return count;
 }
 
 // ---------------------------------------------------------------------------
@@ -463,12 +597,27 @@ void CompositeIngress::set_skew(Timestamp skew) {
 void CompositeIngress::push(ProfileId profile, Timestamp time) {
   pending_[time].push_back(profile);
   if (max_seen_ == kCompositeNever || time > max_seen_) max_seen_ = time;
-  if (max_seen_ == kCompositeNever) return;
-  // Watermark: instants strictly below max_seen - skew can no longer gain
-  // stimuli within the tolerance. Clamp the subtraction (skew can exceed
-  // the whole timestamp range by design — "buffer until flush").
-  if (max_seen_ < std::numeric_limits<Timestamp>::min() + skew_) return;
-  release_below(max_seen_ - skew_);
+  const Timestamp mark = watermark();
+  if (mark == kCompositeNever) return;
+  release_below(mark);
+}
+
+void CompositeIngress::advance_to(Timestamp now) {
+  if (max_seen_ == kCompositeNever || now > max_seen_) max_seen_ = now;
+  const Timestamp mark = watermark();
+  if (mark == kCompositeNever) return;
+  release_below(mark);
+}
+
+Timestamp CompositeIngress::watermark() const noexcept {
+  // Instants strictly below max_seen - skew can no longer gain stimuli
+  // within the tolerance. Clamp the subtraction (skew can exceed the whole
+  // timestamp range by design — "buffer until flush").
+  if (max_seen_ == kCompositeNever ||
+      max_seen_ < std::numeric_limits<Timestamp>::min() + skew_) {
+    return kCompositeNever;
+  }
+  return max_seen_ - skew_;
 }
 
 void CompositeIngress::flush() {

@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "event/event.hpp"
@@ -141,6 +142,14 @@ using CompositeCallback = std::function<void(const CompositeFiring&)>;
 
 /// Incremental composite-event detector.
 ///
+/// Dispatch: subscriptions live in a slot-stable slab, and a per-leaf index
+/// (ProfileId -> slots whose expression contains that leaf) is maintained
+/// incrementally through add()/remove(). A stimulus therefore evaluates
+/// only the affected entries — O(affected), not O(subscriptions) — in
+/// registration order, identical to the full sweep. set_use_index(false)
+/// restores the O(subscriptions) sweep; it exists as the oracle baseline
+/// for equivalence tests and as a debugging escape hatch.
+///
 /// Re-entrancy: add() and remove() may be called from inside a callback
 /// that on_match()/on_event() is currently invoking. Mutations are deferred
 /// until the running sweep finishes — a removed subscription stops firing
@@ -160,26 +169,46 @@ class CompositeDetector {
   /// span the reordering may be missed (see CompositeIngress).
   void on_event(std::span<const ProfileId> profiles, Timestamp time);
 
+  /// Enables (default) or disables the per-leaf dispatch index. With the
+  /// index off every stimulus sweeps all subscriptions — the behavioral
+  /// oracle the index is tested against. Firing multisets are identical in
+  /// both modes.
+  void set_use_index(bool enabled) noexcept { use_index_ = enabled; }
+  bool use_index() const noexcept { return use_index_; }
+
+  /// Garbage-collects armed operator state: clears every armed timestamp
+  /// whose window lies entirely before `horizon` (it can no longer complete
+  /// off any in-order stimulus at time >= horizon). Late (out-of-order)
+  /// stimuli older than the horizon may miss combinations the cleared state
+  /// would have completed — exactly the detector's out-of-order contract.
+  /// Call with the watermark when one advances.
+  void expire_before(Timestamp horizon);
+
+  /// Operator nodes currently holding an armed timestamp (bounded-state
+  /// introspection for tests and memory accounting).
+  std::size_t armed_count() const noexcept;
+
   std::size_t subscription_count() const noexcept {
-    return entries_.size() + pending_add_.size() - pending_remove_.size();
+    return live_count_ + pending_add_.size() - pending_remove_.size();
   }
 
  private:
   /// Per-subscription evaluation state: one slot per expression node.
   struct NodeState {
-    Timestamp last_fired = kCompositeNever;  ///< most recent completion
     Timestamp left_fired = kCompositeNever;  ///< operator bookkeeping
     Timestamp right_fired = kCompositeNever;
   };
 
   struct EntryData {
     CompositeId id = 0;
+    bool live = false;  ///< false: tombstoned slab slot awaiting reuse
     CompositeExprPtr expression;
     CompositeCallback callback;
     std::vector<const CompositeExpr*> nodes;  // flattened expression
     std::vector<std::int32_t> left_child;     // per node, -1 = none
     std::vector<std::int32_t> right_child;
     std::vector<NodeState> states;
+    std::vector<ProfileId> leaf_profiles;     // distinct leaves, for the index
   };
 
   /// Returns the firing time if the node completed on this stimulus.
@@ -188,8 +217,27 @@ class CompositeDetector {
 
   bool pending_removal(CompositeId id) const;
   void apply_deferred();
+  /// Places a fully-built entry into the slab and indexes its leaves.
+  void install(EntryData&& entry);
+  /// Tombstones a slab slot and unindexes its leaves.
+  void detach(std::uint32_t slot);
+  /// Evaluates one live entry against the stimulus, firing its callback.
+  void dispatch(EntryData& entry, std::span<const ProfileId> profiles,
+                Timestamp time);
 
+  /// Slot-stable slab: erased entries tombstone their slot (freelisted) so
+  /// the index and a running sweep can hold slot numbers across mutations.
   std::vector<EntryData> entries_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+  /// Per-leaf dispatch index: profile -> slots of entries containing it.
+  std::unordered_map<ProfileId, std::vector<std::uint32_t>> index_;
+  std::unordered_map<CompositeId, std::uint32_t> slot_of_;
+  /// Per-slot visit stamp deduplicating the affected-slot gather when one
+  /// instant stimulates several leaves of the same entry.
+  std::vector<std::uint64_t> slot_stamp_;
+  std::uint64_t stamp_ = 0;
+  bool use_index_ = true;
   CompositeId next_id_ = 1;
 
   /// Sweep depth; while > 0, add/remove defer into the vectors below.
@@ -221,8 +269,19 @@ class CompositeIngress {
   /// Buffers one stimulus and releases every instant the watermark passed.
   void push(ProfileId profile, Timestamp time);
 
+  /// Time-driven watermark tick: advances "max time seen" to `now` (if
+  /// later) and releases every instant the new watermark passed, exactly as
+  /// if a stimulus at `now` had arrived — without buffering one. Bounds
+  /// firing latency and buffered-instant memory on sparse streams where no
+  /// later stimulus would otherwise push the watermark.
+  void advance_to(Timestamp now);
+
   /// Releases everything still buffered, in timestamp order.
   void flush();
+
+  /// Current watermark (`max time seen - skew`, clamped), or
+  /// kCompositeNever before any stimulus/advance.
+  Timestamp watermark() const noexcept;
 
   /// Instants currently held back.
   std::size_t buffered() const noexcept { return pending_.size(); }

@@ -1,7 +1,9 @@
 #include "mesh/mesh.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
+#include <string>
 #include <thread>
 #include <utility>
 #include <variant>
@@ -9,6 +11,7 @@
 #include "common/error.hpp"
 #include "mesh/mailbox.hpp"
 #include "profile/parser.hpp"
+#include "profile/profile.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::mesh {
@@ -89,13 +92,25 @@ struct MeshNetwork::Node {
   /// Mesh subscription key -> local broker subscription id (worker-owned).
   std::unordered_map<SubscriptionId, SubscriptionId> local_subs;
 
-  /// Mesh composite key -> local detection handle plus the network keys its
-  /// decomposed leaf profiles propagate under (worker-owned).
+  /// Mesh composite key -> local detection handle plus the canonical
+  /// profile keys of the distinct leaves it holds references on
+  /// (worker-owned).
   struct CompositeLocal {
     CompositeId local = 0;
-    std::vector<SubscriptionId> leaf_keys;
+    std::vector<std::string> leaf_keys;
   };
   std::unordered_map<SubscriptionId, CompositeLocal> local_composites;
+
+  /// Refcounted leaf propagation state, keyed by profile equality — the
+  /// mesh-side mirror of the broker's leaf dedup: one network key (and thus
+  /// one routing entry per link) per distinct leaf profile subscribed at
+  /// this node, retracted when the last composite using it unsubscribes
+  /// (worker-owned).
+  struct LeafRoute {
+    SubscriptionId key = 0;
+    std::size_t refs = 0;
+  };
+  std::unordered_map<std::string, LeafRoute> leaf_routes;
 
   // Counters in the overlay's currency; atomics because stats() reads them
   // while the worker runs.
@@ -292,6 +307,12 @@ void MeshNetwork::unsubscribe(SubscriptionId key) {
 void MeshNetwork::flush_composites() {
   for (const auto& node : nodes_) {
     if (node->broker != nullptr) node->broker->flush_composites();
+  }
+}
+
+void MeshNetwork::advance_watermark(Timestamp now) {
+  for (const auto& node : nodes_) {
+    if (node->broker != nullptr) node->broker->advance_watermark(now);
   }
 }
 
@@ -563,16 +584,30 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
         });
     Node::CompositeLocal entry{local, {}};
     if (options_.mode != RoutingMode::kFlooding) {
-      // Each decomposed leaf propagates like a plain subscription under its
-      // own internal network key — remote nodes cannot tell the difference,
-      // so covering and promotion apply unchanged.
+      // Each *distinct* decomposed leaf propagates like a plain
+      // subscription under its own internal network key — remote nodes
+      // cannot tell the difference, so covering and promotion apply
+      // unchanged. Leaf keys follow the broker's refcounted dedup: an
+      // equal profile already propagated from this node (by this or any
+      // earlier composite) reuses its key instead of installing a second
+      // routing entry on every link.
       for (const CompositeExpr* leaf : leaf_nodes(*csub->expression)) {
-        const SubscriptionId leaf_key =
-            next_key_.fetch_add(1, std::memory_order_relaxed);
-        entry.leaf_keys.push_back(leaf_key);
-        broadcast_frame(
-            node, node.peers.size(),
-            share(wire::frame_subscribe(leaf_key, *leaf->leaf_profile())));
+        std::string profile_key = canonical_profile_key(*leaf->leaf_profile());
+        if (std::find(entry.leaf_keys.begin(), entry.leaf_keys.end(),
+                      profile_key) != entry.leaf_keys.end()) {
+          continue;  // duplicate leaf within this expression
+        }
+        auto [route, inserted] =
+            node.leaf_routes.try_emplace(profile_key);
+        if (inserted) {
+          route->second.key =
+              next_key_.fetch_add(1, std::memory_order_relaxed);
+          broadcast_frame(node, node.peers.size(),
+                          share(wire::frame_subscribe(
+                              route->second.key, *leaf->leaf_profile())));
+        }
+        ++route->second.refs;
+        entry.leaf_keys.push_back(std::move(profile_key));
       }
     }
     node.local_composites.emplace(key, std::move(entry));
@@ -587,9 +622,13 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
                 "registered");
     node.broker->unsubscribe_composite(it->second.local);
     if (options_.mode != RoutingMode::kFlooding) {
-      for (const SubscriptionId leaf_key : it->second.leaf_keys) {
+      for (const std::string& profile_key : it->second.leaf_keys) {
+        const auto route = node.leaf_routes.find(profile_key);
+        if (route == node.leaf_routes.end()) continue;
+        if (--route->second.refs > 0) continue;  // still referenced
         broadcast_frame(node, node.peers.size(),
-                        share(wire::frame_unsubscribe(leaf_key)));
+                        share(wire::frame_unsubscribe(route->second.key)));
+        node.leaf_routes.erase(route);
       }
     }
     node.local_composites.erase(it);
@@ -607,6 +646,21 @@ void MeshNetwork::route_events(Node& node) {
   node.filter_operations.fetch_add(result.operations,
                                    std::memory_order_relaxed);
   // result.notified is counted per node via the broker's delivery sink.
+
+  if (options_.auto_advance_watermark) {
+    // Every event through this node drives the composite watermark, not
+    // only those matching a decomposed leaf — sparse leaf streams fire as
+    // soon as unrelated traffic passes the skew instead of waiting for a
+    // flush. Composite callbacks run here, on the worker, like leaf-driven
+    // firings.
+    Timestamp newest = kCompositeNever;
+    for (const Event& event : node.batch_events) {
+      if (newest == kCompositeNever || event.time() > newest) {
+        newest = event.time();
+      }
+    }
+    if (newest != kCompositeNever) node.broker->advance_watermark(newest);
+  }
 
   // Forwarding decision per event and link (minus the arrival link).
   for (std::size_t i = 0; i < node.batch_events.size(); ++i) {

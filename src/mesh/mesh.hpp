@@ -28,13 +28,19 @@
 // Composite subscriptions (SAMOS-style detection at the subscriber, with
 // Siena-style routing of the decomposed profiles): subscribe_composite
 // registers the expression with the origin node's broker — which runs the
-// detection tree — and propagates each decomposed primitive profile over
-// the links under its own key, exactly like a plain subscription. Remote
-// nodes hold only ordinary routing entries, so covering, promotion, and
-// forwarding decisions are identical by construction, and only primitive
-// events matching some leaf cross links. Timestamp skew from unordered
-// multi-hop delivery is absorbed by the broker's watermark reorder stage
-// (MeshOptions::composite_skew; flush_composites() drains the tails).
+// detection tree — and propagates each *distinct* decomposed primitive
+// profile over the links under its own key, exactly like a plain
+// subscription. Leaf propagation follows the broker's refcounted dedup:
+// equal leaf profiles (within one expression or across composites placed
+// at the same node) share one network key and one routing entry per link,
+// refcounted so the entry retracts only when the last composite using it
+// unsubscribes. Remote nodes hold only ordinary routing entries, so
+// covering, promotion, and forwarding decisions are identical by
+// construction, and only primitive events matching some leaf cross links.
+// Timestamp skew from unordered multi-hop delivery is absorbed by the
+// broker's watermark reorder stage (MeshOptions::composite_skew;
+// flush_composites() drains the tails, advance_watermark()/
+// MeshOptions::auto_advance_watermark bound latency on sparse streams).
 //
 // Concurrency and liveness:
 //   * Backpressure applies at ingress: publish()/subscribe() block while
@@ -107,6 +113,15 @@ struct MeshOptions {
   /// flush_composites()). Generous by default; tune to the workload's
   /// clock units.
   Timestamp composite_skew = 1 << 20;
+  /// When set, every node ticks its broker's composite watermark with the
+  /// newest event timestamp of each drained batch — so *all* traffic
+  /// through a node advances detection, not only events matching a
+  /// decomposed leaf. Bounds composite firing latency (and reorder-buffer
+  /// memory) on streams where leaf matches are sparse, without
+  /// advance_watermark()/flush_composites() calls. Off by default: it
+  /// trades the strict "only leaf stimuli drive the clock" model for
+  /// latency, which only helps once composites are deployed.
+  bool auto_advance_watermark = false;
 };
 
 /// Delivery callback: subscription `key` at `node` matched `event`.
@@ -176,6 +191,13 @@ class MeshNetwork {
   /// per node). Call after wait_idle() for a deterministic end-of-stream
   /// drain; firings run on the calling thread.
   void flush_composites();
+
+  /// Time-driven watermark tick on every node's broker (see
+  /// Broker::advance_watermark): instants the new watermark passes evaluate
+  /// and fire on the calling thread, and expired armed detector state is
+  /// garbage-collected. The mesh-wide companion of
+  /// MeshOptions::auto_advance_watermark for externally-clocked drains.
+  void advance_watermark(Timestamp now);
 
   /// Publishes an event at `node`: enqueues it for the node's worker
   /// (blocking while the mailbox is full) and returns; matching, delivery,

@@ -126,4 +126,27 @@ std::vector<ProfileId> ProfileSet::active_ids() const {
   return ids;
 }
 
+std::string canonical_profile_key(const Profile& profile) {
+  // Attributes in schema order; each constrained attribute contributes its
+  // canonical (disjoint, sorted) accepted intervals in index space. The
+  // IntervalSet normal form makes the rendering a true equality key.
+  std::string key;
+  const std::size_t attributes = profile.schema()->attribute_count();
+  for (AttributeId a = 0; a < attributes; ++a) {
+    const Predicate* predicate = profile.predicate(a);
+    if (predicate == nullptr) continue;
+    key += 'a';
+    key += std::to_string(a);
+    key += ':';
+    for (const Interval& iv : predicate->accepted().intervals()) {
+      key += std::to_string(iv.lo);
+      key += '-';
+      key += std::to_string(iv.hi);
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
 }  // namespace genas

@@ -86,6 +86,14 @@ class ProfileBuilder {
   Profile profile_;
 };
 
+/// Canonical equality key of a profile: two profiles over the same schema
+/// produce the same key iff they accept the same events — predicates are
+/// compared by their normalized accepted IntervalSets per attribute, so
+/// build order and operator spelling (`a >= 3` vs `a between [3, hi]`) do
+/// not matter. Used to deduplicate equal composite leaves broker- and
+/// mesh-wide (refcounted leaf registration).
+std::string canonical_profile_key(const Profile& profile);
+
 /// The registered profile set P (paper §3). Profiles are append-only with
 /// tombstone removal; ids stay stable so trees and brokers can refer to them.
 class ProfileSet {

@@ -6,6 +6,8 @@
 // composite form.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "ens/composite.hpp"
 #include "profile/parser.hpp"
@@ -296,6 +298,44 @@ TEST_F(CompositeTest, ReentrantDoubleRemoveThrows) {
   EXPECT_EQ(detector_.subscription_count(), 0u);
 }
 
+// --- armed-state garbage collection ----------------------------------------
+
+TEST_F(CompositeTest, ExpireBeforeClearsOnlyExpiredArms) {
+  add(seq(primitive(1), primitive(2), 10));
+  add(conj(primitive(3), primitive(4), 5));
+  detector_.on_match(1, 100);  // arms the seq
+  detector_.on_match(3, 100);  // arms the conj's left
+  EXPECT_EQ(detector_.armed_count(), 2u);
+
+  // Horizons at the window edges: an in-order completion at exactly
+  // armed + window still fires (inclusive window), so neither may expire.
+  detector_.expire_before(105);
+  EXPECT_EQ(detector_.armed_count(), 2u);
+
+  // One past the conj's window (100 + 5): its arm can never complete off an
+  // in-order stimulus again; the seq's (window 10) survives.
+  detector_.expire_before(106);
+  EXPECT_EQ(detector_.armed_count(), 1u);
+  detector_.expire_before(111);  // one past the seq's window
+  EXPECT_EQ(detector_.armed_count(), 0u);
+
+  // A *late* B inside the cleared arm's window misses its combination —
+  // the same out-of-order contract the watermark already implies (the
+  // horizon only ever advances to the watermark).
+  detector_.on_match(2, 109);
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(CompositeTest, ExpireBeforeClearsNegBlockers) {
+  add(neg(primitive(1), primitive(2), 10));
+  detector_.on_match(1, 50);  // blocker armed
+  EXPECT_EQ(detector_.armed_count(), 1u);
+  detector_.expire_before(61);  // blocker window fully passed
+  EXPECT_EQ(detector_.armed_count(), 0u);
+  detector_.on_match(2, 70);  // no live blocker: fires
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{70}));
+}
+
 // --- watermark reorder stage ------------------------------------------------
 
 class IngressTest : public ::testing::Test {
@@ -365,6 +405,44 @@ TEST_F(IngressTest, LateStimuliAreFedNotDropped) {
 
 TEST_F(IngressTest, RejectsNegativeSkew) {
   EXPECT_THROW(ingress_.set_skew(-1), Error);
+}
+
+TEST_F(IngressTest, AdvanceToReleasesLikeAStimulusWithoutBufferingOne) {
+  add(seq(primitive(1), primitive(2), 10));
+  ingress_.set_skew(5);
+  ingress_.push(1, 6);
+  ingress_.push(2, 8);
+  EXPECT_TRUE(fired_.empty());  // both instants inside the skew
+  EXPECT_EQ(ingress_.buffered(), 2u);
+
+  ingress_.advance_to(20);  // time-driven tick: watermark 15 passes both
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{8}));
+  EXPECT_EQ(ingress_.buffered(), 0u);
+  EXPECT_EQ(ingress_.watermark(), 15);
+
+  // Moving time backwards is a no-op (the watermark is monotone).
+  ingress_.advance_to(3);
+  EXPECT_EQ(ingress_.watermark(), 15);
+}
+
+TEST_F(IngressTest, AdvanceToBoundsBufferedMemoryOnSparseStreams) {
+  // Memory-growth regression: with a large skew and no later stimuli, the
+  // reorder buffer grows without bound; periodic time-driven ticks keep it
+  // at the skew window regardless of stream length.
+  add(disj(primitive(1), primitive(2)));
+  ingress_.set_skew(64);
+  std::size_t max_buffered = 0;
+  for (Timestamp t = 0; t < 4096; t += 16) {
+    ingress_.push(1, t);
+    ingress_.advance_to(t);  // the external clock keeps pace
+    max_buffered = std::max(max_buffered, ingress_.buffered());
+  }
+  // Watermark trails `now` by the skew: at most 64/16 + 1 instants stay
+  // buffered. 256 instants pushed; all but the final skew window released.
+  EXPECT_LE(max_buffered, 5u);
+  EXPECT_EQ(fired_.size(), 251u);
+  ingress_.flush();
+  EXPECT_EQ(fired_.size(), 256u);
 }
 
 // --- profile leaves and the textual form -----------------------------------

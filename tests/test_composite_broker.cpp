@@ -4,6 +4,7 @@
 // composite callbacks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -204,6 +205,124 @@ TEST_F(CompositeBrokerTest, Validation) {
                Error);
   EXPECT_THROW(broker_.unsubscribe_composite(12345), Error);
   EXPECT_THROW(broker_.set_composite_skew(-1), Error);
+}
+
+TEST_F(CompositeBrokerTest, IntraExpressionDuplicateLeafRegistersOnce) {
+  // Regression: two leaves with equal profiles inside ONE expression used
+  // to subscribe twice (dedup was keyed by node pointer, not by profile
+  // equality) — burning a second engine registration and a second ingress
+  // stimulus per matching event.
+  broker_.subscribe_composite(
+      disj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "temperature >= 35"))),
+      recorder());
+  EXPECT_EQ(broker_.composite_leaf_count(), 1u);
+  // Engine-level: exactly one registered profile constrains temperature.
+  EXPECT_EQ(broker_.profile_statistics().constrained_profiles(
+                schema_->id_of("temperature")),
+            1u);
+
+  const std::uint64_t before = broker_.counters().notifications;
+  publish(40, 0, 1, 1);
+  broker_.flush_composites();
+  // One internal tap delivery — not one per duplicate — and one firing.
+  EXPECT_EQ(broker_.counters().notifications, before + 1);
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{1}));
+
+  // Equality is semantic (normalized accepted sets), not textual: a
+  // between-spelling of the same range still dedups.
+  broker_.subscribe_composite(
+      disj(primitive(parse_profile(schema_, "temperature in [35, 50]")),
+           primitive(parse_profile(schema_, "humidity >= 90"))),
+      recorder());
+  EXPECT_EQ(broker_.composite_leaf_count(), 2u);
+}
+
+TEST_F(CompositeBrokerTest, SharedLeavesAcrossCompositesAreRefcounted) {
+  const CompositeId first = broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  const CompositeId second = broker_.subscribe_composite(
+      conj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "radiation >= 50")), 10),
+      recorder());
+  // Four leaves, three distinct profiles: the temperature leaf is shared.
+  EXPECT_EQ(broker_.composite_leaf_count(), 3u);
+
+  // Removing the first composite keeps the shared leaf alive for the
+  // second, which must still detect through it.
+  broker_.unsubscribe_composite(first);
+  EXPECT_EQ(broker_.composite_leaf_count(), 2u);
+  publish(40, 0, 60, 5);  // completes the conj in one instant
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+
+  // The last reference retracts the registration.
+  broker_.unsubscribe_composite(second);
+  EXPECT_EQ(broker_.composite_leaf_count(), 0u);
+  const std::uint64_t before = broker_.counters().notifications;
+  publish(40, 95, 60, 6);
+  broker_.flush_composites();
+  EXPECT_EQ(broker_.counters().notifications, before);
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_F(CompositeBrokerTest, AdvanceWatermarkFiresSparseStreamsWithoutFlush) {
+  broker_.set_composite_skew(50);
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+  publish(40, 0, 1, 1);  // A
+  publish(0, 95, 1, 5);  // B — buffered: nothing newer than skew has passed
+  EXPECT_TRUE(fired_.empty());
+  EXPECT_EQ(broker_.composite_buffered(), 2u);
+
+  // The time-driven tick releases both instants; no flush, no stimulus.
+  broker_.advance_watermark(1000);
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+  EXPECT_EQ(broker_.composite_buffered(), 0u);
+
+  // Bounded-memory regression: a sparse leaf stream with periodic external
+  // ticks never accumulates more than the skew window of instants.
+  std::size_t max_buffered = 0;
+  for (Timestamp t = 2000; t < 3000; t += 25) {
+    publish(40, 0, 1, t);
+    broker_.advance_watermark(t);
+    max_buffered = std::max(max_buffered, broker_.composite_buffered());
+  }
+  EXPECT_LE(max_buffered, 3u);  // skew 50 / stride 25, plus the edge
+}
+
+TEST_F(CompositeBrokerTest, CompositeIndexToggleKeepsFiringsIdentical) {
+  // Same broker workload with the dispatch index off (the swept oracle):
+  // the firing sequence must match the default exactly.
+  Broker swept(schema_);
+  swept.set_composite_index_enabled(false);
+  std::vector<Timestamp> swept_fired;
+  const auto expr = [&] {
+    return seq(primitive(parse_profile(schema_, "temperature >= 35")),
+               primitive(parse_profile(schema_, "humidity >= 90")), 10);
+  };
+  broker_.subscribe_composite(expr(), recorder());
+  swept.subscribe_composite(expr(), [&](const CompositeFiring& f) {
+    swept_fired.push_back(f.time);
+  });
+  for (Timestamp t = 0; t < 40; ++t) {
+    const std::int64_t temp = (t % 3 == 0) ? 40 : 0;
+    const std::int64_t hum = (t % 5 == 0) ? 95 : 0;
+    Event event = Event::from_pairs(
+        schema_,
+        {{"temperature", temp}, {"humidity", hum}, {"radiation", 1}});
+    event.set_time(t);
+    broker_.publish(event);
+    swept.publish(event);
+  }
+  broker_.flush_composites();
+  swept.flush_composites();
+  EXPECT_FALSE(fired_.empty());
+  EXPECT_EQ(fired_, swept_fired);
 }
 
 TEST_F(CompositeBrokerTest, NotificationTimestampDrivesDetectionNotArrival) {

@@ -1,0 +1,236 @@
+// Index-vs-sweep oracle for the composite detector's per-leaf dispatch
+// index: randomized expression populations crossed with randomized stimulus
+// streams (including churn and re-entrant mutation) must fire the identical
+// sequence with the index on (O(affected) dispatch, the default) and off
+// (the O(subscriptions) sweep kept as the behavioral baseline). Also covers
+// the incremental index maintenance paths directly: slot reuse after
+// removal, deferred mutation inside callbacks, and duplicate leaves.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/composite.hpp"
+
+namespace genas {
+namespace {
+
+/// Deterministic generator (no std::random: identical streams everywhere).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2862933555777941757ull + 1) {}
+
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+constexpr ProfileId kProfilePool = 10;
+
+/// Random expression over profile ids [1, kProfilePool]; depth <= 3.
+CompositeExprPtr random_expr(Lcg& rng, int depth = 0) {
+  if (depth >= 3 || rng.below(100) < 35) {
+    return primitive(static_cast<ProfileId>(1 + rng.below(kProfilePool)));
+  }
+  const Timestamp window = static_cast<Timestamp>(1 + rng.below(20));
+  switch (rng.below(4)) {
+    case 0:
+      return seq(random_expr(rng, depth + 1), random_expr(rng, depth + 1),
+                 window);
+    case 1:
+      return conj(random_expr(rng, depth + 1), random_expr(rng, depth + 1),
+                  window);
+    case 2:
+      return disj(random_expr(rng, depth + 1), random_expr(rng, depth + 1));
+    default:
+      return neg(random_expr(rng, depth + 1), random_expr(rng, depth + 1),
+                 static_cast<Timestamp>(rng.below(20)));
+  }
+}
+
+/// One detector pair fed identically; `fired` records (label, time) in
+/// callback order, so the comparison asserts order, not just the multiset.
+struct DetectorPair {
+  CompositeDetector with_index;
+  CompositeDetector swept;
+  std::vector<std::pair<int, Timestamp>> fired_index;
+  std::vector<std::pair<int, Timestamp>> fired_sweep;
+  std::vector<std::pair<CompositeId, CompositeId>> live;  // parallel handles
+
+  DetectorPair() { swept.set_use_index(false); }
+
+  void add(int label, const CompositeExprPtr& expr) {
+    const CompositeId a = with_index.add(
+        expr, [this, label](const CompositeFiring& f) {
+          fired_index.emplace_back(label, f.time);
+        });
+    const CompositeId b =
+        swept.add(expr, [this, label](const CompositeFiring& f) {
+          fired_sweep.emplace_back(label, f.time);
+        });
+    live.emplace_back(a, b);
+  }
+
+  void remove_at(std::size_t position) {
+    with_index.remove(live[position].first);
+    swept.remove(live[position].second);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(position));
+  }
+
+  void feed(std::span<const ProfileId> profiles, Timestamp time) {
+    with_index.on_event(profiles, time);
+    swept.on_event(profiles, time);
+  }
+};
+
+TEST(CompositeIndexOracle, RandomizedStreamsFireIdentically) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Lcg rng(seed);
+    DetectorPair pair;
+    int next_label = 0;
+    for (int i = 0; i < 24; ++i) pair.add(next_label++, random_expr(rng));
+
+    Timestamp now = 0;
+    for (int instant = 0; instant < 600; ++instant) {
+      // Mostly increasing time with occasional out-of-order dips (both
+      // detectors share the out-of-order contract, so they must still
+      // agree exactly).
+      now += static_cast<Timestamp>(rng.below(4));
+      const Timestamp time =
+          rng.below(10) == 0 ? now - static_cast<Timestamp>(rng.below(8))
+                             : now;
+      ProfileId stimuli[3];
+      const std::size_t count = 1 + rng.below(3);
+      for (std::size_t s = 0; s < count; ++s) {
+        stimuli[s] = static_cast<ProfileId>(1 + rng.below(kProfilePool));
+      }
+      pair.feed({stimuli, count}, time);
+
+      // Churn: removals exercise slot tombstoning + bucket unindexing,
+      // additions exercise freelist reuse while sweeps are not running.
+      if (instant % 40 == 17 && !pair.live.empty()) {
+        pair.remove_at(rng.below(pair.live.size()));
+        pair.add(next_label++, random_expr(rng));
+      }
+    }
+
+    ASSERT_FALSE(pair.fired_index.empty()) << "seed " << seed;
+    EXPECT_EQ(pair.fired_index, pair.fired_sweep) << "seed " << seed;
+  }
+}
+
+/// An entry that, on every firing, removes itself and re-registers a
+/// replacement from inside the callback — the deferred add/remove path,
+/// driven identically in one detector.
+struct SelfReplacing {
+  CompositeDetector& detector;
+  std::vector<std::pair<int, Timestamp>>& out;
+  CompositeId current = 0;
+  int generation = 0;
+
+  void install() {
+    ++generation;
+    current = detector.add(
+        disj(primitive(1), primitive(3)), [this](const CompositeFiring& f) {
+          out.emplace_back(-generation, f.time);
+          if (generation < 9) {
+            detector.remove(current);  // deferred: we are inside the sweep
+            install();                 // deferred add, fresh slot or reuse
+          }
+        });
+  }
+};
+
+TEST(CompositeIndexOracle, ReentrantMutationFromCallbacksStaysIdentical) {
+  // Both detectors carry a self-replacing entry mutating its own detector
+  // from inside the callback, plus a random settled population; the fired
+  // streams (labels of the self-replacer encode its generation) must stay
+  // exactly identical.
+  Lcg rng(99);
+  DetectorPair pair;
+  SelfReplacing index_side{pair.with_index, pair.fired_index};
+  SelfReplacing sweep_side{pair.swept, pair.fired_sweep};
+  index_side.install();
+  sweep_side.install();
+  for (int i = 0; i < 10; ++i) pair.add(i, random_expr(rng));
+
+  for (Timestamp t = 0; t < 200; ++t) {
+    ProfileId stimulus = static_cast<ProfileId>(1 + rng.below(kProfilePool));
+    pair.feed({&stimulus, 1}, t);
+  }
+  ASSERT_FALSE(pair.fired_index.empty());
+  EXPECT_EQ(pair.fired_index, pair.fired_sweep);
+  EXPECT_GT(index_side.generation, 1);
+  EXPECT_EQ(index_side.generation, sweep_side.generation);
+}
+
+TEST(CompositeIndexOracle, DuplicateLeavesDispatchOnce) {
+  // A leaf duplicated inside one expression must evaluate its entry once
+  // per instant (not once per duplicate) with the index on — firing twice
+  // would diverge from the sweep.
+  CompositeDetector detector;
+  std::vector<Timestamp> fired;
+  detector.add(disj(primitive(1), primitive(1)),
+               [&](const CompositeFiring& f) { fired.push_back(f.time); });
+  detector.on_match(1, 5);
+  EXPECT_EQ(fired, (std::vector<Timestamp>{5}));
+
+  // Same through an operator that arms state: conj(p2, p2) completes off
+  // the single simultaneous stimulus (both operands arm at once),
+  // identically in both modes. seq(p2, p2) by contrast can never fire —
+  // the left operand re-arms simultaneously, and "then" is strict.
+  CompositeDetector swept;
+  swept.set_use_index(false);
+  std::vector<Timestamp> fired_conj_index;
+  std::vector<Timestamp> fired_conj_sweep;
+  std::vector<Timestamp> fired_seq;
+  detector.add(conj(primitive(2), primitive(2), 10),
+               [&](const CompositeFiring& f) {
+                 fired_conj_index.push_back(f.time);
+               });
+  swept.add(conj(primitive(2), primitive(2), 10),
+            [&](const CompositeFiring& f) {
+              fired_conj_sweep.push_back(f.time);
+            });
+  detector.add(seq(primitive(2), primitive(2), 10),
+               [&](const CompositeFiring& f) { fired_seq.push_back(f.time); });
+  for (const Timestamp t : {1, 3, 20, 40, 41}) {
+    detector.on_match(2, t);
+    swept.on_match(2, t);
+  }
+  EXPECT_EQ(fired_conj_index, fired_conj_sweep);
+  EXPECT_EQ(fired_conj_index, (std::vector<Timestamp>{1, 3, 20, 40, 41}));
+  EXPECT_TRUE(fired_seq.empty());
+}
+
+TEST(CompositeIndexOracle, SlotReuseKeepsRegistrationOrder) {
+  // Freelisted slots are reused out of id order; callback order within one
+  // instant must still be registration order in both modes.
+  DetectorPair pair;
+  for (int i = 0; i < 6; ++i) {
+    pair.add(i, disj(primitive(1), primitive(2)));
+  }
+  pair.remove_at(1);
+  pair.remove_at(3);  // originally label 4
+  pair.add(100, disj(primitive(1), primitive(3)));  // reuses a freed slot
+  pair.add(101, disj(primitive(2), primitive(3)));  // reuses the other
+
+  ProfileId both[] = {1, 2};
+  pair.feed(both, 7);
+  ASSERT_FALSE(pair.fired_index.empty());
+  EXPECT_EQ(pair.fired_index, pair.fired_sweep);
+}
+
+}  // namespace
+}  // namespace genas

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "mesh/topology.hpp"
 #include "net/overlay.hpp"
 #include "profile/parser.hpp"
+#include "profile/profile.hpp"
 #include "test_util.hpp"
 
 namespace genas {
@@ -147,6 +149,10 @@ TEST(CompositeMeshOracle, FiresIdenticallyOnBrokerAndAllTopologies) {
       for (const auto& [a, b] : topology.links) overlay.connect(a, b);
 
       FiringLog log;
+      // Decomposed-leaf propagation is refcount-deduped per node by profile
+      // equality, so the overlay reference holds one plain subscription per
+      // *distinct* leaf profile per node — the set the mesh routes.
+      std::vector<std::set<std::string>> overlay_leaves(topology.nodes);
       for (std::size_t i = 0; i < composites.size(); ++i) {
         const NodeId at = i % topology.nodes;
         mesh.subscribe_composite(
@@ -158,6 +164,11 @@ TEST(CompositeMeshOracle, FiresIdenticallyOnBrokerAndAllTopologies) {
                            // install-order sensitive)
         const CompositeExprPtr expr = parse_composite(schema, composites[i]);
         for (const CompositeExpr* leaf : leaf_nodes(*expr)) {
+          if (!overlay_leaves[at]
+                   .insert(canonical_profile_key(*leaf->leaf_profile()))
+                   .second) {
+            continue;  // equal profile already registered at this node
+          }
           overlay.subscribe(at, *leaf->leaf_profile());
         }
       }
@@ -307,6 +318,99 @@ TEST_F(CompositeMeshTest, CoveringCollapsesCompositeLeavesAcrossSubscribers) {
   mesh.wait_idle();
   mesh.flush_composites();
   EXPECT_EQ(firings.load(), 1u);
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST_F(CompositeMeshTest, SharedLeavesPropagateOnceAndRetractRefcounted) {
+  // Plain kRouting (no covering): routing-entry counts expose the dedup
+  // directly. Two composites at node 3 share the temperature leaf; a third
+  // duplicates a leaf inside one expression.
+  const auto net = make_line(RoutingMode::kRouting);
+  MeshNetwork& mesh = *net;
+  std::atomic<std::uint64_t> firings{0};
+  const auto on_fire = [&](NodeId, SubscriptionId, Timestamp) {
+    firings.fetch_add(1, std::memory_order_relaxed);
+  };
+  const SubscriptionId first = mesh.subscribe_composite(
+      3, "seq({temperature >= 35}, {humidity >= 90}, w=10)", on_fire);
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 2u);
+
+  const SubscriptionId second = mesh.subscribe_composite(
+      3, "conj({temperature >= 35}, {radiation >= 50}, w=10)", on_fire);
+  mesh.wait_idle();
+  // Four leaves, three distinct profiles: the shared temperature leaf
+  // reuses its network key instead of installing a second entry per link.
+  EXPECT_EQ(mesh.routing_entries(0), 3u);
+  EXPECT_EQ(mesh.routing_entries(2), 3u);
+
+  // Intra-expression duplicate: one entry, not two.
+  const SubscriptionId third = mesh.subscribe_composite(
+      3, "disj({humidity <= 5}, {humidity <= 5})", on_fire);
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 4u);
+
+  // Retracting the first composite must keep the shared leaf routed: the
+  // second composite still detects events published at the far end.
+  mesh.unsubscribe(first);
+  mesh.wait_idle();
+  EXPECT_EQ(mesh.routing_entries(0), 3u);
+  mesh.publish(0, make_event(40, 50, 60, 7));  // completes the conj alone
+  mesh.wait_idle();
+  mesh.flush_composites();
+  EXPECT_EQ(firings.load(), 1u);
+
+  // Last references retract everything.
+  mesh.unsubscribe(second);
+  mesh.unsubscribe(third);
+  mesh.wait_idle();
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(mesh.routing_entries(n), 0u) << n;
+  }
+  mesh.shutdown();
+  EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST_F(CompositeMeshTest, AutoAdvanceWatermarkFiresFromUnrelatedTraffic) {
+  // With auto_advance_watermark, traffic that matches no decomposed leaf
+  // still drives the composite clock: a sparse leaf stream fires once any
+  // later traffic passes the skew — no flush_composites() needed.
+  MeshOptions options;
+  options.mode = RoutingMode::kRoutingCovered;
+  options.composite_skew = 10;
+  options.auto_advance_watermark = true;
+  MeshNetwork mesh(schema_, options);
+  for (int i = 0; i < 3; ++i) mesh.add_node();
+  mesh.connect(0, 1);
+  mesh.connect(1, 2);
+  mesh.start();
+
+  std::atomic<std::uint64_t> firings{0};
+  mesh.subscribe_composite(
+      2, "seq({temperature >= 35}, {humidity >= 90}, w=10)",
+      [&](NodeId, SubscriptionId, Timestamp) {
+        firings.fetch_add(1, std::memory_order_relaxed);
+      });
+  mesh.wait_idle();
+
+  mesh.publish(0, make_event(40, 0, 1, 1));  // A
+  mesh.publish(0, make_event(0, 95, 1, 5));  // B — buffered behind the skew
+  mesh.wait_idle();
+  EXPECT_EQ(firings.load(), 0u);
+
+  // Leaf-irrelevant traffic published AT the detection node advances its
+  // watermark past instant 5 (5 + skew 10 < 40).
+  mesh.publish(2, make_event(0, 0, 1, 40));
+  mesh.wait_idle();
+  EXPECT_EQ(firings.load(), 1u);
+
+  // And the explicit mesh-wide tick drains without flush, too.
+  mesh.publish(0, make_event(40, 0, 1, 100));
+  mesh.publish(0, make_event(0, 95, 1, 104));
+  mesh.wait_idle();
+  mesh.advance_watermark(1000);
+  EXPECT_EQ(firings.load(), 2u);
   mesh.shutdown();
   EXPECT_EQ(mesh.first_error(), "");
 }

@@ -101,11 +101,95 @@ TEST(CompositeStress, ConcurrentPublishersWithCompositeChurn) {
   EXPECT_GT(firings.load(), 0u);
 }
 
+TEST(CompositeStress, WatermarkTickerRacesPublishersAndSharedLeafChurn) {
+  // The advance_watermark tick and the refcounted leaf-dedup tables under
+  // concurrent load: publishers drive ingest, two churners subscribe and
+  // unsubscribe composites sharing EQUAL leaf profiles (the refcount path
+  // races on every iteration), and a ticker thread advances the watermark
+  // (which also garbage-collects armed detector state) while reading the
+  // buffered count. Assertions are accounting sanity; the real check is
+  // TSan finding no races.
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  broker.set_composite_skew(1 << 10);
+
+  std::atomic<std::uint64_t> firings{0};
+  const CompositeCallback on_fire = [&](const CompositeFiring&) {
+    firings.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Stable composite whose leaves the churners' composites duplicate.
+  broker.subscribe_composite(
+      "seq({temperature >= 20}, {humidity >= 60}, w=5000)", on_fire);
+
+  constexpr int kPublishers = 3;
+  constexpr std::uint64_t kEventsPerThread = 400;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> churners;
+  for (int c = 0; c < 2; ++c) {
+    churners.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Equal leaf profiles to the stable composite AND to the sibling
+        // churner: every subscribe/unsubscribe exercises the shared
+        // refcount table.
+        const CompositeId id = broker.subscribe_composite(
+            "conj({temperature >= 20}, {humidity >= 60}, w=500)", on_fire);
+        broker.unsubscribe_composite(id);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::thread ticker([&] {
+    Timestamp now = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      broker.advance_watermark(now);
+      now += 100;
+      (void)broker.composite_buffered();
+      (void)broker.composite_leaf_count();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(t) * kEventsPerThread + i;
+        broker.publish(stress_event(schema, n));
+      }
+    });
+  }
+  for (std::thread& thread : publishers) thread.join();
+  stop.store(true);
+  for (std::thread& thread : churners) thread.join();
+  ticker.join();
+
+  // Deterministic completion after the storm, then a tick far in the
+  // future instead of a flush — advance_watermark alone must surface it.
+  Event a = Event::from_pairs(
+      schema, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  a.set_time(2'000'000);
+  Event b = Event::from_pairs(
+      schema, {{"temperature", 0}, {"humidity", 90}, {"radiation", 1}});
+  b.set_time(2'000'001);
+  broker.publish(a);
+  broker.publish(b);
+  broker.advance_watermark(3'000'000);
+  EXPECT_GT(firings.load(), 0u);
+  EXPECT_EQ(broker.composite_count(), 1u);
+  // Only the stable composite's two distinct leaves remain registered.
+  EXPECT_EQ(broker.composite_leaf_count(), 2u);
+  EXPECT_EQ(broker.composite_buffered(), 0u);
+}
+
 TEST(CompositeStress, MeshCompositeChurnUnderConcurrentPublishers) {
   const SchemaPtr schema = testutil::example1_schema();
   mesh::MeshOptions options;
   options.mode = net::RoutingMode::kRoutingCovered;
   options.mailbox_capacity = 64;  // force backpressure + outbox staging
+  options.auto_advance_watermark = true;  // workers tick per drained batch
   mesh::MeshNetwork mesh(schema, options);
   for (int i = 0; i < 4; ++i) mesh.add_node();
   mesh.connect(0, 1);
