@@ -27,6 +27,16 @@
 //
 //   genas_cli mesh <topology> <config> [--mode flooding|routing|covered]
 //                  [--events N] [--dist NAME] [--seed S] [--auto-watermark]
+//
+// The socket transport pair (see README "Socket transport"):
+//
+//   genas_cli serve <config> [--port P]   broker behind a TCP BrokerServer
+//                                         on 127.0.0.1 (port 0 = ephemeral,
+//                                         printed on startup); runs until
+//                                         stdin reaches EOF
+//   genas_cli connect <host> <port>       interactive shell over a
+//                                         RemoteBrokerClient: sub/unsub/
+//                                         csub/cunsub/pub/pubat/flush/quit
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -44,6 +54,8 @@
 #include "ens/config_io.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/topology.hpp"
+#include "net/broker_server.hpp"
+#include "net/remote_client.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
 
@@ -420,9 +432,155 @@ int run_mesh(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `serve` subcommand: a broker behind a TCP BrokerServer on 127.0.0.1.
+
+int run_serve(int argc, char** argv) {
+  std::string config_path;
+  std::uint16_t port = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      if (i + 1 >= argc) throw Error(ErrorCode::kParse, "--port needs a value");
+      port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      std::cerr << "usage: genas_cli serve <config> [--port P]\n";
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    std::cerr << "usage: genas_cli serve <config> [--port P]\n";
+    return 2;
+  }
+
+  std::ifstream config_is(config_path);
+  if (!config_is) throw Error(ErrorCode::kNotFound, "cannot open " + config_path);
+  const ServiceConfig config = load_config(config_is);
+
+  Broker broker(config.schema);
+  net::ServerOptions options;
+  options.port = port;
+  net::BrokerServer server(broker, options);
+  server.start();
+  std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
+            << "schema: " << config.schema->to_string() << "\n"
+            << "(EOF on stdin stops the server)\n"
+            << std::flush;
+
+  // Block until stdin closes; clients drive everything over the socket.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (trim(line) == "quit") break;
+  }
+  server.stop();
+  if (!server.first_error().empty()) {
+    std::cerr << "server error: " << server.first_error() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `connect` subcommand: the interactive shell against a remote broker.
+
+int run_connect(int argc, char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: genas_cli connect <host> <port>\n";
+    return 2;
+  }
+  const std::string host = argv[2];
+  const auto port = static_cast<std::uint16_t>(std::stoul(argv[3]));
+
+  net::RemoteBrokerClient client(host, port);
+  std::cout << "connected to " << host << ":" << port << "\n"
+            << "schema: " << client.schema()->to_string() << "\n"
+            << "commands: sub <expr> | unsub <id> | csub <expr> | cunsub <id>"
+               " | pub <event> | pubat <t> <event> | flush | quit\n";
+
+  std::string line;
+  while (std::cout << "genas> " << std::flush && std::getline(std::cin, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::size_t space = trimmed.find(' ');
+    const std::string cmd = to_lower(space == std::string_view::npos
+                                         ? trimmed
+                                         : trimmed.substr(0, space));
+    const std::string rest(space == std::string_view::npos
+                               ? std::string_view{}
+                               : trim(trimmed.substr(space + 1)));
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "sub") {
+        const SubscriptionId id =
+            client.subscribe(rest, [](const Notification& n) {
+              std::cout << "\n  notify sub#" << n.subscription << ": "
+                        << n.event.to_string() << "\n";
+            });
+        std::cout << "ok: subscription " << id << "\n";
+      } else if (cmd == "unsub") {
+        client.unsubscribe(std::stoull(rest));
+        std::cout << "ok\n";
+      } else if (cmd == "csub") {
+        const SubscriptionId id =
+            client.subscribe_composite(rest, [](const CompositeFiring& f) {
+              std::cout << "\n  composite csub#" << f.subscription
+                        << " fired at t=" << f.time << "\n";
+            });
+        std::cout << "ok: composite subscription " << id << "\n";
+      } else if (cmd == "cunsub") {
+        client.unsubscribe_composite(std::stoull(rest));
+        std::cout << "ok\n";
+      } else if (cmd == "pub") {
+        client.publish(rest);
+        std::cout << "ok\n";
+      } else if (cmd == "pubat") {
+        const std::size_t cut = rest.find(' ');
+        if (cut == std::string::npos) {
+          throw Error(ErrorCode::kParse, "pubat <time> <event expression>");
+        }
+        client.publish(std::string_view(rest).substr(cut + 1),
+                       std::stoll(rest.substr(0, cut)));
+        std::cout << "ok\n";
+      } else if (cmd == "flush") {
+        client.flush();
+        std::cout << "ok: " << client.deliveries() << " deliveries, "
+                  << client.firings() << " composite firings so far\n";
+      } else {
+        std::cout << "error: unknown command '" << cmd << "'\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+      if (!client.connected()) {
+        std::cerr << "connection lost: " << client.last_error() << "\n";
+        return 1;
+      }
+    }
+  }
+  client.close();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") {
+    try {
+      return run_serve(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (argc > 1 && std::string(argv[1]) == "connect") {
+    try {
+      return run_connect(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (argc > 1 && std::string(argv[1]) == "mesh") {
     try {
       return run_mesh(argc, argv);

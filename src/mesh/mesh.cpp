@@ -134,11 +134,17 @@ MeshNetwork::MeshNetwork(SchemaPtr schema, MeshOptions options)
 }
 
 MeshNetwork::~MeshNetwork() {
+  // Destruction must never throw (a throwing destructor terminates the
+  // process): the destructor path swallows shutdown failures and records
+  // them so a post-mortem first_error() read still sees the cause. An
+  // explicit shutdown() keeps throwing — callers who want the error get it
+  // by shutting down before destruction.
   try {
     shutdown();
+  } catch (const std::exception& e) {
+    record_error(std::string("shutdown during destruction: ") + e.what());
   } catch (...) {
-    // Destruction must not throw; shutdown failures surface via
-    // first_error() when the caller shuts down explicitly.
+    record_error("shutdown during destruction: unknown error");
   }
 }
 

@@ -1,0 +1,373 @@
+#include "net/broker_server.hpp"
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace genas::net {
+
+namespace {
+
+using Frame = std::vector<std::uint8_t>;
+
+}  // namespace
+
+/// One client connection. The handler thread owns the key maps and the
+/// read side of the channel; delivery callbacks (arbitrary service threads)
+/// share the write side behind write_mutex. `open` gates writes so a
+/// delivery racing the teardown is dropped, not sent down a dying socket.
+struct BrokerServer::Connection {
+  explicit Connection(SocketChannel ch) : channel(std::move(ch)) {}
+
+  SocketChannel channel;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+  std::atomic<bool> done{false};     ///< handler thread has finished
+  std::atomic<bool> cleaned{false};  ///< lifecycle cleanup ran (exactly once)
+  std::thread thread;
+
+  /// Client-chosen key -> service-side id (handler-thread-owned).
+  std::unordered_map<std::uint64_t, std::uint64_t> subs;
+  std::unordered_map<std::uint64_t, std::uint64_t> csubs;
+
+  /// Writes one frame; false (and a wake of the reader via shutdown) when
+  /// the connection is closed, stalls past the write timeout, or errors.
+  bool write(const Frame& frame) noexcept {
+    if (!open.load(std::memory_order_acquire)) return false;
+    const std::scoped_lock lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    try {
+      channel.write_frame(frame);
+      return true;
+    } catch (...) {
+      open.store(false, std::memory_order_release);
+      channel.shutdown();  // the handler's blocked read observes EOF
+      return false;
+    }
+  }
+};
+
+struct BrokerServer::Impl {
+  Broker* broker = nullptr;             // exactly one of broker/mesh is set
+  mesh::MeshNetwork* mesh = nullptr;
+  NodeId node = 0;
+  SchemaPtr schema;
+  ServerOptions options;
+  SocketListener listener;
+  Frame schema_frame;
+
+  std::thread accept_thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  bool stopped = false;  // guarded by connections_mutex
+
+  mutable std::mutex connections_mutex;
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::atomic<std::uint64_t> accepted{0};
+
+  mutable std::mutex error_mutex;
+  std::string first_error;
+
+  Impl(ServerOptions opts)
+      : options(opts), listener(opts.port) {}
+};
+
+BrokerServer::BrokerServer(Broker& broker, ServerOptions options)
+    : impl_(std::make_unique<Impl>(options)) {
+  impl_->broker = &broker;
+  impl_->schema = broker.schema();
+  impl_->schema_frame = wire::frame_schema(*impl_->schema);
+}
+
+BrokerServer::BrokerServer(mesh::MeshNetwork& mesh, NodeId node,
+                           ServerOptions options)
+    : impl_(std::make_unique<Impl>(options)) {
+  GENAS_REQUIRE(node < mesh.node_count(), ErrorCode::kNotFound,
+                "broker server: unknown mesh node id " + std::to_string(node));
+  impl_->mesh = &mesh;
+  impl_->node = node;
+  impl_->schema = mesh.schema();
+  impl_->schema_frame = wire::frame_schema(*impl_->schema);
+}
+
+BrokerServer::~BrokerServer() {
+  try {
+    stop();
+  } catch (...) {
+    // Destruction must not throw; stop failures are recorded first_error.
+  }
+}
+
+std::uint16_t BrokerServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+void BrokerServer::start() {
+  GENAS_REQUIRE(!impl_->started.exchange(true), ErrorCode::kState,
+                "broker server already started");
+  impl_->accept_thread = std::thread([this] { run_accept_loop(); });
+}
+
+void BrokerServer::stop() {
+  {
+    const std::scoped_lock lock(impl_->connections_mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+  }
+  impl_->stopping.store(true);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  impl_->listener.close();
+
+  // Snapshot under the lock, tear down outside it (handler threads take
+  // the lock indirectly only through record_error, never connections_mutex,
+  // but keep the teardown lock-free anyway).
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    const std::scoped_lock lock(impl_->connections_mutex);
+    connections.swap(impl_->connections);
+  }
+  for (const auto& connection : connections) {
+    connection->open.store(false);
+    connection->channel.shutdown();  // wakes the handler's blocked read
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+std::size_t BrokerServer::active_connections() const {
+  const std::scoped_lock lock(impl_->connections_mutex);
+  std::size_t live = 0;
+  for (const auto& connection : impl_->connections) {
+    if (!connection->done.load()) ++live;
+  }
+  return live;
+}
+
+std::uint64_t BrokerServer::connections_accepted() const noexcept {
+  return impl_->accepted.load();
+}
+
+std::string BrokerServer::first_error() const {
+  const std::scoped_lock lock(impl_->error_mutex);
+  return impl_->first_error;
+}
+
+void BrokerServer::record_error(const std::string& what) {
+  const std::scoped_lock lock(impl_->error_mutex);
+  if (impl_->first_error.empty()) impl_->first_error = what;
+}
+
+void BrokerServer::reap_finished_locked() {
+  auto& connections = impl_->connections;
+  for (auto it = connections.begin(); it != connections.end();) {
+    if ((*it)->done.load() && (*it)->thread.joinable()) {
+      (*it)->thread.join();
+      it = connections.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BrokerServer::run_accept_loop() {
+  while (!impl_->stopping.load()) {
+    std::optional<SocketChannel> channel;
+    try {
+      channel = impl_->listener.accept(impl_->options.accept_poll,
+                                       impl_->options.timeouts);
+    } catch (const std::exception& e) {
+      if (!impl_->stopping.load()) record_error(e.what());
+      return;
+    }
+    {
+      const std::scoped_lock lock(impl_->connections_mutex);
+      reap_finished_locked();
+      if (!channel) continue;
+      if (impl_->stopping.load()) return;  // raced stop(); drop the socket
+      auto connection = std::make_shared<Connection>(std::move(*channel));
+      impl_->connections.push_back(connection);
+      impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+      connection->thread =
+          std::thread([this, connection] { run_connection(connection); });
+    }
+  }
+}
+
+void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
+  Impl& impl = *impl_;
+  Connection& c = *connection;
+  try {
+    if (!c.write(impl.schema_frame)) {
+      throw_error(ErrorCode::kState, "broker server: schema handshake failed");
+    }
+    for (;;) {
+      std::optional<Frame> frame = c.channel.read_frame();
+      if (!frame) break;  // clean disconnect
+      wire::Message message = wire::decode_message(*frame, impl.schema);
+
+      if (auto* sub = std::get_if<wire::SubscribeMsg>(&message)) {
+        GENAS_REQUIRE(!c.subs.count(sub->key) && !c.csubs.count(sub->key),
+                      ErrorCode::kState,
+                      "broker server: client reused live key " +
+                          std::to_string(sub->key));
+        const std::uint64_t client_key = sub->key;
+        std::uint64_t id;
+        if (impl.broker != nullptr) {
+          id = impl.broker->subscribe(
+              std::move(sub->profile),
+              [connection, client_key](const Notification& n) {
+                connection->write(wire::frame_delivery(client_key, n.event));
+              });
+        } else {
+          id = impl.mesh->subscribe(
+              impl.node, std::move(sub->profile),
+              [connection, client_key](NodeId, SubscriptionId,
+                                       const Event& event) {
+                connection->write(wire::frame_delivery(client_key, event));
+              });
+        }
+        c.subs.emplace(client_key, id);
+        continue;
+      }
+
+      if (auto* unsub = std::get_if<wire::UnsubscribeMsg>(&message)) {
+        const auto it = c.subs.find(unsub->key);
+        GENAS_REQUIRE(it != c.subs.end(), ErrorCode::kState,
+                      "broker server: unsubscribe for unknown key " +
+                          std::to_string(unsub->key));
+        if (impl.broker != nullptr) {
+          impl.broker->unsubscribe(it->second);
+        } else {
+          impl.mesh->unsubscribe(it->second);
+        }
+        c.subs.erase(it);
+        continue;
+      }
+
+      if (auto* csub = std::get_if<wire::CompositeSubscribeMsg>(&message)) {
+        GENAS_REQUIRE(!c.subs.count(csub->key) && !c.csubs.count(csub->key),
+                      ErrorCode::kState,
+                      "broker server: client reused live key " +
+                          std::to_string(csub->key));
+        const std::uint64_t client_key = csub->key;
+        std::uint64_t id;
+        if (impl.broker != nullptr) {
+          id = impl.broker->subscribe_composite(
+              std::move(csub->expression),
+              [connection, client_key](const CompositeFiring& firing) {
+                connection->write(
+                    wire::frame_composite_firing(client_key, firing.time));
+              });
+        } else {
+          id = impl.mesh->subscribe_composite(
+              impl.node, std::move(csub->expression),
+              [connection, client_key](NodeId, SubscriptionId,
+                                       Timestamp time) {
+                connection->write(
+                    wire::frame_composite_firing(client_key, time));
+              });
+        }
+        c.csubs.emplace(client_key, id);
+        continue;
+      }
+
+      if (auto* cunsub =
+              std::get_if<wire::CompositeUnsubscribeMsg>(&message)) {
+        const auto it = c.csubs.find(cunsub->key);
+        GENAS_REQUIRE(it != c.csubs.end(), ErrorCode::kState,
+                      "broker server: composite unsubscribe for unknown key " +
+                          std::to_string(cunsub->key));
+        if (impl.broker != nullptr) {
+          impl.broker->unsubscribe_composite(it->second);
+        } else {
+          impl.mesh->unsubscribe(it->second);
+        }
+        c.csubs.erase(it);
+        continue;
+      }
+
+      if (auto* event = std::get_if<wire::EventMsg>(&message)) {
+        if (impl.broker != nullptr) {
+          impl.broker->publish(event->event);
+        } else {
+          impl.mesh->publish(impl.node, std::move(event->event));
+        }
+        continue;
+      }
+
+      if (auto* flush = std::get_if<wire::FlushMsg>(&message)) {
+        // Everything this client sent earlier has been processed (in-order
+        // handling); quiesce the service so the deliveries those frames
+        // caused are on the stream, then acknowledge.
+        if (impl.mesh != nullptr) {
+          impl.mesh->wait_idle();
+          impl.mesh->flush_composites();
+        } else {
+          impl.broker->flush_composites();
+        }
+        if (!c.write(wire::frame_flush_done(flush->token))) break;
+        continue;
+      }
+
+      throw_error(ErrorCode::kState,
+                  "broker server: unexpected " +
+                      std::string(wire::to_string(
+                          wire::peek_type(*frame))) +
+                      " frame from a client");
+    }
+  } catch (const Error& e) {
+    // Peer-behavior socket kState (abrupt close mid-frame, resets,
+    // timeouts) is normal client lifecycle; corrupt streams (kParse) and
+    // protocol violations are worth surfacing.
+    // (what() carries the "genas: [code]" prefix, hence find, not
+    // starts_with.)
+    const bool peer_lifecycle =
+        e.code() == ErrorCode::kState &&
+        std::string_view(e.what()).find("socket:") != std::string_view::npos;
+    if (!peer_lifecycle && !impl.stopping.load()) record_error(e.what());
+  } catch (const std::exception& e) {
+    if (!impl.stopping.load()) record_error(e.what());
+  }
+  cleanup_connection(c);
+  c.done.store(true, std::memory_order_release);
+}
+
+void BrokerServer::cleanup_connection(Connection& connection) {
+  if (connection.cleaned.exchange(true)) return;
+  connection.open.store(false, std::memory_order_release);
+  connection.channel.shutdown();
+  Impl& impl = *impl_;
+  // Retract everything the client registered — exactly once; composite
+  // retraction drops the broker's refcounted leaves (and, in mesh mode,
+  // the per-link routing entries) with it. A service already shut down
+  // has discarded the state wholesale, so kState here is benign.
+  for (const auto& [key, id] : connection.subs) {
+    try {
+      if (impl.broker != nullptr) {
+        impl.broker->unsubscribe(id);
+      } else {
+        impl.mesh->unsubscribe(id);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  connection.subs.clear();
+  for (const auto& [key, id] : connection.csubs) {
+    try {
+      if (impl.broker != nullptr) {
+        impl.broker->unsubscribe_composite(id);
+      } else {
+        impl.mesh->unsubscribe(id);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  connection.csubs.clear();
+}
+
+}  // namespace genas::net

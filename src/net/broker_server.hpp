@@ -1,0 +1,119 @@
+// GENAS — broker server mode: the event notification service on a TCP port.
+//
+// BrokerServer accepts client connections on a loopback listener and maps
+// decoded wire frames onto the service API — either a standalone
+// ens::Broker or one node of a running mesh::MeshNetwork (so a socket
+// client participates in distributed routing exactly like a local
+// subscriber at that node). Deliveries and composite firings stream back to
+// the owning client as kDelivery / kCompositeFiring frames.
+//
+// Protocol (one TCP connection per client, frames from src/wire):
+//   server -> client   kSchema            handshake: the service schema;
+//                                         the client decodes everything
+//                                         against it
+//   client -> server   kSubscribe(key, profile)
+//                      kUnsubscribe(key)
+//                      kCompositeSubscribe(key, expr)
+//                      kCompositeUnsubscribe(key)
+//                      kEvent             publish at the served broker/node
+//                      kFlush(token)      barrier (see below)
+//   server -> client   kDelivery(key, event)
+//                      kCompositeFiring(key, time)
+//                      kFlushDone(token)
+//
+// Keys are chosen by the client (any uint64 it has not used on this
+// connection); the server maps them onto service-side subscription ids.
+// Reusing a live key, or any frame type not listed above, is a protocol
+// error: the connection is closed and the error recorded.
+//
+// Flush barrier: frames on a connection are processed in order, so when the
+// server reaches a kFlush it has fully processed every earlier frame of
+// that client. It then quiesces the service (mesh mode: wait_idle), drains
+// buffered composite instants (flush_composites — service-wide, like the
+// broker API it calls), and replies kFlushDone. Deliveries triggered by the
+// client's own earlier publishes are written before the reply, so a client
+// that reads until the matching kFlushDone has observed all of them.
+// Deliveries caused by *other* clients' publishes are asynchronous, as in
+// any distributed pub/sub.
+//
+// Client lifecycle: when a connection ends — cleanly, by abrupt disconnect,
+// or mid-frame — the server retracts everything the client registered
+// exactly once: plain subscriptions unsubscribe, composite subscriptions
+// retract their refcounted decomposed leaves (broker dedup and, in mesh
+// mode, the per-link routing entries they installed). A delivery that was
+// in flight during the teardown is dropped, never misdirected.
+//
+// Threading: one accept thread plus one handler thread per live
+// connection. Delivery callbacks run on the publishing thread (broker
+// mode) or a mesh worker (mesh mode) and perform a bounded-time socket
+// write; a client that stalls past the write timeout is disconnected
+// rather than allowed to wedge the service.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ens/broker.hpp"
+#include "mesh/mesh.hpp"
+#include "net/socket_channel.hpp"
+
+namespace genas::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  SocketTimeouts timeouts{};
+  /// Accept-loop poll slice; also bounds stop() latency.
+  std::chrono::milliseconds accept_poll{100};
+};
+
+class BrokerServer {
+ public:
+  /// Serves a standalone broker. The broker must outlive the server.
+  BrokerServer(Broker& broker, ServerOptions options = {});
+  /// Serves node `node` of a started mesh: client subscriptions propagate
+  /// through the mesh with covering, publishes enter at that node. The
+  /// mesh must outlive the server and stay running while it serves.
+  BrokerServer(mesh::MeshNetwork& mesh, NodeId node,
+               ServerOptions options = {});
+  ~BrokerServer();
+
+  BrokerServer(const BrokerServer&) = delete;
+  BrokerServer& operator=(const BrokerServer&) = delete;
+
+  /// The bound port (valid immediately after construction).
+  std::uint16_t port() const noexcept;
+
+  /// Starts the accept loop. Throws Error{kState} if already started.
+  void start();
+
+  /// Stops accepting, disconnects every client (running their lifecycle
+  /// cleanup), and joins all threads. Idempotent; implied by destruction.
+  void stop();
+
+  std::size_t active_connections() const;
+  std::uint64_t connections_accepted() const noexcept;
+
+  /// First internal/protocol error observed (empty when healthy). Client
+  /// disconnects are normal lifecycle, not errors.
+  std::string first_error() const;
+
+ private:
+  struct Connection;
+  struct Impl;
+
+  void run_accept_loop();
+  void run_connection(std::shared_ptr<Connection> connection);
+  void cleanup_connection(Connection& connection);
+  void record_error(const std::string& what);
+  void reap_finished_locked();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace genas::net

@@ -1,0 +1,231 @@
+#include "net/remote_client.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+#include "ens/composite.hpp"
+#include "profile/parser.hpp"
+#include "wire/codec.hpp"
+
+namespace genas::net {
+
+RemoteBrokerClient::RemoteBrokerClient(const std::string& host,
+                                       std::uint16_t port,
+                                       SocketTimeouts timeouts)
+    : channel_(SocketChannel::connect_to(host, port, timeouts)) {
+  // Handshake: the first frame must be the service schema; everything the
+  // client encodes or decodes afterwards validates against it.
+  std::optional<std::vector<std::uint8_t>> frame =
+      channel_.read_frame(timeouts.read);
+  GENAS_REQUIRE(frame.has_value(), ErrorCode::kState,
+                "remote broker: server closed before the schema handshake");
+  wire::Message message = wire::decode_message(*frame, nullptr);
+  auto* schema_msg = std::get_if<wire::SchemaMsg>(&message);
+  GENAS_REQUIRE(schema_msg != nullptr, ErrorCode::kState,
+                "remote broker: expected a schema handshake frame");
+  schema_ = schema_msg->schema;
+  connected_.store(true);
+  reader_ = std::thread([this] { run_reader(); });
+}
+
+RemoteBrokerClient::~RemoteBrokerClient() { close(); }
+
+void RemoteBrokerClient::close() {
+  if (closing_.exchange(true)) {
+    if (reader_.joinable()) reader_.join();
+    return;
+  }
+  connected_.store(false);
+  channel_.shutdown();  // wakes the reader's blocked read with EOF
+  if (reader_.joinable()) reader_.join();
+  channel_.close();
+  flush_cv_.notify_all();
+}
+
+void RemoteBrokerClient::fail(const std::string& why) {
+  {
+    const std::scoped_lock lock(state_mutex_);
+    if (last_error_.empty()) last_error_ = why;
+  }
+  connected_.store(false);
+  channel_.shutdown();
+  flush_cv_.notify_all();
+}
+
+std::string RemoteBrokerClient::last_error() const {
+  const std::scoped_lock lock(state_mutex_);
+  return last_error_;
+}
+
+void RemoteBrokerClient::send_frame(const std::vector<std::uint8_t>& frame) {
+  GENAS_REQUIRE(connected_.load(), ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
+  const std::scoped_lock lock(write_mutex_);
+  try {
+    channel_.write_frame(frame);
+  } catch (const std::exception& e) {
+    fail(e.what());
+    throw;
+  }
+}
+
+SubscriptionId RemoteBrokerClient::subscribe(Profile profile,
+                                             NotificationCallback callback) {
+  GENAS_REQUIRE(profile.schema() == schema_, ErrorCode::kInvalidArgument,
+                "remote broker: profile schema differs from service schema");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "remote broker: subscription requires a callback");
+  const SubscriptionId key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Register before sending: a delivery can arrive the moment the server
+    // installs the subscription.
+    const std::scoped_lock lock(state_mutex_);
+    callbacks_.emplace(key, std::make_shared<const NotificationCallback>(
+                                std::move(callback)));
+  }
+  try {
+    send_frame(wire::frame_subscribe(key, profile));
+  } catch (...) {
+    const std::scoped_lock lock(state_mutex_);
+    callbacks_.erase(key);
+    throw;
+  }
+  return key;
+}
+
+SubscriptionId RemoteBrokerClient::subscribe(std::string_view expression,
+                                             NotificationCallback callback) {
+  return subscribe(parse_profile(schema_, expression), std::move(callback));
+}
+
+void RemoteBrokerClient::unsubscribe(SubscriptionId id) {
+  {
+    const std::scoped_lock lock(state_mutex_);
+    GENAS_REQUIRE(callbacks_.erase(id) == 1, ErrorCode::kNotFound,
+                  "remote broker: unknown subscription " + std::to_string(id));
+  }
+  send_frame(wire::frame_unsubscribe(id));
+}
+
+SubscriptionId RemoteBrokerClient::subscribe_composite(
+    CompositeExprPtr expression, CompositeCallback callback) {
+  GENAS_REQUIRE(expression != nullptr, ErrorCode::kInvalidArgument,
+                "remote broker: composite subscription needs an expression");
+  GENAS_REQUIRE(callback != nullptr, ErrorCode::kInvalidArgument,
+                "remote broker: subscription requires a callback");
+  const SubscriptionId key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(state_mutex_);
+    composite_callbacks_.emplace(
+        key, std::make_shared<const CompositeCallback>(std::move(callback)));
+  }
+  try {
+    send_frame(wire::frame_composite_subscribe(key, *expression));
+  } catch (...) {
+    const std::scoped_lock lock(state_mutex_);
+    composite_callbacks_.erase(key);
+    throw;
+  }
+  return key;
+}
+
+SubscriptionId RemoteBrokerClient::subscribe_composite(
+    std::string_view expression, CompositeCallback callback) {
+  return subscribe_composite(parse_composite(schema_, expression),
+                             std::move(callback));
+}
+
+void RemoteBrokerClient::unsubscribe_composite(SubscriptionId id) {
+  {
+    const std::scoped_lock lock(state_mutex_);
+    GENAS_REQUIRE(composite_callbacks_.erase(id) == 1, ErrorCode::kNotFound,
+                  "remote broker: unknown composite subscription " +
+                      std::to_string(id));
+  }
+  send_frame(wire::frame_composite_unsubscribe(id));
+}
+
+void RemoteBrokerClient::publish(const Event& event) {
+  GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                "remote broker: event schema differs from service schema");
+  send_frame(wire::frame_event(event));
+}
+
+void RemoteBrokerClient::publish(std::string_view event_text, Timestamp time) {
+  publish(parse_event(schema_, event_text, time));
+}
+
+void RemoteBrokerClient::flush() {
+  const std::uint64_t token =
+      next_flush_token_.fetch_add(1, std::memory_order_relaxed);
+  send_frame(wire::frame_flush(token));
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  flush_cv_.wait(lock, [&] {
+    return flush_acked_ >= token || !connected_.load();
+  });
+  if (flush_acked_ < token) {
+    throw_error(ErrorCode::kState,
+                "remote broker: connection dropped during flush" +
+                    (last_error_.empty() ? "" : " (" + last_error_ + ")"));
+  }
+}
+
+void RemoteBrokerClient::run_reader() {
+  try {
+    for (;;) {
+      std::optional<std::vector<std::uint8_t>> frame = channel_.read_frame();
+      if (!frame) {
+        if (!closing_.load()) fail("remote broker: server closed the stream");
+        return;
+      }
+      wire::Message message = wire::decode_message(*frame, schema_);
+
+      if (auto* delivery = std::get_if<wire::DeliveryMsg>(&message)) {
+        std::shared_ptr<const NotificationCallback> callback;
+        {
+          const std::scoped_lock lock(state_mutex_);
+          const auto it = callbacks_.find(delivery->key);
+          if (it != callbacks_.end()) callback = it->second;
+          // Unknown key: the delivery raced its own unsubscribe — drop.
+        }
+        if (callback != nullptr) {
+          deliveries_.fetch_add(1, std::memory_order_relaxed);
+          (*callback)(Notification{delivery->key, std::move(delivery->event)});
+        }
+        continue;
+      }
+
+      if (auto* firing = std::get_if<wire::CompositeFiringMsg>(&message)) {
+        std::shared_ptr<const CompositeCallback> callback;
+        {
+          const std::scoped_lock lock(state_mutex_);
+          const auto it = composite_callbacks_.find(firing->key);
+          if (it != composite_callbacks_.end()) callback = it->second;
+        }
+        if (callback != nullptr) {
+          firings_.fetch_add(1, std::memory_order_relaxed);
+          (*callback)(CompositeFiring{firing->key, firing->time});
+        }
+        continue;
+      }
+
+      if (auto* done = std::get_if<wire::FlushDoneMsg>(&message)) {
+        {
+          const std::scoped_lock lock(state_mutex_);
+          if (done->token > flush_acked_) flush_acked_ = done->token;
+        }
+        flush_cv_.notify_all();
+        continue;
+      }
+
+      throw_error(ErrorCode::kState,
+                  "remote broker: unexpected frame from the server");
+    }
+  } catch (const std::exception& e) {
+    if (!closing_.load()) fail(e.what());
+  }
+}
+
+}  // namespace genas::net

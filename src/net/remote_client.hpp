@@ -1,0 +1,121 @@
+// GENAS — RemoteBrokerClient: the Broker API over a TCP connection.
+//
+// Connects to a BrokerServer, adopts the server's schema from the
+// handshake frame, and mirrors the local service surface: subscribe /
+// unsubscribe (plain and composite) and publish, with notifications and
+// composite firings delivered to local callbacks from a background reader
+// thread. flush() is the synchronization point: it round-trips a barrier
+// token, and when it returns every delivery caused by this client's
+// earlier publishes has already been dispatched to its callback (the
+// server writes those deliveries before the barrier reply; see
+// broker_server.hpp for the exact ordering contract).
+//
+// Threading: API calls are safe from any thread (writes serialize on an
+// internal mutex). Callbacks run on the reader thread, one at a time, and
+// may call subscribe/unsubscribe/publish — but not flush() or close(),
+// which wait on the reader and would deadlock. A notification racing its
+// own unsubscribe() may be dispatched once more after unsubscribe returns
+// (the retraction is in flight to the server), mirroring the local
+// broker's snapshot semantics.
+//
+// Failure model: when the connection drops — server gone, stream corrupt,
+// write timeout — the client transitions to disconnected: pending and
+// future flush() calls throw Error{kState}, sends throw, callbacks stop.
+// last_error() keeps the reason.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "ens/broker.hpp"
+#include "net/socket_channel.hpp"
+
+namespace genas::net {
+
+class RemoteBrokerClient {
+ public:
+  /// Connects and performs the schema handshake (bounded by
+  /// timeouts.connect + timeouts.read).
+  RemoteBrokerClient(const std::string& host, std::uint16_t port,
+                     SocketTimeouts timeouts = {});
+  ~RemoteBrokerClient();
+
+  RemoteBrokerClient(const RemoteBrokerClient&) = delete;
+  RemoteBrokerClient& operator=(const RemoteBrokerClient&) = delete;
+
+  /// The service schema, adopted from the server's handshake.
+  const SchemaPtr& schema() const noexcept { return schema_; }
+
+  SubscriptionId subscribe(Profile profile, NotificationCallback callback);
+  SubscriptionId subscribe(std::string_view expression,
+                           NotificationCallback callback);
+  void unsubscribe(SubscriptionId id);
+
+  SubscriptionId subscribe_composite(CompositeExprPtr expression,
+                                     CompositeCallback callback);
+  SubscriptionId subscribe_composite(std::string_view expression,
+                                     CompositeCallback callback);
+  void unsubscribe_composite(SubscriptionId id);
+
+  void publish(const Event& event);
+  /// Parses "a=1; b=2" against the server schema, then publishes.
+  void publish(std::string_view event_text, Timestamp time = 0);
+
+  /// Barrier: returns once the server has processed every frame this
+  /// client sent before the call and the resulting deliveries have been
+  /// dispatched locally. Also drains the service's buffered composite
+  /// instants (the server calls flush_composites). Throws Error{kState}
+  /// when the connection is (or goes) down. Not callable from a callback.
+  void flush();
+
+  bool connected() const noexcept { return connected_.load(); }
+  /// Why the connection ended (empty while connected / after close()).
+  std::string last_error() const;
+
+  /// Notifications dispatched to this client (plain deliveries only).
+  std::uint64_t deliveries() const noexcept { return deliveries_.load(); }
+  /// Composite firings dispatched to this client.
+  std::uint64_t firings() const noexcept { return firings_.load(); }
+
+  /// Graceful teardown: stops the reader and closes the socket. The server
+  /// retracts this client's subscriptions on disconnect. Idempotent; not
+  /// callable from a callback.
+  void close();
+
+ private:
+  void run_reader();
+  void send_frame(const std::vector<std::uint8_t>& frame);
+  void fail(const std::string& why);
+
+  SchemaPtr schema_;
+  SocketChannel channel_;
+
+  std::mutex write_mutex_;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> closing_{false};
+
+  mutable std::mutex state_mutex_;  // callbacks map + flush bookkeeping + error
+  std::unordered_map<SubscriptionId,
+                     std::shared_ptr<const NotificationCallback>>
+      callbacks_;
+  std::unordered_map<SubscriptionId, std::shared_ptr<const CompositeCallback>>
+      composite_callbacks_;
+  std::condition_variable flush_cv_;
+  std::uint64_t flush_acked_ = 0;
+  std::string last_error_;
+
+  std::atomic<std::uint64_t> next_key_{1};
+  std::atomic<std::uint64_t> next_flush_token_{1};
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<std::uint64_t> firings_{0};
+
+  std::thread reader_;
+};
+
+}  // namespace genas::net

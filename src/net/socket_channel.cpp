@@ -1,0 +1,306 @@
+#include "net/socket_channel.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace genas::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void socket_fail(const std::string& what, int err = 0) {
+  std::string message = "socket: " + what;
+  if (err != 0) message += std::string(": ") + std::strerror(err);
+  throw_error(ErrorCode::kState, std::move(message));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    socket_fail("fcntl(O_NONBLOCK)", errno);
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Polls `fd` for `events`, waiting up to `timeout` (< 0: forever).
+/// Returns false on timeout; EINTR retries against the remaining budget.
+bool poll_for(int fd, short events, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout.count() >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready > 0) return true;   // readable/writable, or HUP/ERR — the
+                                  // following recv/send reports the state
+    if (ready == 0) return false;
+    if (errno != EINTR) socket_fail("poll", errno);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketChannel
+
+SocketChannel::SocketChannel(int fd, SocketTimeouts timeouts)
+    : fd_(fd), timeouts_(timeouts) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+}
+
+SocketChannel SocketChannel::connect_to(const std::string& host,
+                                        std::uint16_t port,
+                                        SocketTimeouts timeouts) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    throw_error(ErrorCode::kState, "socket: cannot resolve " + host + ": " +
+                                       ::gai_strerror(rc));
+  }
+
+  int fd = -1;
+  int last_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    try {
+      set_nonblocking(fd);
+    } catch (...) {
+      ::close(fd);
+      ::freeaddrinfo(results);
+      throw;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS &&
+        poll_for(fd, POLLOUT, timeouts.connect)) {
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        break;  // connected
+      }
+      last_errno = so_error;
+    } else {
+      last_errno = errno == EINPROGRESS ? ETIMEDOUT : errno;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    socket_fail("connect to " + host + ":" + service, last_errno);
+  }
+  return SocketChannel(fd, timeouts);
+}
+
+SocketChannel::~SocketChannel() { close(); }
+
+SocketChannel::SocketChannel(SocketChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      timeouts_(other.timeouts_),
+      buffer_(std::move(other.buffer_)),
+      consumed_(std::exchange(other.consumed_, 0)) {}
+
+SocketChannel& SocketChannel::operator=(SocketChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    timeouts_ = other.timeouts_;
+    buffer_ = std::move(other.buffer_);
+    consumed_ = std::exchange(other.consumed_, 0);
+  }
+  return *this;
+}
+
+void SocketChannel::shutdown() noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void SocketChannel::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketChannel::fill_some(std::chrono::milliseconds timeout) {
+  GENAS_REQUIRE(valid(), ErrorCode::kState, "socket: channel is closed");
+  for (;;) {
+    if (!poll_for(fd_, POLLIN, timeout)) {
+      socket_fail("read timed out");
+    }
+    std::uint8_t chunk[kReadChunk];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + got);
+      return true;
+    }
+    if (got == 0) return false;  // end of stream
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;  // spurious wakeup; poll again against the same deadline
+    }
+    socket_fail("recv", errno);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> SocketChannel::read_frame(
+    std::chrono::milliseconds idle_timeout) {
+  for (;;) {
+    const std::span<const std::uint8_t> pending(buffer_.data() + consumed_,
+                                                buffer_.size() - consumed_);
+    const wire::FrameProbe probe = wire::probe_frame(pending);
+    if (probe.status == wire::FrameStatus::kCorrupt) {
+      throw_error(ErrorCode::kParse,
+                  std::string("socket: corrupt stream: ") + probe.error);
+    }
+    if (probe.status == wire::FrameStatus::kComplete) {
+      std::vector<std::uint8_t> frame(
+          pending.begin(),
+          pending.begin() + static_cast<std::ptrdiff_t>(probe.size));
+      consumed_ += probe.size;
+      if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+      } else if (consumed_ >= kReadChunk) {
+        // Compact occasionally so a long-lived stream doesn't grow the
+        // buffer by the total bytes ever received.
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+      }
+      return frame;
+    }
+    // Need more: between frames the idle timeout governs; once the first
+    // byte of a frame is in, the peer must keep the bytes coming.
+    const bool mid_frame = !pending.empty();
+    const bool more =
+        fill_some(mid_frame ? timeouts_.read : idle_timeout);
+    if (!more) {
+      if (!mid_frame) return std::nullopt;  // clean EOF at a boundary
+      throw_error(ErrorCode::kState,
+                  "socket: peer closed mid-frame (" +
+                      std::to_string(pending.size()) + " bytes of a frame)");
+    }
+  }
+}
+
+void SocketChannel::write_frame(std::span<const std::uint8_t> frame) {
+  write_bytes(frame);
+}
+
+void SocketChannel::write_bytes(std::span<const std::uint8_t> bytes) {
+  GENAS_REQUIRE(valid(), ErrorCode::kState, "socket: channel is closed");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (!poll_for(fd_, POLLOUT, timeouts_.write)) {
+      socket_fail("write timed out");
+    }
+    const ssize_t wrote = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    socket_fail("send", errno);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketListener
+
+SocketListener::SocketListener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) socket_fail("socket", errno);
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  set_nonblocking(fd_);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    close();
+    socket_fail("bind port " + std::to_string(port), err);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const int err = errno;
+    close();
+    socket_fail("listen", err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    close();
+    socket_fail("getsockname", err);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+SocketListener::~SocketListener() { close(); }
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+std::optional<SocketChannel> SocketListener::accept(
+    std::chrono::milliseconds timeout, SocketTimeouts channel_timeouts) {
+  GENAS_REQUIRE(fd_ >= 0, ErrorCode::kState, "socket: listener is closed");
+  if (!poll_for(fd_, POLLIN, timeout)) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;  // raced away; the caller's accept loop retries
+    }
+    socket_fail("accept", errno);
+  }
+  return SocketChannel(client, channel_timeouts);
+}
+
+void SocketListener::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace genas::net

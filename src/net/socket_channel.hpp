@@ -1,0 +1,128 @@
+// GENAS — thin TCP channel for the wire codec.
+//
+// SocketChannel puts the versioned, bounds-checked frames of src/wire on a
+// real socket: a buffered reader reassembles length-prefixed frames
+// incrementally (a partial read is need-more, never a parse error — see
+// wire::probe_frame), and a buffered writer pushes whole frames through
+// partial sends. All file descriptors are non-blocking; every operation is
+// driven by poll(2) with an explicit timeout, so a stalled peer can never
+// wedge a thread forever.
+//
+// Timeout semantics:
+//   * connect: bounded by SocketTimeouts::connect.
+//   * read_frame: waiting for the *first* byte of a frame blocks
+//     indefinitely (an idle peer is healthy) unless an idle timeout is
+//     passed; once a frame has started, the remaining bytes must arrive
+//     within SocketTimeouts::read — a peer that stalls mid-frame is broken.
+//   * write_frame: the whole frame must drain within SocketTimeouts::write.
+//
+// Thread safety: one reader thread and one writer thread may use a channel
+// concurrently (reads and writes touch disjoint state); concurrent writers
+// must serialize externally. shutdown() may be called from any thread to
+// wake a blocked read_frame with end-of-stream — the idiom a server uses to
+// stop a connection handler.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace genas::net {
+
+struct SocketTimeouts {
+  std::chrono::milliseconds connect{5000};
+  std::chrono::milliseconds read{5000};   ///< mid-frame stall bound
+  std::chrono::milliseconds write{5000};  ///< whole-frame drain bound
+};
+
+class SocketChannel {
+ public:
+  /// Invalid (unconnected) channel.
+  SocketChannel() = default;
+
+  /// Adopts an already-connected descriptor (listener accept path).
+  SocketChannel(int fd, SocketTimeouts timeouts);
+
+  /// Connects to host:port within timeouts.connect. Resolves names via
+  /// getaddrinfo; throws Error{kState} on refusal or timeout.
+  static SocketChannel connect_to(const std::string& host, std::uint16_t port,
+                                  SocketTimeouts timeouts = {});
+
+  ~SocketChannel();
+  SocketChannel(SocketChannel&& other) noexcept;
+  SocketChannel& operator=(SocketChannel&& other) noexcept;
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Reads one complete wire frame, reassembling across arbitrarily split
+  /// reads. Returns nullopt on a clean end-of-stream at a frame boundary.
+  /// Throws Error{kParse} when the stream turns corrupt (bad header bytes),
+  /// Error{kState} on a mid-frame end-of-stream, a mid-frame read timeout,
+  /// or — when `idle_timeout` is non-negative — when no frame starts within
+  /// it. idle_timeout < 0 (default) waits for the first byte indefinitely.
+  std::optional<std::vector<std::uint8_t>> read_frame(
+      std::chrono::milliseconds idle_timeout = std::chrono::milliseconds{-1});
+
+  /// Writes one frame fully (partial sends retried under the write
+  /// timeout). Throws Error{kState} on timeout or a closed/reset peer.
+  void write_frame(std::span<const std::uint8_t> frame);
+
+  /// Raw buffered write of arbitrary bytes — exposed so tests can split a
+  /// frame at any byte boundary; write_frame is this with a whole frame.
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Half-close both directions without releasing the descriptor: a reader
+  /// blocked in read_frame observes end-of-stream. Safe to call from
+  /// another thread while the reader is inside read_frame (the descriptor
+  /// itself stays valid until destruction/close()).
+  void shutdown() noexcept;
+
+  /// Closes the descriptor. NOT safe while another thread is inside
+  /// read_frame/write_frame — use shutdown() to interrupt them first.
+  void close() noexcept;
+
+ private:
+  /// Appends whatever the socket has (≥ 1 byte) to buffer_, waiting up to
+  /// `timeout` (< 0: forever). Returns false on end-of-stream; throws
+  /// Error{kState} on timeout or a socket error.
+  bool fill_some(std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+  SocketTimeouts timeouts_;
+  std::vector<std::uint8_t> buffer_;  ///< read-side reassembly buffer
+  std::size_t consumed_ = 0;          ///< bytes of buffer_ already returned
+};
+
+/// Loopback TCP listener (binds 127.0.0.1 — the mesh transport is not an
+/// exposed service; front it with real infrastructure for anything else).
+class SocketListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  explicit SocketListener(std::uint16_t port, int backlog = 16);
+  ~SocketListener();
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&&) = delete;
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// The actually bound port (resolves an ephemeral bind).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one connection, waiting up to `timeout`; nullopt on timeout.
+  /// Throws Error{kState} once the listener is closed.
+  std::optional<SocketChannel> accept(std::chrono::milliseconds timeout,
+                                      SocketTimeouts channel_timeouts = {});
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace genas::net

@@ -18,8 +18,46 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::kCompositeSubscribe:   return "csubscribe";
     case MessageType::kCompositeUnsubscribe: return "cunsubscribe";
     case MessageType::kCompositeFiring:      return "cfiring";
+    case MessageType::kDelivery:             return "delivery";
+    case MessageType::kFlush:                return "flush";
+    case MessageType::kFlushDone:            return "flushdone";
   }
   return "?";
+}
+
+FrameProbe probe_frame(std::span<const std::uint8_t> data) noexcept {
+  // Validate each header byte as soon as it is present: a corrupt stream
+  // fails on the first bad byte instead of stalling in need-more forever.
+  if (data.size() >= 1 && data[0] != static_cast<std::uint8_t>(kMagic)) {
+    return {FrameStatus::kCorrupt, 0, "bad magic"};
+  }
+  if (data.size() >= 2 && data[1] != static_cast<std::uint8_t>(kMagic >> 8)) {
+    return {FrameStatus::kCorrupt, 0, "bad magic"};
+  }
+  if (data.size() >= 3 && data[2] != kWireVersion) {
+    return {FrameStatus::kCorrupt, 0, "unsupported wire version"};
+  }
+  if (data.size() >= 4 &&
+      (data[3] < static_cast<std::uint8_t>(MessageType::kSchema) ||
+       data[3] > static_cast<std::uint8_t>(MessageType::kFlushDone))) {
+    return {FrameStatus::kCorrupt, 0, "unknown message type"};
+  }
+  if (data.size() < kFrameHeaderSize) {
+    return {FrameStatus::kNeedMore, 0, nullptr};
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(data[4 + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (length > kMaxFramePayload) {
+    return {FrameStatus::kCorrupt, 0, "frame length exceeds the payload cap"};
+  }
+  const std::size_t total = kFrameHeaderSize + length;
+  if (data.size() < total) {
+    return {FrameStatus::kNeedMore, total, nullptr};
+  }
+  return {FrameStatus::kComplete, total, nullptr};
 }
 
 namespace {
@@ -441,6 +479,29 @@ std::vector<std::uint8_t> frame_composite_firing(std::uint64_t key,
   return end_frame(w, at);
 }
 
+std::vector<std::uint8_t> frame_delivery(std::uint64_t key,
+                                         const Event& event) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kDelivery);
+  w.u64(key);
+  encode_event(w, event);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_flush(std::uint64_t token) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kFlush);
+  w.u64(token);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_flush_done(std::uint64_t token) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kFlushDone);
+  w.u64(token);
+  return end_frame(w, at);
+}
+
 namespace {
 
 MessageType read_header(Reader& r, std::size_t frame_size) {
@@ -451,7 +512,7 @@ MessageType read_header(Reader& r, std::size_t frame_size) {
   }
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kSchema) ||
-      type > static_cast<std::uint8_t>(MessageType::kCompositeFiring)) {
+      type > static_cast<std::uint8_t>(MessageType::kFlushDone)) {
     parse_fail("unknown message type " + std::to_string(type));
   }
   const std::uint32_t length = r.u32();
@@ -513,6 +574,22 @@ Message decode_message(std::span<const std::uint8_t> frame,
     case MessageType::kCompositeFiring: {
       const std::uint64_t key = r.u64();
       CompositeFiringMsg msg{key, r.i64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kDelivery: {
+      const std::uint64_t key = r.u64();
+      DeliveryMsg msg{key, decode_event(r, schema)};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kFlush: {
+      FlushMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kFlushDone: {
+      FlushDoneMsg msg{r.u64()};
       r.expect_done();
       return msg;
     }

@@ -36,10 +36,25 @@
 //                kMaxCompositeDepth)
 //   cunsubscribe u64 subscription key
 //   cfiring      u64 subscription key, i64 completion timestamp
+//   delivery     u64 subscription key, event payload (server -> client:
+//                a notification for the client's subscription `key`)
+//   flush        u64 token (client -> server: barrier request — the server
+//                processes it after every earlier frame on the connection,
+//                drains/flushes buffered composite state, and replies)
+//   flushdone    u64 token (server -> client: the flush with this token
+//                completed; every delivery caused by the client's earlier
+//                frames precedes it on the stream)
 //
 // Events and profiles are encoded against a schema both ends share (the
 // mesh distributes it out of band or via a kSchema frame); decode_* take
 // that schema and validate against it.
+//
+// Streaming: decode_message requires one exact frame, but a byte stream
+// (TCP) delivers arbitrary prefixes. probe_frame classifies a buffer
+// prefix without decoding: need-more-bytes (a short read — resume once
+// more arrive) is distinct from corrupt (bad magic/version/type or an
+// absurd length — the stream is unrecoverable), so a socket reader never
+// misreports a split frame as a parse error.
 #pragma once
 
 #include <cstdint>
@@ -71,9 +86,44 @@ enum class MessageType : std::uint8_t {
   kCompositeSubscribe = 6,
   kCompositeUnsubscribe = 7,
   kCompositeFiring = 8,
+  kDelivery = 9,
+  kFlush = 10,
+  kFlushDone = 11,
 };
 
 std::string_view to_string(MessageType type) noexcept;
+
+/// Frame header byte count (magic + version + type + length).
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+/// Upper bound on a frame's payload length field. Far above any real
+/// message, far below anything that could exhaust memory: a stream whose
+/// length field exceeds it is corrupt, not merely short.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
+
+/// Classification of a byte-stream prefix (see probe_frame).
+enum class FrameStatus : std::uint8_t {
+  kComplete,  ///< buffer starts with one whole frame of `size` bytes
+  kNeedMore,  ///< valid so far but short — read more bytes and re-probe
+  kCorrupt,   ///< the prefix can never become a valid frame
+};
+
+struct FrameProbe {
+  FrameStatus status = FrameStatus::kNeedMore;
+  /// Total frame size (header + payload). Valid when kComplete; when
+  /// kNeedMore with a full header it is the size the frame will have, and
+  /// 0 while even the header is incomplete.
+  std::size_t size = 0;
+  /// Static diagnostic, non-null when kCorrupt.
+  const char* error = nullptr;
+};
+
+/// Probes the start of `data` for a frame without decoding the payload.
+/// Every header byte present is validated immediately, so a corrupt stream
+/// is detected as soon as the offending byte arrives; a buffer that is
+/// merely short reports kNeedMore, never kCorrupt. Bytes beyond the first
+/// frame are ignored (streams carry back-to-back frames).
+FrameProbe probe_frame(std::span<const std::uint8_t> data) noexcept;
 
 /// Append-only little-endian byte sink.
 class Writer {
@@ -148,6 +198,10 @@ std::vector<std::uint8_t> frame_composite_subscribe(std::uint64_t key,
 std::vector<std::uint8_t> frame_composite_unsubscribe(std::uint64_t key);
 std::vector<std::uint8_t> frame_composite_firing(std::uint64_t key,
                                                  Timestamp time);
+std::vector<std::uint8_t> frame_delivery(std::uint64_t key,
+                                         const Event& event);
+std::vector<std::uint8_t> frame_flush(std::uint64_t token);
+std::vector<std::uint8_t> frame_flush_done(std::uint64_t token);
 
 /// Decoded frame contents.
 struct SchemaMsg {
@@ -177,10 +231,20 @@ struct CompositeFiringMsg {
   std::uint64_t key;
   Timestamp time;
 };
+struct DeliveryMsg {
+  std::uint64_t key;
+  Event event;
+};
+struct FlushMsg {
+  std::uint64_t token;
+};
+struct FlushDoneMsg {
+  std::uint64_t token;
+};
 using Message =
     std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg,
                  CompositeSubscribeMsg, CompositeUnsubscribeMsg,
-                 CompositeFiringMsg>;
+                 CompositeFiringMsg, DeliveryMsg, FlushMsg, FlushDoneMsg>;
 
 /// Frame type without decoding the payload; throws Error{kParse} on a
 /// malformed header.

@@ -515,5 +515,50 @@ TEST(MeshTopology, DrivesAMeshEndToEnd) {
   net.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Destruction lifecycle: ~MeshNetwork must never throw. The destructor path
+// swallows shutdown failures (recording them for a post-mortem
+// first_error() read); explicit shutdown() keeps throwing so callers who
+// ask get the error.
+
+TEST(MeshLifecycle, DestroyingARunningMeshWithTrafficInFlightIsQuiet) {
+  const SchemaPtr schema = testutil::example1_schema();
+  // No leak, no terminate: the destructor drains and joins on its own even
+  // though wait_idle()/shutdown() were never called and publishes are
+  // still in the mailboxes.
+  MeshNetwork net(schema);
+  net.add_node();
+  net.add_node();
+  net.connect(0, 1);
+  net.start();
+  net.subscribe(1, "temperature >= 35",
+                [](NodeId, SubscriptionId, const Event&) {});
+  for (int i = 0; i < 200; ++i) {
+    net.publish(0, Event::from_pairs(schema, {{"temperature", 40},
+                                              {"humidity", 0},
+                                              {"radiation", 1}}));
+  }
+}  // destructor runs here, mid-traffic
+
+TEST(MeshLifecycle, DestroyingANeverStartedMeshIsQuiet) {
+  const SchemaPtr schema = testutil::example1_schema();
+  MeshNetwork net(schema);
+  net.add_node();
+  net.add_node();
+  net.connect(0, 1);
+}  // never started: nothing to join, nothing thrown
+
+TEST(MeshLifecycle, DestructionAfterExplicitShutdownIsANoOp) {
+  const SchemaPtr schema = testutil::example1_schema();
+  MeshNetwork net(schema);
+  net.add_node();
+  net.start();
+  net.publish(0, Event::from_pairs(schema, {{"temperature", 0},
+                                            {"humidity", 0},
+                                            {"radiation", 1}}));
+  net.shutdown();  // the throwing path — and it reports nothing here
+  EXPECT_EQ(net.first_error(), "");
+}  // second (destructor) shutdown is idempotent
+
 }  // namespace
 }  // namespace genas

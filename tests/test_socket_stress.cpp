@@ -1,0 +1,176 @@
+// Socket transport under concurrency: many clients churning subscriptions
+// and publishes against one BrokerServer while some of them vanish
+// abruptly mid-stream. Runs in the tsan-stress CI job, so everything stays
+// in one process (no fork) and every shared structure is exercised from
+// multiple threads at once: accept loop, per-connection handlers, delivery
+// writes from publishing threads, and the disconnect cleanup path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "net/broker_server.hpp"
+#include "net/remote_client.hpp"
+#include "net/socket_channel.hpp"
+#include "profile/parser.hpp"
+#include "test_util.hpp"
+#include "wire/codec.hpp"
+
+namespace genas {
+namespace {
+
+using net::BrokerServer;
+using net::RemoteBrokerClient;
+using net::SocketChannel;
+using namespace std::chrono_literals;
+
+bool eventually(const std::function<bool()>& condition) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return condition();
+}
+
+TEST(SocketStress, ClientChurnWithAbruptDisconnects) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  BrokerServer server(broker);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  constexpr int kChurnThreads = 4;
+  constexpr int kRoundsPerThread = 6;
+  std::atomic<std::uint64_t> deliveries{0};
+  std::atomic<int> failures{0};
+
+  // Churn threads: connect, subscribe (plain + composite), publish into
+  // everyone's subscriptions, sometimes flush, then leave — half the
+  // rounds gracefully, half by dropping the socket with state installed.
+  std::vector<std::thread> churn;
+  churn.reserve(kChurnThreads);
+  for (int t = 0; t < kChurnThreads; ++t) {
+    churn.emplace_back([&, t] {
+      try {
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          RemoteBrokerClient client("127.0.0.1", port);
+          client.subscribe("temperature >= " + std::to_string(30 + t),
+                           [&deliveries](const Notification&) {
+                             deliveries.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                           });
+          client.subscribe_composite(
+              "seq({temperature >= 35}, {humidity >= 90}, w=5)",
+              [](const CompositeFiring&) {});
+          for (int e = 0; e < 10; ++e) {
+            client.publish("temperature = 45; humidity = " +
+                               std::to_string((e * 7) % 100) +
+                               "; radiation = 1",
+                           e);
+          }
+          if (round % 2 == 0) {
+            client.flush();
+            client.close();  // graceful: server still does the retraction
+          }
+          // Odd rounds: destructor closes the socket while deliveries for
+          // our own publishes may still be streaming toward us.
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // One raw-socket vandal per churn generation: handshake, install state,
+  // die without a word — exercising cleanup against concurrent publishes.
+  std::thread vandal([&] {
+    try {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        SocketChannel raw = SocketChannel::connect_to("127.0.0.1", port);
+        if (!raw.read_frame().has_value()) continue;  // handshake
+        raw.write_frame(wire::frame_subscribe(
+            1, parse_profile(schema, "humidity >= 90")));
+        raw.write_frame(wire::frame_composite_subscribe(
+            2, *parse_composite(
+                   schema, "conj({temperature >= 35}, {radiation >= 50}, "
+                           "w=5)")));
+        std::this_thread::sleep_for(1ms);
+      }
+    } catch (const std::exception&) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // A steady publisher hammering the broker directly while connections come
+  // and go: delivery callbacks race connection teardown.
+  std::atomic<bool> stop_publisher{false};
+  std::thread publisher([&] {
+    int i = 0;
+    while (!stop_publisher.load(std::memory_order_relaxed)) {
+      broker.publish("temperature = 45; humidity = 95; radiation = 60",
+                     ++i);
+    }
+  });
+
+  for (std::thread& thread : churn) thread.join();
+  vandal.join();
+  stop_publisher.store(true);
+  publisher.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(deliveries.load(), 0u);
+  EXPECT_GE(server.connections_accepted(),
+            static_cast<std::uint64_t>(kChurnThreads * kRoundsPerThread));
+
+  // Every client is gone: all their state must have been retracted, each
+  // exactly once, regardless of how the connection ended.
+  ASSERT_TRUE(eventually([&] { return server.active_connections() == 0; }));
+  ASSERT_TRUE(eventually([&] {
+    return broker.subscription_count() == 0 && broker.composite_count() == 0 &&
+           broker.composite_leaf_count() == 0;
+  }));
+
+  server.stop();
+  // Abrupt disconnects are normal lifecycle; only protocol or internal
+  // errors may be recorded.
+  EXPECT_EQ(server.first_error(), "");
+}
+
+TEST(SocketStress, StopWithLiveClientsShutsDownCleanly) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  BrokerServer server(broker);
+  server.start();
+
+  // Clients that are still connected (and mid-traffic) when the server
+  // stops: stop() must disconnect them, run their cleanup, and join
+  // without deadlock; the clients observe a dropped connection.
+  std::vector<std::unique_ptr<RemoteBrokerClient>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(
+        std::make_unique<RemoteBrokerClient>("127.0.0.1", server.port()));
+    clients.back()->subscribe("temperature >= 35",
+                              [](const Notification&) {});
+    clients.back()->publish("temperature = 40; humidity = 1; radiation = 1",
+                            c);
+  }
+
+  server.stop();
+  EXPECT_EQ(broker.subscription_count(), 0u);
+  for (auto& client : clients) {
+    EXPECT_TRUE(eventually([&] { return !client->connected(); }));
+    client->close();
+  }
+}
+
+}  // namespace
+}  // namespace genas

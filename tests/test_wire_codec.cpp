@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -194,6 +195,11 @@ TEST(WireCodec, EveryTruncationIsRejected) {
       wire::frame_profile(parse_profile(schema, "temperature >= 35")),
       wire::frame_subscribe(7, parse_profile(schema, "humidity <= 5")),
       wire::frame_unsubscribe(7),
+      wire::frame_delivery(11, Event::from_pairs(schema, {{"temperature", -5},
+                                                          {"humidity", 40},
+                                                          {"radiation", 9}})),
+      wire::frame_flush(3),
+      wire::frame_flush_done(3),
   };
   for (const Frame& frame : frames) {
     for (std::size_t cut = 0; cut < frame.size(); ++cut) {
@@ -230,6 +236,106 @@ TEST(WireCodec, CorruptHeadersAreRejected) {
   expect_parse_failure(bad_length, schema, "length mismatch");
 
   expect_parse_failure(Frame{}, schema, "empty buffer");
+}
+
+TEST(WireCodec, StreamingFramesRoundTrip) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const Event event = Event::from_pairs(
+      schema, {{"temperature", 42}, {"humidity", 91}, {"radiation", 8}}, 17);
+
+  const wire::Message delivery =
+      wire::decode_message(wire::frame_delivery(0xDEADBEEFCAFEULL, event),
+                           schema);
+  ASSERT_TRUE(std::holds_alternative<wire::DeliveryMsg>(delivery));
+  EXPECT_EQ(std::get<wire::DeliveryMsg>(delivery).key, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(std::get<wire::DeliveryMsg>(delivery).event.indices(),
+            event.indices());
+  EXPECT_EQ(std::get<wire::DeliveryMsg>(delivery).event.time(), event.time());
+
+  const wire::Message flush =
+      wire::decode_message(wire::frame_flush(0xFFFFFFFFFFFFFFFFULL), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::FlushMsg>(flush));
+  EXPECT_EQ(std::get<wire::FlushMsg>(flush).token, 0xFFFFFFFFFFFFFFFFULL);
+
+  const wire::Message done =
+      wire::decode_message(wire::frame_flush_done(12345), schema);
+  ASSERT_TRUE(std::holds_alternative<wire::FlushDoneMsg>(done));
+  EXPECT_EQ(std::get<wire::FlushDoneMsg>(done).token, 12345u);
+}
+
+// The incremental probe is what lets a socket reader distinguish "not all
+// bytes arrived yet" from "the stream is corrupt": every prefix of a valid
+// frame must be kNeedMore (never kCorrupt), the full frame kComplete with
+// the exact size, and damaged header bytes kCorrupt as soon as they are
+// visible.
+TEST(WireCodec, ProbeReportsNeedMoreForEveryPrefixOfValidFrames) {
+  const SchemaPtr schema = testutil::example1_schema();
+  const std::vector<Frame> frames = {
+      wire::frame_schema(*schema),
+      wire::frame_event(Event::from_pairs(schema, {{"temperature", 20},
+                                                   {"humidity", 50},
+                                                   {"radiation", 3}})),
+      wire::frame_subscribe(7, parse_profile(schema, "humidity <= 5")),
+      wire::frame_unsubscribe(7),
+      wire::frame_delivery(9, Event::from_pairs(schema, {{"temperature", 0},
+                                                         {"humidity", 0},
+                                                         {"radiation", 1}})),
+      wire::frame_flush(1),
+      wire::frame_flush_done(1),
+  };
+  for (const Frame& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const wire::FrameProbe probe =
+          wire::probe_frame(std::span(frame.data(), cut));
+      EXPECT_EQ(probe.status, wire::FrameStatus::kNeedMore)
+          << "prefix of " << cut << " bytes misclassified";
+    }
+
+    const wire::FrameProbe complete = wire::probe_frame(frame);
+    ASSERT_EQ(complete.status, wire::FrameStatus::kComplete);
+    EXPECT_EQ(complete.size, frame.size());
+
+    // Extra bytes after the frame belong to the next frame: the probe still
+    // reports this frame's exact size.
+    Frame padded = frame;
+    padded.insert(padded.end(), {0x57, 0x47, 0x00});
+    const wire::FrameProbe with_tail = wire::probe_frame(padded);
+    ASSERT_EQ(with_tail.status, wire::FrameStatus::kComplete);
+    EXPECT_EQ(with_tail.size, frame.size());
+  }
+}
+
+TEST(WireCodec, ProbeFlagsCorruptHeadersAsSoonAsVisible) {
+  const Frame good = wire::frame_unsubscribe(1);
+
+  for (const std::size_t byte : {0u, 1u}) {  // magic
+    Frame bad = good;
+    bad[byte] ^= 0xFF;
+    for (std::size_t cut = byte + 1; cut <= bad.size(); ++cut) {
+      EXPECT_EQ(wire::probe_frame(std::span(bad.data(), cut)).status,
+                wire::FrameStatus::kCorrupt)
+          << "magic byte " << byte << " cut " << cut;
+    }
+  }
+
+  Frame bad_version = good;
+  bad_version[2] = wire::kWireVersion + 1;
+  EXPECT_EQ(wire::probe_frame(std::span(bad_version.data(), 3)).status,
+            wire::FrameStatus::kCorrupt);
+
+  Frame bad_type = good;
+  bad_type[3] = 99;
+  EXPECT_EQ(wire::probe_frame(std::span(bad_type.data(), 4)).status,
+            wire::FrameStatus::kCorrupt);
+
+  // A length field above the cap is corruption, not a 4 GiB allocation.
+  Frame huge = good;
+  huge[4] = 0xFF;
+  huge[5] = 0xFF;
+  huge[6] = 0xFF;
+  huge[7] = 0xFF;
+  const wire::FrameProbe oversized = wire::probe_frame(huge);
+  EXPECT_EQ(oversized.status, wire::FrameStatus::kCorrupt);
 }
 
 TEST(WireCodec, OutOfDomainPayloadsAreRejected) {

@@ -5,6 +5,10 @@
 #   tools/run_bench.sh              # full run -> BENCH_throughput.json
 #   tools/run_bench.sh --quick      # CI smoke (short measurement windows)
 #
+# Fails loudly: any missing bench binary or crashed run exits non-zero and
+# leaves the previous BENCH_throughput.json untouched (the report is staged
+# in a temp file and only moved into place once every stage succeeded).
+#
 # Interpreting the numbers: see README.md "Performance harness".
 set -euo pipefail
 
@@ -16,25 +20,51 @@ if [[ "${1:-}" == "--quick" ]]; then
   quick_flag="--quick"
 fi
 
+fail() {
+  echo "run_bench.sh: error: $*" >&2
+  exit 1
+}
+
+tmp_output="$(mktemp "${output}.XXXXXX.tmp")"
+trap 'rm -f "$tmp_output"' EXIT
+
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DGENAS_BUILD_TESTS=OFF \
-  -DGENAS_BUILD_EXAMPLES=OFF
+  -DGENAS_BUILD_EXAMPLES=OFF ||
+  fail "cmake configure failed"
 cmake --build "$build_dir" -j "$(nproc)" --target bench_perf_report bench_mesh \
-  bench_composite
+  bench_composite ||
+  fail "building the bench targets failed"
 
-"$build_dir/bench/bench_perf_report" "$output" $quick_flag
+for binary in bench_perf_report bench_mesh bench_composite; do
+  [[ -x "$build_dir/bench/$binary" ]] ||
+    fail "$build_dir/bench/$binary is missing or not executable after the build"
+done
+
+# The three reporters merge into one JSON file, staged in a temp path so a
+# crash mid-sequence cannot leave a truncated BENCH_throughput.json behind.
+"$build_dir/bench/bench_perf_report" "$tmp_output" $quick_flag ||
+  fail "bench_perf_report exited with status $?"
 # Mesh runtime numbers (4-node line/star across routing modes) merge into
 # the same JSON, after the single-broker report has written it.
-"$build_dir/bench/bench_mesh" "$output" $quick_flag
+"$build_dir/bench/bench_mesh" "$tmp_output" $quick_flag ||
+  fail "bench_mesh exited with status $?"
 # Composite-detection throughput (detector + reorder stage on top of
 # publish_batch, vs. the plain-leaf baseline) merges last.
-"$build_dir/bench/bench_composite" "$output" $quick_flag
+"$build_dir/bench/bench_composite" "$tmp_output" $quick_flag ||
+  fail "bench_composite exited with status $?"
+
+[[ -s "$tmp_output" ]] || fail "bench run produced an empty report"
+mv "$tmp_output" "$output"
+trap - EXIT
 echo "--- $output ---"
 cat "$output"
 
 # The google-benchmark thread sweep, when the library is available (gives
-# the per-thread-count breakdown behind the JSON aggregates).
+# the per-thread-count breakdown behind the JSON aggregates). This stage is
+# optional — the library may be absent — but once the binary exists, a
+# crashing sweep fails the script like everything else.
 bench="$build_dir/bench/bench_concurrent"
 [[ -x "$bench" ]] ||
   cmake --build "$build_dir" -j "$(nproc)" --target bench_concurrent \
@@ -42,13 +72,15 @@ bench="$build_dir/bench/bench_concurrent"
 if [[ -x "$bench" ]]; then
   if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
     # BENCH_MIN_TIME holds the value only, e.g. "0.05" or "0.05s".
-    "$bench" "--benchmark_min_time=$BENCH_MIN_TIME"
+    "$bench" "--benchmark_min_time=$BENCH_MIN_TIME" ||
+      fail "bench_concurrent exited with status $?"
   elif [[ -n "$quick_flag" ]]; then
     # google-benchmark >= 1.8 wants a "0.01s" suffix, older builds a bare
     # double — try the modern spelling first, fall back to the old one.
     "$bench" --benchmark_min_time=0.01s 2>/dev/null ||
-      "$bench" --benchmark_min_time=0.01
+      "$bench" --benchmark_min_time=0.01 ||
+      fail "bench_concurrent exited with status $?"
   else
-    "$bench"
+    "$bench" || fail "bench_concurrent exited with status $?"
   fi
 fi
