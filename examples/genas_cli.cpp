@@ -56,6 +56,7 @@
 #include "mesh/topology.hpp"
 #include "net/broker_server.hpp"
 #include "net/remote_client.hpp"
+#include "net/socket_channel.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
 
@@ -487,13 +488,31 @@ int run_serve(int argc, char** argv) {
 
 int run_connect(int argc, char** argv) {
   if (argc < 4) {
-    std::cerr << "usage: genas_cli connect <host> <port>\n";
+    std::cerr << "usage: genas_cli connect <host> <port> [--retry N]\n";
     return 2;
   }
   const std::string host = argv[2];
   const auto port = static_cast<std::uint16_t>(std::stoul(argv[3]));
+  std::size_t retries = 1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--retry" && i + 1 < argc) {
+      retries = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "usage: genas_cli connect <host> <port> [--retry N]\n";
+      return 2;
+    }
+  }
 
-  net::RemoteBrokerClient client(host, port);
+  if (retries > 1) {
+    // Wait for the server to come up: capped-backoff probe dials, then
+    // keep the session alive across server restarts with the same budget.
+    net::connect_with_retry(host, port, retries).close();
+  }
+  net::ClientOptions options;
+  options.reconnect = retries > 1;
+  options.max_redials = retries;
+  net::RemoteBrokerClient client(host, port, options);
   std::cout << "connected to " << host << ":" << port << "\n"
             << "schema: " << client.schema()->to_string() << "\n"
             << "commands: sub <expr> | unsub <id> | csub <expr> | cunsub <id>"

@@ -11,6 +11,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kDomainViolation: return "domain_violation";
     case ErrorCode::kParse:           return "parse_error";
     case ErrorCode::kState:           return "invalid_state";
+    case ErrorCode::kTimeout:         return "timeout";
     case ErrorCode::kInternal:        return "internal_error";
   }
   return "unknown_error";

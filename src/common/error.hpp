@@ -19,6 +19,7 @@ enum class ErrorCode {
   kDomainViolation,  ///< value lies outside the declared attribute domain
   kParse,            ///< text could not be parsed as schema/profile/event
   kState,            ///< operation invalid in the object's current state
+  kTimeout,          ///< a bounded wait expired before the operation finished
   kInternal,         ///< invariant violation inside the library (a bug)
 };
 

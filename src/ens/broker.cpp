@@ -41,6 +41,27 @@ void return_delivery_scratch(std::vector<Delivery>&& buffer) {
   delivery_scratch_slot() = std::move(buffer);
 }
 
+/// Redelivery token of the notification currently being delivered on this
+/// thread (0 = none). The tokened publish paths set it around each callback
+/// invocation so composite_ingest — reached through an internal leaf
+/// subscription's callback — can tag its ingress stimulus without widening
+/// the Notification structure on the untokened hot path.
+thread_local std::uint64_t current_dedup_token = 0;
+
+class TokenGuard {
+ public:
+  explicit TokenGuard(std::uint64_t token) noexcept
+      : saved_(current_dedup_token) {
+    current_dedup_token = token;
+  }
+  ~TokenGuard() { current_dedup_token = saved_; }
+  TokenGuard(const TokenGuard&) = delete;
+  TokenGuard& operator=(const TokenGuard&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
 }  // namespace
 
 namespace {
@@ -317,9 +338,21 @@ void Broker::advance_watermark(Timestamp now) {
 
 void Broker::composite_ingest(ProfileId profile, Timestamp time) {
   std::unique_lock<std::mutex> lock(composite_mutex_);
-  composite_ingress_.push(profile, time);
+  if (!composite_ingress_.push(profile, time, current_dedup_token)) {
+    return;  // redelivered stimulus dropped by the dedup window
+  }
   if (composite_pending_.empty()) return;
   dispatch_composite_firings(lock);
+}
+
+void Broker::set_composite_dedup_window(std::size_t capacity) {
+  const std::scoped_lock lock(composite_mutex_);
+  composite_ingress_.set_dedup_window(capacity);
+}
+
+std::uint64_t Broker::composite_duplicates_dropped() const {
+  const std::scoped_lock lock(composite_mutex_);
+  return composite_ingress_.dropped_duplicates();
 }
 
 void Broker::dispatch_composite_firings(std::unique_lock<std::mutex>& lock) {
@@ -441,7 +474,29 @@ PublishResult Broker::publish(std::string_view event_text, Timestamp time) {
   return publish(parse_event(schema_, event_text, time));
 }
 
+PublishResult Broker::publish(const Event& event, std::uint64_t dedup_token) {
+  if (dedup_token == 0) return publish(event);
+  const BatchPublishResult batch =
+      publish_batch_impl({&event, 1}, {&dedup_token, 1});
+  return PublishResult{batch.notified, batch.operations, batch.rebuilt};
+}
+
 BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
+  return publish_batch_impl(events, {});
+}
+
+BatchPublishResult Broker::publish_batch(
+    std::span<const Event> events,
+    std::span<const std::uint64_t> dedup_tokens) {
+  GENAS_REQUIRE(dedup_tokens.size() == events.size(),
+                ErrorCode::kInvalidArgument,
+                "publish_batch requires one dedup token per event");
+  return publish_batch_impl(events, dedup_tokens);
+}
+
+BatchPublishResult Broker::publish_batch_impl(
+    std::span<const Event> events,
+    std::span<const std::uint64_t> dedup_tokens) {
   BatchPublishResult result;
   result.events = events.size();
   if (events.empty()) return result;
@@ -522,11 +577,23 @@ BatchPublishResult Broker::publish_batch(std::span<const Event> events) {
   result.notified = deliveries.size();
 
   // Drain every notification in one pass, outside any lock.
-  for (const Delivery& delivery : deliveries) {
-    const Notification notification{delivery.subscription,
-                                    events[delivery.event_index]};
-    (*delivery.callback)(notification);
-    for (const auto& sink : *sinks) (*sink)(notification);
+  if (dedup_tokens.empty()) {
+    for (const Delivery& delivery : deliveries) {
+      const Notification notification{delivery.subscription,
+                                      events[delivery.event_index]};
+      (*delivery.callback)(notification);
+      for (const auto& sink : *sinks) (*sink)(notification);
+    }
+  } else {
+    for (const Delivery& delivery : deliveries) {
+      const Notification notification{delivery.subscription,
+                                      events[delivery.event_index]};
+      // The event's token is visible to composite_ingest (and any
+      // re-entrant publish) for exactly this notification's callbacks.
+      const TokenGuard guard(dedup_tokens[delivery.event_index]);
+      (*delivery.callback)(notification);
+      for (const auto& sink : *sinks) (*sink)(notification);
+    }
   }
   return_delivery_scratch(std::move(deliveries));
   return result;

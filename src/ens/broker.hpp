@@ -93,10 +93,24 @@ class Broker {
   /// Parses "a=1; b=2" and publishes.
   PublishResult publish(std::string_view event_text, Timestamp time = 0);
 
+  /// publish() with an at-least-once redelivery token. A transport that may
+  /// deliver the same publish twice (reconnect replay, link retransmission)
+  /// tags each event with a stable nonzero token; plain deliveries still
+  /// duplicate (at-least-once semantics, counted by the caller), but the
+  /// composite runtime dedups stimuli per (token, leaf) within the window
+  /// set by set_composite_dedup_window(), so a redelivered event never
+  /// double-arms or double-fires a composite. Token 0 == plain publish().
+  PublishResult publish(const Event& event, std::uint64_t dedup_token);
+
   /// Filters and delivers a batch against one snapshot acquisition:
   /// matching reuses one scratch buffer across the batch and all
   /// notifications drain in a single pass after matching.
   BatchPublishResult publish_batch(std::span<const Event> events);
+
+  /// publish_batch() with one redelivery token per event (same length as
+  /// `events`; 0 entries are untracked). See publish(event, dedup_token).
+  BatchPublishResult publish_batch(std::span<const Event> events,
+                                   std::span<const std::uint64_t> dedup_tokens);
 
   const SchemaPtr& schema() const noexcept { return schema_; }
 
@@ -155,6 +169,12 @@ class Broker {
   /// (default on). With the index off, every stimulus sweeps all composite
   /// subscriptions; firing multisets are identical in both modes.
   void set_composite_index_enabled(bool enabled);
+  /// Capacity (in distinct tokens) of the composite redelivery filter fed
+  /// by publish(event, dedup_token); 0 (default) disables it. See
+  /// CompositeIngress::set_dedup_window for the eviction contract.
+  void set_composite_dedup_window(std::size_t capacity);
+  /// Stimuli the composite redelivery filter has dropped.
+  std::uint64_t composite_duplicates_dropped() const;
 
   /// Installs (or, with nullptr, clears) the broker's *default* delivery
   /// sink: an observer invoked for every delivered notification, after the
@@ -219,6 +239,12 @@ class Broker {
   /// version is current (lock-free), else refreshes — rebuilding the
   /// snapshot if stale — under the mutation mutex.
   std::shared_ptr<const Snapshot> acquire_snapshot(bool* rebuilt);
+
+  /// Shared body of both publish_batch overloads; `dedup_tokens` is empty
+  /// or parallel to `events`.
+  BatchPublishResult publish_batch_impl(
+      std::span<const Event> events,
+      std::span<const std::uint64_t> dedup_tokens);
 
   /// Feeds one internal leaf firing into the composite runtime, then
   /// dispatches any completed composite callbacks outside composite_mutex_.

@@ -595,11 +595,46 @@ void CompositeIngress::set_skew(Timestamp skew) {
 }
 
 void CompositeIngress::push(ProfileId profile, Timestamp time) {
+  push(profile, time, 0);
+}
+
+bool CompositeIngress::push(ProfileId profile, Timestamp time,
+                            std::uint64_t token) {
+  if (dedup_capacity_ > 0 && token != 0) {
+    auto [it, inserted] = seen_.try_emplace(token);
+    if (!inserted) {
+      if (std::find(it->second.begin(), it->second.end(), profile) !=
+          it->second.end()) {
+        ++dropped_;
+        return false;  // redelivered stimulus: already armed this instant
+      }
+    } else {
+      seen_order_.push_back(token);
+      while (seen_order_.size() > dedup_capacity_) {
+        seen_.erase(seen_order_.front());
+        seen_order_.pop_front();
+      }
+    }
+    it->second.push_back(profile);
+  }
   pending_[time].push_back(profile);
   if (max_seen_ == kCompositeNever || time > max_seen_) max_seen_ = time;
   const Timestamp mark = watermark();
-  if (mark == kCompositeNever) return;
-  release_below(mark);
+  if (mark != kCompositeNever) release_below(mark);
+  return true;
+}
+
+void CompositeIngress::set_dedup_window(std::size_t capacity) {
+  dedup_capacity_ = capacity;
+  if (capacity == 0) {
+    seen_.clear();
+    seen_order_.clear();
+    return;
+  }
+  while (seen_order_.size() > capacity) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
 }
 
 void CompositeIngress::advance_to(Timestamp now) {

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -269,6 +270,24 @@ class CompositeIngress {
   /// Buffers one stimulus and releases every instant the watermark passed.
   void push(ProfileId profile, Timestamp time);
 
+  /// push() with a redelivery token (at-least-once transports): when a
+  /// dedup window is configured and `token` is nonzero, a (token, profile)
+  /// pair already seen among the most recent `dedup_window()` distinct
+  /// tokens is dropped — redelivered stimuli never double-arm or
+  /// double-fire a composite. Token 0 means "untracked" (never deduped).
+  /// Returns false when the stimulus was dropped as a duplicate.
+  bool push(ProfileId profile, Timestamp time, std::uint64_t token);
+
+  /// Sets the duplicate-filter capacity, counted in distinct tokens
+  /// (0, the default, disables filtering). The window is bounded: once
+  /// `capacity` distinct tokens are tracked, the oldest is evicted — a
+  /// redelivery arriving later than `capacity` fresher tokens can slip
+  /// through, which is the explicit memory/exactness trade.
+  void set_dedup_window(std::size_t capacity);
+  std::size_t dedup_window() const noexcept { return dedup_capacity_; }
+  /// Stimuli dropped by the duplicate filter so far.
+  std::uint64_t dropped_duplicates() const noexcept { return dropped_; }
+
   /// Time-driven watermark tick: advances "max time seen" to `now` (if
   /// later) and releases every instant the new watermark passed, exactly as
   /// if a stimulus at `now` had arrived — without buffering one. Bounds
@@ -293,6 +312,13 @@ class CompositeIngress {
   std::map<Timestamp, std::vector<ProfileId>> pending_;
   Timestamp max_seen_ = kCompositeNever;
   Timestamp skew_ = 0;
+
+  /// Duplicate filter state: token -> profiles seen under it, with FIFO
+  /// eviction once more than dedup_capacity_ distinct tokens are tracked.
+  std::size_t dedup_capacity_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<ProfileId>> seen_;
+  std::deque<std::uint64_t> seen_order_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace genas

@@ -1,0 +1,321 @@
+#include "ens/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace genas {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw_error(ErrorCode::kState,
+              "journal: " + what + ": " + std::strerror(errno));
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+std::uint32_t read_u32_le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> read_whole_file(int fd) {
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("read failed");
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + n);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::uint32_t SubscriptionJournal::crc32(
+    std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+SubscriptionJournal::~SubscriptionJournal() { close(); }
+
+void SubscriptionJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+  append_at_ = 0;
+  state_ = State{};
+}
+
+const SubscriptionJournal::State& SubscriptionJournal::open(
+    const std::string& path, LoadStats* stats) {
+  close();
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) io_fail("cannot open '" + path + "'");
+  path_ = path;
+
+  const std::vector<std::uint8_t> bytes = read_whole_file(fd_);
+  LoadStats local;
+
+  // Scan the record sequence; `offset` always points at the start of the
+  // last known-good record boundary. Any defect — torn record, CRC
+  // mismatch, undecodable frame, a record type that is not subscription
+  // state — ends the scan there. The tail is data loss we already suffered
+  // (the crash happened mid-write); truncating it is what makes the next
+  // append produce a well-formed journal again.
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 4) break;  // torn: checksum itself is short
+    const std::uint32_t expected_crc = read_u32_le(bytes.data() + offset);
+    const std::span<const std::uint8_t> rest(bytes.data() + offset + 4,
+                                             bytes.size() - offset - 4);
+    const wire::FrameProbe probe = wire::probe_frame(rest);
+    if (probe.status != wire::FrameStatus::kComplete) break;
+    const std::span<const std::uint8_t> frame = rest.first(probe.size);
+    if (crc32(frame) != expected_crc) break;
+
+    bool applied = false;
+    try {
+      const wire::Message message = wire::decode_message(frame, state_.schema);
+      if (const auto* schema = std::get_if<wire::SchemaMsg>(&message)) {
+        // Exactly one schema record, first.
+        if (state_.schema == nullptr && offset == 0) {
+          state_.schema = schema->schema;
+          applied = true;
+        }
+      } else if (state_.schema != nullptr) {
+        if (const auto* sub = std::get_if<wire::SubscribeMsg>(&message)) {
+          state_.subscriptions.insert_or_assign(sub->key, sub->profile);
+          applied = true;
+        } else if (const auto* unsub =
+                       std::get_if<wire::UnsubscribeMsg>(&message)) {
+          state_.subscriptions.erase(unsub->key);
+          applied = true;
+        } else if (const auto* csub =
+                       std::get_if<wire::CompositeSubscribeMsg>(&message)) {
+          state_.composites.insert_or_assign(csub->key, csub->expression);
+          applied = true;
+        } else if (const auto* cunsub =
+                       std::get_if<wire::CompositeUnsubscribeMsg>(&message)) {
+          state_.composites.erase(cunsub->key);
+          applied = true;
+        }
+      }
+    } catch (const Error&) {
+      // Undecodable under the journal's schema: treated as tail corruption.
+    }
+    if (!applied) break;
+    offset += 4 + probe.size;
+    ++local.records;
+  }
+
+  if (offset < bytes.size()) {
+    local.bytes_dropped = bytes.size() - offset;
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      io_fail("cannot truncate corrupt tail");
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    io_fail("seek failed");
+  }
+  append_at_ = offset;
+  if (stats != nullptr) *stats = local;
+  return state_;
+}
+
+void SubscriptionJournal::append_record(const std::vector<std::uint8_t>& frame) {
+  GENAS_REQUIRE(is_open(), ErrorCode::kState, "journal: not open");
+  std::vector<std::uint8_t> record;
+  record.reserve(4 + frame.size());
+  const std::uint32_t crc = crc32(frame);
+  for (int i = 0; i < 4; ++i) {
+    record.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  record.insert(record.end(), frame.begin(), frame.end());
+  write_all(fd_, record.data(), record.size());
+  append_at_ += record.size();
+}
+
+void SubscriptionJournal::record_schema(const Schema& schema) {
+  GENAS_REQUIRE(state_.schema == nullptr, ErrorCode::kState,
+                "journal: schema already recorded");
+  const std::vector<std::uint8_t> frame = wire::frame_schema(schema);
+  append_record(frame);
+  // Keep the mirror consistent with what a reload would decode: re-decode
+  // the bytes we just wrote rather than aliasing the caller's instance.
+  state_.schema =
+      std::get<wire::SchemaMsg>(wire::decode_message(frame, nullptr)).schema;
+}
+
+void SubscriptionJournal::record_subscribe(std::uint64_t key,
+                                           const Profile& profile) {
+  GENAS_REQUIRE(state_.schema != nullptr, ErrorCode::kState,
+                "journal: record_schema must come first");
+  const std::vector<std::uint8_t> frame = wire::frame_subscribe(key, profile);
+  append_record(frame);
+  // Mirror via decode (against the journal's schema instance) so state()
+  // is byte-for-byte what a reload would produce.
+  state_.subscriptions.insert_or_assign(
+      key, std::get<wire::SubscribeMsg>(
+               wire::decode_message(frame, state_.schema))
+               .profile);
+}
+
+void SubscriptionJournal::record_unsubscribe(std::uint64_t key) {
+  GENAS_REQUIRE(state_.schema != nullptr, ErrorCode::kState,
+                "journal: record_schema must come first");
+  append_record(wire::frame_unsubscribe(key));
+  state_.subscriptions.erase(key);
+}
+
+void SubscriptionJournal::record_composite_subscribe(
+    std::uint64_t key, const CompositeExpr& expression) {
+  GENAS_REQUIRE(state_.schema != nullptr, ErrorCode::kState,
+                "journal: record_schema must come first");
+  const std::vector<std::uint8_t> frame =
+      wire::frame_composite_subscribe(key, expression);
+  append_record(frame);
+  // Mirror via decode so the stored expression is the serializable form
+  // (profile leaves only), independent of the caller's object graph.
+  state_.composites.insert_or_assign(
+      key, std::get<wire::CompositeSubscribeMsg>(
+               wire::decode_message(frame, state_.schema))
+               .expression);
+}
+
+void SubscriptionJournal::record_composite_unsubscribe(std::uint64_t key) {
+  GENAS_REQUIRE(state_.schema != nullptr, ErrorCode::kState,
+                "journal: record_schema must come first");
+  append_record(wire::frame_composite_unsubscribe(key));
+  state_.composites.erase(key);
+}
+
+void SubscriptionJournal::sync() {
+  GENAS_REQUIRE(is_open(), ErrorCode::kState, "journal: not open");
+  if (::fsync(fd_) != 0) io_fail("fsync failed");
+}
+
+void SubscriptionJournal::compact() {
+  GENAS_REQUIRE(is_open(), ErrorCode::kState, "journal: not open");
+  GENAS_REQUIRE(state_.schema != nullptr, ErrorCode::kState,
+                "journal: nothing to compact before a schema record");
+  const std::string temp = path_ + ".compact";
+  const int out = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                         0644);
+  if (out < 0) io_fail("cannot open compaction temp file '" + temp + "'");
+
+  std::uint64_t written = 0;
+  const auto put = [&](const std::vector<std::uint8_t>& frame) {
+    std::vector<std::uint8_t> record;
+    record.reserve(4 + frame.size());
+    const std::uint32_t crc = crc32(frame);
+    for (int i = 0; i < 4; ++i) {
+      record.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    record.insert(record.end(), frame.begin(), frame.end());
+    write_all(out, record.data(), record.size());
+    written += record.size();
+  };
+
+  try {
+    put(wire::frame_schema(*state_.schema));
+    for (const auto& [key, profile] : state_.subscriptions) {
+      put(wire::frame_subscribe(key, profile));
+    }
+    for (const auto& [key, expression] : state_.composites) {
+      put(wire::frame_composite_subscribe(key, *expression));
+    }
+    if (::fsync(out) != 0) io_fail("fsync of compaction temp file failed");
+  } catch (...) {
+    ::close(out);
+    ::unlink(temp.c_str());
+    throw;
+  }
+  ::close(out);
+
+  if (::rename(temp.c_str(), path_.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    io_fail("rename of compacted journal failed");
+  }
+  // Swap the open descriptor to the new file; the old inode is now
+  // unreferenced by the path and dies with the old fd.
+  const int replacement = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (replacement < 0) io_fail("cannot reopen compacted journal");
+  if (::lseek(replacement, 0, SEEK_END) < 0) {
+    ::close(replacement);
+    io_fail("seek failed");
+  }
+  ::close(fd_);
+  fd_ = replacement;
+  append_at_ = written;
+}
+
+JournalReplayResult replay_journal(
+    const SubscriptionJournal::State& state, Broker& broker,
+    const std::function<NotificationCallback(std::uint64_t)>& make_callback,
+    const std::function<CompositeCallback(std::uint64_t)>&
+        make_composite_callback) {
+  GENAS_REQUIRE(state.schema == nullptr || state.schema == broker.schema(),
+                ErrorCode::kInvalidArgument,
+                "journal replay requires the broker to be constructed with "
+                "the journal's schema instance");
+  JournalReplayResult result;
+  for (const auto& [key, profile] : state.subscriptions) {
+    result.subscriptions.emplace(key,
+                                 broker.subscribe(profile, make_callback(key)));
+  }
+  for (const auto& [key, expression] : state.composites) {
+    result.composites.emplace(
+        key, broker.subscribe_composite(expression,
+                                        make_composite_callback(key)));
+  }
+  return result;
+}
+
+}  // namespace genas

@@ -1,0 +1,128 @@
+// GENAS — durable subscription journal.
+//
+// A broker (or the node hosting one) survives a crash by journaling its
+// subscription state: every subscribe/unsubscribe — plain or composite —
+// appends one record, and after a restart the journal replays the live
+// set into a fresh broker. Event traffic is NOT journaled (at-least-once
+// redelivery is the links' job, see src/mesh and src/net); the journal
+// covers the control plane, which is small, mutation-rate-bounded, and
+// exactly what a restarted node cannot reconstruct from its peers.
+//
+// On-disk format — the wire codec reused as a storage format. A journal is
+// a sequence of records:
+//
+//   u32 crc32     IEEE CRC-32 of the frame bytes that follow
+//   ...frame...   one complete wire frame (length-prefixed, versioned;
+//                 see src/wire/codec.hpp)
+//
+// The first record's frame is kSchema; every later record is one of
+// kSubscribe / kUnsubscribe / kCompositeSubscribe / kCompositeUnsubscribe,
+// decoded against that schema. Because frames are self-delimiting, a
+// journal needs no index or footer: load() scans records forward and stops
+// at the first one that is torn (short), CRC-mismatched, or undecodable.
+// Everything before that point is the recovered state; the bad tail is
+// truncated in place — a crash mid-append (torn write, garbage from a
+// partial sector) costs at most the records after the last durable one,
+// and never a failed load.
+//
+// compact() bounds file growth: it rewrites schema + live state only
+// (dropping subscribe/unsubscribe churn) into a temp file, fsyncs, and
+// renames over the journal — the atomic-replace idiom, so a crash during
+// compaction leaves either the old or the new journal, never a hybrid.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "ens/broker.hpp"
+#include "ens/composite.hpp"
+#include "profile/profile.hpp"
+
+namespace genas {
+
+class SubscriptionJournal {
+ public:
+  /// Live subscription state recovered from (and mirrored by) a journal.
+  struct State {
+    SchemaPtr schema;  ///< null until a schema record is written
+    std::unordered_map<std::uint64_t, Profile> subscriptions;
+    std::unordered_map<std::uint64_t, CompositeExprPtr> composites;
+  };
+
+  /// Diagnostics from open(): how much of the file was recoverable.
+  struct LoadStats {
+    std::size_t records = 0;        ///< valid records replayed
+    std::size_t bytes_dropped = 0;  ///< torn/corrupt tail truncated away
+  };
+
+  SubscriptionJournal() = default;
+  ~SubscriptionJournal();
+  SubscriptionJournal(const SubscriptionJournal&) = delete;
+  SubscriptionJournal& operator=(const SubscriptionJournal&) = delete;
+
+  /// Opens `path` (creating it when absent), replays the valid record
+  /// prefix into the journal's live state, and truncates any torn or
+  /// corrupt tail. Corruption is recovery, not failure: only real I/O
+  /// errors (open/read/truncate) throw Error{kState}.
+  const State& open(const std::string& path, LoadStats* stats = nullptr);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Writes the schema record. Required once, before any subscription
+  /// record, and only on a journal with no schema yet (Error{kState}
+  /// otherwise).
+  void record_schema(const Schema& schema);
+  void record_subscribe(std::uint64_t key, const Profile& profile);
+  void record_unsubscribe(std::uint64_t key);
+  void record_composite_subscribe(std::uint64_t key,
+                                  const CompositeExpr& expression);
+  void record_composite_unsubscribe(std::uint64_t key);
+
+  /// Flushes appended records to stable storage (fsync).
+  void sync();
+
+  /// Rewrites the journal as schema + live state only, via temp-file +
+  /// atomic rename; churn history is dropped. The journal stays open on
+  /// the new file.
+  void compact();
+
+  /// Live state mirror (schema + surviving subscriptions).
+  const State& state() const noexcept { return state_; }
+  /// Current journal file size in bytes.
+  std::uint64_t size_bytes() const noexcept { return append_at_; }
+
+  /// IEEE CRC-32 (reflected, poly 0xEDB88320) over `data` — the checksum
+  /// guarding each record. Exposed so tests can forge/verify records.
+  static std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void append_record(const std::vector<std::uint8_t>& frame);
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t append_at_ = 0;  ///< end of the valid record prefix
+  State state_;
+};
+
+/// Handles a replayed journal gets in the new broker, keyed by the stable
+/// journal keys.
+struct JournalReplayResult {
+  std::unordered_map<std::uint64_t, SubscriptionId> subscriptions;
+  std::unordered_map<std::uint64_t, CompositeId> composites;
+};
+
+/// Re-registers every live subscription in `state` with `broker`. The
+/// factories produce the delivery callbacks, one per journal key (a journal
+/// stores routing state, not code). The broker must share the journal's
+/// schema *instance* — construct it with `state.schema` — because profile
+/// and composite schema checks compare by pointer identity.
+JournalReplayResult replay_journal(
+    const SubscriptionJournal::State& state, Broker& broker,
+    const std::function<NotificationCallback(std::uint64_t)>& make_callback,
+    const std::function<CompositeCallback(std::uint64_t)>&
+        make_composite_callback);
+
+}  // namespace genas

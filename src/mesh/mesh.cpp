@@ -44,6 +44,8 @@ struct FrameMsg {
 };
 struct PublishMsg {
   Event event;
+  /// Redelivery token forwarded to Broker::publish(event, token); 0 = none.
+  std::uint64_t token = 0;
 };
 struct LocalSubscribeMsg {
   SubscriptionId key = 0;
@@ -86,6 +88,23 @@ struct MeshNetwork::Node {
     std::deque<NodeMsg> outbox;    // frames awaiting a full peer mailbox
     std::atomic<std::uint64_t> event_messages{0};
     std::atomic<std::uint64_t> routing_entries{0};
+
+    // Reliable-link state (all worker-owned: sends, acks, and received
+    // frames for this link are handled exclusively by the owning worker).
+    std::uint64_t next_seq = 1;    ///< next envelope sequence to assign
+    std::uint64_t acked_out = 0;   ///< highest cumulative ack received
+    std::uint64_t highest_tx = 0;  ///< highest sequence transmitted at least once
+    /// Envelopes awaiting cumulative ack, in sequence order; only those
+    /// within the window are on the wire, the rest wait here unsent.
+    std::deque<std::pair<std::uint64_t, Bytes>> unacked;
+    std::uint64_t expected_in = 1; ///< next sequence accepted from `node`
+    bool needs_ack = false;        ///< ack owed to `node` after this batch
+    /// Fault-injected delayed transmissions, released after later traffic.
+    std::deque<NodeMsg> delayed;
+    std::chrono::steady_clock::time_point last_tx{};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> dup_frames{0};
+    std::atomic<std::uint64_t> gap_frames{0};
   };
   std::vector<std::unique_ptr<Peer>> peers;
 
@@ -121,9 +140,12 @@ struct MeshNetwork::Node {
   std::atomic<std::uint64_t> deliveries{0};
 
   // Per-batch scratch (worker-owned): events collected from the drained
-  // mailbox batch and the link each arrived on (kExternal for publishes).
+  // mailbox batch, the link each arrived on (kExternal for publishes), and
+  // each event's redelivery token (0 for link-delivered events — links are
+  // exactly-once, so only ingress publishes carry tokens).
   std::vector<Event> batch_events;
   std::vector<NodeId> batch_sources;
+  std::vector<std::uint64_t> batch_tokens;
 
 };
 
@@ -168,6 +190,7 @@ NodeId MeshNetwork::add_node() {
   engine_options.prior = options_.event_distribution;
   node->broker = std::make_unique<Broker>(schema_, std::move(engine_options));
   node->broker->set_composite_skew(options_.composite_skew);
+  node->broker->set_composite_dedup_window(options_.composite_dedup_window);
   Node* raw = node.get();
   node->broker->set_delivery_sink([raw](const Notification&) {
     raw->deliveries.fetch_add(1, std::memory_order_relaxed);
@@ -323,10 +346,15 @@ void MeshNetwork::advance_watermark(Timestamp now) {
 }
 
 void MeshNetwork::publish(NodeId node, Event event) {
+  publish(node, std::move(event), 0);
+}
+
+void MeshNetwork::publish(NodeId node, Event event,
+                          std::uint64_t dedup_token) {
   validate_node(node);
   GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
                 "event schema differs from mesh schema");
-  enqueue(node, NodeMsg{PublishMsg{std::move(event)}});
+  enqueue(node, NodeMsg{PublishMsg{std::move(event), dedup_token}});
 }
 
 void MeshNetwork::enqueue(NodeId node, NodeMsg message) {
@@ -354,9 +382,19 @@ void MeshNetwork::messages_done(std::uint64_t n) {
   }
 }
 
+void MeshNetwork::unacked_done(std::uint64_t n) {
+  if (n == 0) return;
+  if (unacked_total_.fetch_sub(n) == n) {
+    const std::scoped_lock lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
 void MeshNetwork::wait_idle() {
   std::unique_lock<std::mutex> lock(idle_mutex_);
-  idle_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+  idle_cv_.wait(lock, [&] {
+    return inflight_.load() == 0 && unacked_total_.load() == 0;
+  });
 }
 
 void MeshNetwork::shutdown() {
@@ -373,7 +411,9 @@ void MeshNetwork::shutdown() {
     }
     shutting_down_ = true;
     accepting_ = false;
-    idle_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+    idle_cv_.wait(lock, [&] {
+      return inflight_.load() == 0 && unacked_total_.load() == 0;
+    });
   }
   for (const auto& node : nodes_) node->mailbox.close();
   for (const auto& node : nodes_) {
@@ -405,25 +445,38 @@ void MeshNetwork::run_node(Node& node) {
   batch.reserve(kDrainBatch);
   for (;;) {
     const bool outbox_pending = flush_outboxes(node);
+    const bool link_pending = link_service(node);
     batch.clear();
+    // Outbox retries poll fast; pending link work (unacked windows awaiting
+    // retransmission) polls at the retransmit interval; otherwise block
+    // until traffic or close.
     const auto timeout =
-        outbox_pending ? kOutboxRetry : std::chrono::microseconds::zero();
+        outbox_pending ? kOutboxRetry
+        : link_pending
+            ? std::chrono::duration_cast<std::chrono::microseconds>(
+                  options_.link_retransmit_interval)
+            : std::chrono::microseconds::zero();
     const std::size_t drained = node.mailbox.pop_batch(batch, kDrainBatch,
                                                        timeout);
     if (drained == 0) {
-      if (!node.mailbox.closed()) continue;  // timeout; retry outboxes
-      if (!outbox_pending && node.mailbox.size() == 0) break;
-      // Closed with staged frames should be impossible (shutdown waits for
-      // quiescence first); drop them rather than spin forever.
-      if (outbox_pending) {
+      if (!node.mailbox.closed()) continue;  // timeout; retry link/outboxes
+      if (!outbox_pending && !link_pending && node.mailbox.size() == 0) break;
+      // Closed with staged or unacked frames should be impossible (shutdown
+      // waits for quiescence first); drop them rather than spin forever.
+      if (outbox_pending || link_pending) {
         std::uint64_t dropped = 0;
+        std::uint64_t unacked = 0;
         for (const auto& peer : node.peers) {
           dropped += peer->outbox.size();
           peer->outbox.clear();
+          peer->delayed.clear();
+          unacked += peer->unacked.size();
+          peer->unacked.clear();
         }
         record_error("mesh node " + std::to_string(node.id) +
-                     ": outbox frames dropped at close");
+                     ": staged frames dropped at close");
         messages_done(dropped);
+        unacked_done(unacked);
       }
       continue;
     }
@@ -448,8 +501,86 @@ void MeshNetwork::broadcast_frame(Node& node, std::size_t skip_index,
                                   Bytes bytes) {
   for (std::size_t p = 0; p < node.peers.size(); ++p) {
     if (p == skip_index) continue;
-    send_frame(node, p, NodeMsg{FrameMsg{node.id, bytes}});
+    send_link(node, p, bytes);
   }
+}
+
+void MeshNetwork::send_link(Node& node, std::size_t peer_index,
+                            const Bytes& inner) {
+  if (!options_.reliable_links) {
+    transmit(node, peer_index, NodeMsg{FrameMsg{node.id, inner}});
+    return;
+  }
+  Node::Peer& peer = *node.peers[peer_index];
+  const std::uint64_t seq = peer.next_seq++;
+  Bytes envelope = share(wire::frame_link(seq, *inner));
+  peer.unacked.emplace_back(seq, envelope);
+  unacked_total_.fetch_add(1, std::memory_order_relaxed);
+  if (seq <= peer.acked_out + options_.link_window) {
+    peer.highest_tx = seq;
+    peer.last_tx = std::chrono::steady_clock::now();
+    transmit(node, peer_index, NodeMsg{FrameMsg{node.id, std::move(envelope)}});
+  }
+  // Beyond the window the envelope stays buffered; the ack that slides the
+  // window past it (or link_service) performs the first transmission.
+}
+
+void MeshNetwork::transmit(Node& node, std::size_t peer_index,
+                           NodeMsg message) {
+  Node::Peer& peer = *node.peers[peer_index];
+  net::FaultAction action = net::FaultAction::kNone;
+  if (options_.fault_plan != nullptr) {
+    action = options_.fault_plan->apply(node.id, peer.node);
+  }
+  switch (action) {
+    case net::FaultAction::kDrop:
+      return;  // never enqueued, so never counted in flight
+    case net::FaultAction::kDelay:
+      // Held out of order: released behind the link's next transmission (or
+      // by link_service) so the receiver observes a reordering, not a loss.
+      peer.delayed.push_back(std::move(message));
+      return;
+    case net::FaultAction::kDuplicate:
+      send_frame(node, peer_index, message);
+      break;
+    case net::FaultAction::kNone:
+      break;
+  }
+  send_frame(node, peer_index, std::move(message));
+  // This transmission overtook any frames held in the delay pen; release
+  // them now (directly — injecting faults into a release could loop).
+  while (!peer.delayed.empty()) {
+    send_frame(node, peer_index, std::move(peer.delayed.front()));
+    peer.delayed.pop_front();
+  }
+}
+
+bool MeshNetwork::link_service(Node& node) {
+  if (!options_.reliable_links && options_.fault_plan == nullptr) return false;
+  bool pending = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < node.peers.size(); ++p) {
+    Node::Peer& peer = *node.peers[p];
+    // Release fault-delayed frames that no later traffic flushed out.
+    while (!peer.delayed.empty()) {
+      send_frame(node, p, std::move(peer.delayed.front()));
+      peer.delayed.pop_front();
+    }
+    if (peer.unacked.empty()) continue;
+    pending = true;
+    if (now - peer.last_tx < options_.link_retransmit_interval) continue;
+    peer.last_tx = now;
+    for (const auto& [seq, bytes] : peer.unacked) {
+      if (seq > peer.acked_out + options_.link_window) break;
+      if (seq <= peer.highest_tx) {
+        peer.retransmits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        peer.highest_tx = seq;
+      }
+      transmit(node, p, NodeMsg{FrameMsg{node.id, bytes}});
+    }
+  }
+  return pending;
 }
 
 void MeshNetwork::send_frame(Node& node, std::size_t peer_index,
@@ -468,6 +599,7 @@ void MeshNetwork::send_frame(Node& node, std::size_t peer_index,
 void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
   node.batch_events.clear();
   node.batch_sources.clear();
+  node.batch_tokens.clear();
   for (NodeMsg& message : batch) {
     try {
       handle_message(node, message);
@@ -480,6 +612,17 @@ void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
   } catch (const std::exception& e) {
     record_error(e.what());
   }
+  // One cumulative ack per link that received envelopes this batch — acks
+  // are unsequenced and idempotent, and they take the fault plan too (a
+  // lost ack is recovered by retransmit -> duplicate -> re-ack).
+  for (std::size_t p = 0; p < node.peers.size(); ++p) {
+    Node::Peer& peer = *node.peers[p];
+    if (!peer.needs_ack) continue;
+    peer.needs_ack = false;
+    transmit(node, p,
+             NodeMsg{FrameMsg{node.id,
+                              share(wire::frame_link_ack(peer.expected_in - 1))}});
+  }
 }
 
 void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
@@ -487,63 +630,82 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
     node.events_published.fetch_add(1, std::memory_order_relaxed);
     node.batch_events.push_back(std::move(publish->event));
     node.batch_sources.push_back(kExternal);
+    node.batch_tokens.push_back(publish->token);
     return;
   }
 
   if (auto* frame = std::get_if<FrameMsg>(&message.payload)) {
     wire::Message decoded = wire::decode_message(*frame->bytes, schema_);
 
-    if (auto* event = std::get_if<wire::EventMsg>(&decoded)) {
-      node.batch_events.push_back(std::move(event->event));
-      node.batch_sources.push_back(frame->source);
-      return;
-    }
-
-    std::size_t from_index = node.peers.size();
-    for (std::size_t p = 0; p < node.peers.size(); ++p) {
-      if (node.peers[p]->node == frame->source) {
-        from_index = p;
-        break;
+    if (auto* link = std::get_if<wire::LinkFrameMsg>(&decoded)) {
+      std::size_t from_index = node.peers.size();
+      for (std::size_t p = 0; p < node.peers.size(); ++p) {
+        if (node.peers[p]->node == frame->source) {
+          from_index = p;
+          break;
+        }
       }
-    }
-    GENAS_CHECK(from_index < node.peers.size(),
-                "frame from a node that is not a peer");
-    Node::Peer* from = node.peers[from_index].get();
-
-    if (auto* sub = std::get_if<wire::SubscribeMsg>(&decoded)) {
-      // Install toward the link the subscription arrived on; covering may
-      // suppress it, which also stops propagation here (overlay semantics).
-      const bool installed =
-          from->table.add(sub->key, sub->profile,
-                          options_.mode == RoutingMode::kRoutingCovered);
-      if (!installed) return;
-      node.profile_messages.fetch_add(1, std::memory_order_relaxed);
-      from->routing_entries.fetch_add(1, std::memory_order_relaxed);
-      // The onward frame is byte-identical to the one that just arrived:
-      // relay the shared buffer instead of re-encoding the profile.
-      broadcast_frame(node, from_index, frame->bytes);
-      return;
-    }
-
-    if (auto* unsub = std::get_if<wire::UnsubscribeMsg>(&decoded)) {
-      const net::LinkTable::Removal removal = from->table.remove(unsub->key);
-      if (!removal.installed) return;  // suppressed or unknown: it never
-                                       // propagated past this node
-      from->routing_entries.fetch_sub(1, std::memory_order_relaxed);
-      broadcast_frame(node, from_index, frame->bytes);
-      // Entries the removed profile had been covering are installed now;
-      // propagate them onward like fresh subscriptions.
-      for (const auto& [key, profile] : removal.promoted) {
-        node.profile_messages.fetch_add(1, std::memory_order_relaxed);
-        from->routing_entries.fetch_add(1, std::memory_order_relaxed);
-        broadcast_frame(node, from_index,
-                        share(wire::frame_subscribe(key, profile)));
+      GENAS_CHECK(from_index < node.peers.size(),
+                  "link envelope from a node that is not a peer");
+      Node::Peer& from = *node.peers[from_index];
+      // Go-back-N receive: exactly the expected sequence is processed.
+      // Anything else is discarded (duplicates from retransmission,
+      // out-of-order frames behind a loss) and the cumulative ack tells the
+      // sender where to resume. Every envelope earns an ack — re-acking a
+      // duplicate is what recovers a lost ack.
+      from.needs_ack = true;
+      if (link->sequence < from.expected_in) {
+        from.dup_frames.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
+      if (link->sequence > from.expected_in) {
+        from.gap_frames.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      ++from.expected_in;
+      wire::Message inner = wire::decode_message(link->inner, schema_);
+      GENAS_CHECK(!std::holds_alternative<wire::LinkFrameMsg>(inner) &&
+                      !std::holds_alternative<wire::LinkAckMsg>(inner),
+                  "nested link envelope on a mesh link");
+      const Bytes raw = share(std::move(link->inner));
+      handle_link_payload(node, frame->source, raw, inner);
       return;
     }
 
-    throw_error(ErrorCode::kInternal,
-                "unexpected wire message on a mesh link");
+    if (auto* ack = std::get_if<wire::LinkAckMsg>(&decoded)) {
+      std::size_t from_index = node.peers.size();
+      for (std::size_t p = 0; p < node.peers.size(); ++p) {
+        if (node.peers[p]->node == frame->source) {
+          from_index = p;
+          break;
+        }
+      }
+      GENAS_CHECK(from_index < node.peers.size(),
+                  "link ack from a node that is not a peer");
+      Node::Peer& from = *node.peers[from_index];
+      if (ack->sequence <= from.acked_out) return;  // stale/duplicate ack
+      std::uint64_t pruned = 0;
+      while (!from.unacked.empty() &&
+             from.unacked.front().first <= ack->sequence) {
+        from.unacked.pop_front();
+        ++pruned;
+      }
+      from.acked_out = ack->sequence;
+      // The window slid forward: frames buffered beyond the old window may
+      // now take their first transmission.
+      for (const auto& [seq, bytes] : from.unacked) {
+        if (seq > from.acked_out + options_.link_window) break;
+        if (seq <= from.highest_tx) continue;  // already on the wire
+        from.highest_tx = seq;
+        from.last_tx = std::chrono::steady_clock::now();
+        transmit(node, from_index, NodeMsg{FrameMsg{node.id, bytes}});
+      }
+      unacked_done(pruned);
+      return;
+    }
+
+    handle_link_payload(node, frame->source, frame->bytes, decoded);
+    return;
   }
 
   if (auto* sub = std::get_if<LocalSubscribeMsg>(&message.payload)) {
@@ -642,13 +804,71 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
   }
 }
 
+void MeshNetwork::handle_link_payload(Node& node, NodeId source,
+                                      const Bytes& raw,
+                                      wire::Message& decoded) {
+  if (auto* event = std::get_if<wire::EventMsg>(&decoded)) {
+    node.batch_events.push_back(std::move(event->event));
+    node.batch_sources.push_back(source);
+    node.batch_tokens.push_back(0);
+    return;
+  }
+
+  std::size_t from_index = node.peers.size();
+  for (std::size_t p = 0; p < node.peers.size(); ++p) {
+    if (node.peers[p]->node == source) {
+      from_index = p;
+      break;
+    }
+  }
+  GENAS_CHECK(from_index < node.peers.size(),
+              "frame from a node that is not a peer");
+  Node::Peer* from = node.peers[from_index].get();
+
+  if (auto* sub = std::get_if<wire::SubscribeMsg>(&decoded)) {
+    // Install toward the link the subscription arrived on; covering may
+    // suppress it, which also stops propagation here (overlay semantics).
+    const bool installed =
+        from->table.add(sub->key, sub->profile,
+                        options_.mode == RoutingMode::kRoutingCovered);
+    if (!installed) return;
+    node.profile_messages.fetch_add(1, std::memory_order_relaxed);
+    from->routing_entries.fetch_add(1, std::memory_order_relaxed);
+    // The onward frame is byte-identical to the one that just arrived:
+    // relay the shared buffer instead of re-encoding the profile.
+    broadcast_frame(node, from_index, raw);
+    return;
+  }
+
+  if (auto* unsub = std::get_if<wire::UnsubscribeMsg>(&decoded)) {
+    const net::LinkTable::Removal removal = from->table.remove(unsub->key);
+    if (!removal.installed) return;  // suppressed or unknown: it never
+                                     // propagated past this node
+    from->routing_entries.fetch_sub(1, std::memory_order_relaxed);
+    broadcast_frame(node, from_index, raw);
+    // Entries the removed profile had been covering are installed now;
+    // propagate them onward like fresh subscriptions.
+    for (const auto& [key, profile] : removal.promoted) {
+      node.profile_messages.fetch_add(1, std::memory_order_relaxed);
+      from->routing_entries.fetch_add(1, std::memory_order_relaxed);
+      broadcast_frame(node, from_index,
+                      share(wire::frame_subscribe(key, profile)));
+    }
+    return;
+  }
+
+  throw_error(ErrorCode::kInternal, "unexpected wire message on a mesh link");
+}
+
 void MeshNetwork::route_events(Node& node) {
   if (node.batch_events.empty()) return;
 
   // Local matching and delivery: the whole drained batch goes through one
   // publish_batch call (one snapshot acquisition, one delivery drain).
+  // Tokens ride along so a replayed ingress publish cannot double-fire the
+  // local composite runtime.
   const BatchPublishResult result =
-      node.broker->publish_batch(node.batch_events);
+      node.broker->publish_batch(node.batch_events, node.batch_tokens);
   node.filter_operations.fetch_add(result.operations,
                                    std::memory_order_relaxed);
   // result.notified is counted per node via the broker's delivery sink.
@@ -689,11 +909,12 @@ void MeshNetwork::route_events(Node& node) {
       if (encoded == nullptr) encoded = share(wire::frame_event(event));
       node.event_messages.fetch_add(1, std::memory_order_relaxed);
       peer.event_messages.fetch_add(1, std::memory_order_relaxed);
-      send_frame(node, p, NodeMsg{FrameMsg{node.id, encoded}});
+      send_link(node, p, encoded);
     }
   }
   node.batch_events.clear();
   node.batch_sources.clear();
+  node.batch_tokens.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -732,7 +953,10 @@ std::vector<LinkStats> MeshNetwork::link_stats(NodeId node) const {
   for (const auto& peer : nodes_[node]->peers) {
     stats.push_back(LinkStats{
         peer->node, peer->event_messages.load(std::memory_order_relaxed),
-        peer->routing_entries.load(std::memory_order_relaxed)});
+        peer->routing_entries.load(std::memory_order_relaxed),
+        peer->retransmits.load(std::memory_order_relaxed),
+        peer->dup_frames.load(std::memory_order_relaxed),
+        peer->gap_frames.load(std::memory_order_relaxed)});
   }
   return stats;
 }

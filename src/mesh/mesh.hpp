@@ -73,6 +73,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -86,7 +87,9 @@
 
 #include "core/ordering_policy.hpp"
 #include "ens/broker.hpp"
+#include "net/fault.hpp"
 #include "net/routing.hpp"
+#include "wire/codec.hpp"
 
 namespace genas::mesh {
 
@@ -122,6 +125,37 @@ struct MeshOptions {
   /// trades the strict "only leaf stimuli drive the clock" model for
   /// latency, which only helps once composites are deployed.
   bool auto_advance_watermark = false;
+
+  // --- Fault tolerance ----------------------------------------------------
+
+  /// At-least-once inter-node links. Every inter-node frame travels in a
+  /// kLinkFrame envelope carrying a per-link monotone sequence number, is
+  /// held in a bounded retransmit buffer until cumulatively acked, and is
+  /// sequence-checked at the receiver: duplicates and gap frames are
+  /// discarded (go-back-N), so each link delivers each frame exactly once
+  /// and in order even when a fault_plan drops, duplicates, or delays
+  /// traffic. wait_idle()/shutdown() then also wait for every link frame
+  /// to be acknowledged. Off by default: envelopes cost bytes and acks
+  /// cost messages, and the mesh-vs-overlay oracles assert exact frame
+  /// counts.
+  bool reliable_links = false;
+  /// Deterministic fault injection, consulted once per inter-node frame
+  /// transmission (data, retransmissions, and acks alike). With
+  /// reliable_links the injected faults are recovered; without, a dropped
+  /// frame is simply lost — measurable, but no longer oracle-exact. Plans
+  /// must be budget-bounded or quiescence (wait_idle) cannot be reached.
+  std::shared_ptr<net::FaultPlan> fault_plan;
+  /// Retransmit window: unacked link frames transmitted concurrently per
+  /// link. Frames beyond it stay buffered (unsent) until acks advance the
+  /// window.
+  std::size_t link_window = 128;
+  /// Idle interval after which a link retransmits its unacked window.
+  std::chrono::microseconds link_retransmit_interval{2000};
+  /// Composite-ingress dedup window of every node's broker (see
+  /// Broker::set_composite_dedup_window): lets tokened ingress publishes —
+  /// e.g. replays from a reconnecting socket client — be dropped before
+  /// they restimulate composite detection. 0 (default) disables dedup.
+  std::size_t composite_dedup_window = 0;
 };
 
 /// Delivery callback: subscription `key` at `node` matched `event`.
@@ -140,6 +174,10 @@ struct LinkStats {
   NodeId peer = 0;
   std::uint64_t event_messages = 0;  ///< events forwarded to `peer`
   std::uint64_t routing_entries = 0; ///< profiles installed toward `peer`
+  // Reliable-link counters (zero when MeshOptions::reliable_links is off).
+  std::uint64_t retransmits = 0;     ///< envelopes re-sent toward `peer`
+  std::uint64_t dup_frames = 0;      ///< received duplicates discarded
+  std::uint64_t gap_frames = 0;      ///< received out-of-order discarded
 };
 
 /// Acyclic mesh of broker nodes, each on its own worker thread.
@@ -204,6 +242,15 @@ class MeshNetwork {
   /// and forwarding happen asynchronously.
   void publish(NodeId node, Event event);
 
+  /// publish() with an at-least-once redelivery token, forwarded to
+  /// Broker::publish(event, dedup_token) at the ingress node: a transport
+  /// that may replay the same publish (client reconnect) tags each event so
+  /// the ingress node's composite runtime drops redelivered stimuli. The
+  /// token does not cross links — inter-node frames are exactly-once when
+  /// reliable_links is on — so composites detected at other nodes rely on
+  /// the transport not replaying across an exactly-once ingress.
+  void publish(NodeId node, Event event, std::uint64_t dedup_token);
+
   /// Blocks until no message is in flight anywhere in the mesh.
   void wait_idle();
 
@@ -243,14 +290,34 @@ class MeshNetwork {
   bool flush_outboxes(Node& node);
   void handle_batch(Node& node, std::vector<NodeMsg>& batch);
   void handle_message(Node& node, NodeMsg& message);
+  /// Handles one decoded inter-node message. `raw` is the unwrapped frame
+  /// (for byte-identical relaying); with reliable links it is the envelope's
+  /// inner frame.
+  void handle_link_payload(
+      Node& node, NodeId source,
+      const std::shared_ptr<const std::vector<std::uint8_t>>& raw,
+      wire::Message& decoded);
   void route_events(Node& node);
   /// Sends one shared wire frame to every peer except `skip_index` (pass
   /// peers.size() to reach all peers).
   void broadcast_frame(Node& node, std::size_t skip_index,
                        std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  /// Link-layer send of one inner frame: with reliable_links it is wrapped
+  /// in a sequenced envelope and buffered for retransmission; either way
+  /// the transmission passes through the fault plan.
+  void send_link(Node& node, std::size_t peer_index,
+                 const std::shared_ptr<const std::vector<std::uint8_t>>& inner);
+  /// One physical transmission attempt, after fault injection.
+  void transmit(Node& node, std::size_t peer_index, NodeMsg message);
+  /// Periodic link maintenance: releases delayed frames, retransmits
+  /// expired unacked windows. Returns whether any link still has unacked,
+  /// delayed, or window-buffered frames (the worker then polls instead of
+  /// blocking indefinitely).
+  bool link_service(Node& node);
   /// Counts the frame in flight and delivers it to a peer's mailbox, or
   /// stages it in the per-link outbox when the mailbox is full.
   void send_frame(Node& node, std::size_t peer_index, NodeMsg message);
+  void unacked_done(std::uint64_t n);
 
   SchemaPtr schema_;
   MeshOptions options_;
@@ -260,6 +327,10 @@ class MeshNetwork {
   mutable std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::atomic<std::uint64_t> inflight_{0};
+  /// Link frames buffered for retransmission and not yet cumulatively
+  /// acked. wait_idle()/shutdown() wait for this to drain too: a dropped
+  /// frame is "in flight" until its retransmission lands and is acked.
+  std::atomic<std::uint64_t> unacked_total_{0};
   bool running_ = false;        // workers exist
   bool accepting_ = false;      // ingress open
   bool shutting_down_ = false;  // a shutdown() is in progress

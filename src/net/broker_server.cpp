@@ -1,11 +1,13 @@
 #include "net/broker_server.hpp"
 
+#include <deque>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <variant>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::net {
@@ -13,6 +15,16 @@ namespace genas::net {
 namespace {
 
 using Frame = std::vector<std::uint8_t>;
+
+/// Dedup token of one sequenced publish: a stable mix of session identity
+/// and sequence, so a replay of the same publish — across reconnects and
+/// even across a server restart that forgot the session — maps to the same
+/// nonzero token and the composite ingress can drop the duplicate.
+std::uint64_t publish_token(std::uint64_t session, std::uint64_t seq) {
+  std::uint64_t state = session ^ (seq * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t token = splitmix64(state);
+  return token == 0 ? 1 : token;
+}
 
 }  // namespace
 
@@ -33,6 +45,10 @@ struct BrokerServer::Connection {
   /// Client-chosen key -> service-side id (handler-thread-owned).
   std::unordered_map<std::uint64_t, std::uint64_t> subs;
   std::unordered_map<std::uint64_t, std::uint64_t> csubs;
+
+  /// At-least-once session this connection resumed or opened via kHello
+  /// (0: plain connection, handler-thread-owned).
+  std::uint64_t session_id = 0;
 
   /// Writes one frame; false (and a wake of the reader via shutdown) when
   /// the connection is closed, stalls past the write timeout, or errors.
@@ -68,6 +84,15 @@ struct BrokerServer::Impl {
   mutable std::mutex connections_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
   std::atomic<std::uint64_t> accepted{0};
+
+  /// Resume-session registry: session id -> highest publish sequence
+  /// processed. Outlives connections (that is the point); bounded by
+  /// options.max_sessions with oldest-first eviction.
+  std::mutex sessions_mutex;
+  std::unordered_map<std::uint64_t, std::uint64_t> sessions;
+  std::deque<std::uint64_t> session_order;
+  std::atomic<std::uint64_t> next_session{1};
+  std::atomic<std::uint64_t> duplicate_publishes{0};
 
   mutable std::mutex error_mutex;
   std::string first_error;
@@ -139,6 +164,19 @@ void BrokerServer::stop() {
   }
 }
 
+void BrokerServer::disconnect_all() {
+  std::vector<std::shared_ptr<Connection>> snapshot;
+  {
+    const std::scoped_lock lock(impl_->connections_mutex);
+    snapshot = impl_->connections;
+  }
+  for (const auto& connection : snapshot) {
+    connection->open.store(false);
+    connection->channel.shutdown();  // handler observes EOF and cleans up
+  }
+  // Handler threads finish asynchronously; the accept loop reaps them.
+}
+
 std::size_t BrokerServer::active_connections() const {
   const std::scoped_lock lock(impl_->connections_mutex);
   std::size_t live = 0;
@@ -150,6 +188,10 @@ std::size_t BrokerServer::active_connections() const {
 
 std::uint64_t BrokerServer::connections_accepted() const noexcept {
   return impl_->accepted.load();
+}
+
+std::uint64_t BrokerServer::duplicate_publishes() const noexcept {
+  return impl_->duplicate_publishes.load();
 }
 
 std::string BrokerServer::first_error() const {
@@ -206,9 +248,76 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
       throw_error(ErrorCode::kState, "broker server: schema handshake failed");
     }
     for (;;) {
-      std::optional<Frame> frame = c.channel.read_frame();
+      std::optional<Frame> frame =
+          c.channel.read_frame(impl.options.client_idle_timeout);
       if (!frame) break;  // clean disconnect
       wire::Message message = wire::decode_message(*frame, impl.schema);
+
+      if (auto* hello = std::get_if<wire::HelloMsg>(&message)) {
+        std::uint64_t id = hello->session_id;
+        bool resumed = false;
+        std::uint64_t watermark = 0;
+        {
+          const std::scoped_lock lock(impl.sessions_mutex);
+          if (id == 0) {
+            id = impl.next_session.fetch_add(1, std::memory_order_relaxed);
+          }
+          const auto it = impl.sessions.find(id);
+          if (it != impl.sessions.end()) {
+            resumed = true;
+            watermark = it->second;
+          } else {
+            // Unknown ids are adopted as fresh sessions — the client picks
+            // its identity, which keeps dedup tokens stable even across a
+            // server restart that lost this registry.
+            if (impl.sessions.size() >= impl.options.max_sessions &&
+                !impl.session_order.empty()) {
+              impl.sessions.erase(impl.session_order.front());
+              impl.session_order.pop_front();
+            }
+            impl.sessions.emplace(id, 0);
+            impl.session_order.push_back(id);
+          }
+        }
+        c.session_id = id;
+        if (!c.write(wire::frame_hello_ack(resumed, id, watermark))) break;
+        continue;
+      }
+
+      if (auto* link = std::get_if<wire::LinkFrameMsg>(&message)) {
+        GENAS_REQUIRE(c.session_id != 0, ErrorCode::kState,
+                      "broker server: sequenced publish before hello");
+        wire::Message inner = wire::decode_message(link->inner, impl.schema);
+        auto* event = std::get_if<wire::EventMsg>(&inner);
+        GENAS_REQUIRE(event != nullptr, ErrorCode::kState,
+                      "broker server: link envelope must carry an event");
+        bool fresh = false;
+        {
+          const std::scoped_lock lock(impl.sessions_mutex);
+          auto it = impl.sessions.find(c.session_id);
+          if (it == impl.sessions.end()) {
+            // Evicted mid-connection; re-adopt at the observed sequence.
+            it = impl.sessions.emplace(c.session_id, 0).first;
+            impl.session_order.push_back(c.session_id);
+          }
+          if (link->sequence > it->second) {
+            it->second = link->sequence;
+            fresh = true;
+          }
+        }
+        if (!fresh) {
+          impl.duplicate_publishes.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const std::uint64_t token =
+            publish_token(c.session_id, link->sequence);
+        if (impl.broker != nullptr) {
+          impl.broker->publish(event->event, token);
+        } else {
+          impl.mesh->publish(impl.node, std::move(event->event), token);
+        }
+        continue;
+      }
 
       if (auto* sub = std::get_if<wire::SubscribeMsg>(&message)) {
         GENAS_REQUIRE(!c.subs.count(sub->key) && !c.csubs.count(sub->key),

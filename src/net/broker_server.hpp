@@ -17,9 +17,18 @@
 //                      kCompositeUnsubscribe(key)
 //                      kEvent             publish at the served broker/node
 //                      kFlush(token)      barrier (see below)
+//                      kHello(session)    open/resume an at-least-once
+//                                         session (reconnect-mode clients)
+//                      kLinkFrame(seq, kEvent)
+//                                         sequenced publish: dropped when
+//                                         seq is under the session's
+//                                         watermark (replay dedup), else
+//                                         published with a dedup token
+//                                         mixed from (session, seq)
 //   server -> client   kDelivery(key, event)
 //                      kCompositeFiring(key, time)
 //                      kFlushDone(token)
+//                      kHelloAck(resumed, session, publish watermark)
 //
 // Keys are chosen by the client (any uint64 it has not used on this
 // connection); the server maps them onto service-side subscription ids.
@@ -70,6 +79,14 @@ struct ServerOptions {
   SocketTimeouts timeouts{};
   /// Accept-loop poll slice; also bounds stop() latency.
   std::chrono::milliseconds accept_poll{100};
+  /// When non-negative, a client that does not start a frame within this
+  /// bound is disconnected (half-open and slow-loris defense; a mid-frame
+  /// stall is already bounded by timeouts.read). Use only where clients
+  /// are expected to keep traffic (or flush heartbeats) flowing: an idle
+  /// but healthy subscriber trips it too. Negative (default) never evicts.
+  std::chrono::milliseconds client_idle_timeout{-1};
+  /// Resume-session registry bound; the oldest session falls out first.
+  std::size_t max_sessions = 1024;
 };
 
 class BrokerServer {
@@ -96,8 +113,16 @@ class BrokerServer {
   /// cleanup), and joins all threads. Idempotent; implied by destruction.
   void stop();
 
+  /// Severs every live connection (lifecycle cleanup runs as usual) while
+  /// the listener keeps accepting — a deterministic "link cut" for fault
+  /// drills. Reconnect-mode clients redial and resume their sessions.
+  void disconnect_all();
+
   std::size_t active_connections() const;
   std::uint64_t connections_accepted() const noexcept;
+  /// Sequenced publishes dropped as session duplicates (replays the
+  /// watermark already covered).
+  std::uint64_t duplicate_publishes() const noexcept;
 
   /// First internal/protocol error observed (empty when healthy). Client
   /// disconnects are normal lifecycle, not errors.

@@ -1,0 +1,96 @@
+#include "net/fault.hpp"
+
+#include "common/error.hpp"
+
+namespace genas::net {
+
+namespace {
+
+std::uint64_t link_key(std::uint64_t source, std::uint64_t target) noexcept {
+  // Node ids are small and dense in practice; fold the pair into one key.
+  return (source << 32) ^ (target + 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+void FaultPlan::add_nth(std::uint64_t source, std::uint64_t target,
+                        FaultAction action, std::uint64_t n) {
+  GENAS_REQUIRE(n >= 1, ErrorCode::kInvalidArgument,
+                "fault rule frame index is 1-based");
+  const std::scoped_lock lock(mutex_);
+  rules_.push_back(Rule{source, target, action, n, 0.0, 0, false});
+}
+
+void FaultPlan::add_chance(std::uint64_t source, std::uint64_t target,
+                           FaultAction action, double probability,
+                           std::uint64_t budget) {
+  GENAS_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                ErrorCode::kInvalidArgument,
+                "fault probability must lie in [0, 1]");
+  GENAS_REQUIRE(budget >= 1, ErrorCode::kInvalidArgument,
+                "a probabilistic fault rule needs a finite nonzero budget");
+  const std::scoped_lock lock(mutex_);
+  rules_.push_back(Rule{source, target, action, 0, probability, budget, false});
+}
+
+void FaultPlan::drop_nth(std::uint64_t source, std::uint64_t target,
+                         std::uint64_t n) {
+  add_nth(source, target, FaultAction::kDrop, n);
+}
+
+void FaultPlan::duplicate_nth(std::uint64_t source, std::uint64_t target,
+                              std::uint64_t n) {
+  add_nth(source, target, FaultAction::kDuplicate, n);
+}
+
+void FaultPlan::delay_nth(std::uint64_t source, std::uint64_t target,
+                          std::uint64_t n) {
+  add_nth(source, target, FaultAction::kDelay, n);
+}
+
+void FaultPlan::drop_chance(std::uint64_t source, std::uint64_t target,
+                            double probability, std::uint64_t budget) {
+  add_chance(source, target, FaultAction::kDrop, probability, budget);
+}
+
+void FaultPlan::duplicate_chance(std::uint64_t source, std::uint64_t target,
+                                 double probability, std::uint64_t budget) {
+  add_chance(source, target, FaultAction::kDuplicate, probability, budget);
+}
+
+void FaultPlan::delay_chance(std::uint64_t source, std::uint64_t target,
+                             double probability, std::uint64_t budget) {
+  add_chance(source, target, FaultAction::kDelay, probability, budget);
+}
+
+FaultAction FaultPlan::apply(std::uint64_t source, std::uint64_t target) {
+  const std::scoped_lock lock(mutex_);
+  ++stats_.frames;
+  const std::uint64_t frame = ++frame_counts_[link_key(source, target)];
+  for (Rule& rule : rules_) {
+    if (rule.source != kAnyLink && rule.source != source) continue;
+    if (rule.target != kAnyLink && rule.target != target) continue;
+    if (rule.nth != 0) {
+      if (rule.spent || frame != rule.nth) continue;
+      rule.spent = true;
+    } else {
+      if (rule.budget == 0 || !rng_.chance(rule.probability)) continue;
+      --rule.budget;
+    }
+    switch (rule.action) {
+      case FaultAction::kDrop:      ++stats_.dropped; break;
+      case FaultAction::kDuplicate: ++stats_.duplicated; break;
+      case FaultAction::kDelay:     ++stats_.delayed; break;
+      case FaultAction::kNone:      break;
+    }
+    return rule.action;
+  }
+  return FaultAction::kNone;
+}
+
+FaultPlan::Stats FaultPlan::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace genas::net

@@ -1,0 +1,106 @@
+// GENAS — deterministic fault injection for links and transports.
+//
+// A FaultPlan is a seeded, declarative schedule of link misbehavior: "drop
+// the 3rd frame from node 1 to node 2", "duplicate 1% of frames on every
+// link, at most 50 times", "delay the 7th frame so it arrives after its
+// successors". The mesh (MeshOptions::fault_plan) and the hostile scenario
+// suite consult it once per frame send; the returned action is applied by
+// the transport, so the plan itself stays transport-agnostic.
+//
+// Determinism is the whole point: the probabilistic rules draw from one
+// seeded RNG in frame-send order, so a failing chaos run reproduces from
+// its seed alone. Budgets bound every probabilistic rule — an unbounded
+// drop rule would defeat quiescence (retransmission could never win), so
+// the plan's total damage is always finite.
+//
+// Thread safety: apply() is called concurrently from every mesh worker;
+// the plan serializes internally. Rule installation is expected before the
+// traffic starts (it shares the same lock, but interleaving installs with
+// traffic makes the schedule racy, which defeats reproducibility).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace genas::net {
+
+/// Wildcard endpoint: a rule with kAnyLink matches every source/target.
+inline constexpr std::uint64_t kAnyLink = ~std::uint64_t{0};
+
+/// What the transport must do with the frame it is about to send.
+enum class FaultAction : std::uint8_t {
+  kNone,       ///< send normally
+  kDrop,       ///< do not send (recovery = retransmission)
+  kDuplicate,  ///< send twice
+  kDelay,      ///< hold the frame; release it after later traffic (reorder)
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  // Deterministic rules: act on the n-th frame (1-based) sent on the
+  // directed link source -> target. kAnyLink wildcards an endpoint; the
+  // frame count is then still tracked per directed link.
+  void drop_nth(std::uint64_t source, std::uint64_t target, std::uint64_t n);
+  void duplicate_nth(std::uint64_t source, std::uint64_t target,
+                     std::uint64_t n);
+  void delay_nth(std::uint64_t source, std::uint64_t target, std::uint64_t n);
+
+  // Probabilistic rules: act on each matching frame with `probability`,
+  // at most `budget` times (Error{kInvalidArgument} for probability
+  // outside [0,1] or a zero budget — unbounded damage is not a plan).
+  void drop_chance(std::uint64_t source, std::uint64_t target,
+                   double probability, std::uint64_t budget);
+  void duplicate_chance(std::uint64_t source, std::uint64_t target,
+                        double probability, std::uint64_t budget);
+  void delay_chance(std::uint64_t source, std::uint64_t target,
+                    double probability, std::uint64_t budget);
+
+  /// Called by the transport once per frame send on source -> target;
+  /// returns the action for this frame. The first matching rule wins.
+  FaultAction apply(std::uint64_t source, std::uint64_t target);
+
+  /// Injection totals so far.
+  struct Stats {
+    std::uint64_t frames = 0;      ///< apply() calls
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Rule {
+    std::uint64_t source = kAnyLink;
+    std::uint64_t target = kAnyLink;
+    FaultAction action = FaultAction::kNone;
+    std::uint64_t nth = 0;         ///< 0 = probabilistic rule
+    double probability = 0.0;
+    std::uint64_t budget = 0;      ///< remaining applications (chance rules)
+    bool spent = false;            ///< nth rules fire exactly once
+  };
+
+  void add_nth(std::uint64_t source, std::uint64_t target, FaultAction action,
+               std::uint64_t n);
+  void add_chance(std::uint64_t source, std::uint64_t target,
+                  FaultAction action, double probability,
+                  std::uint64_t budget);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::vector<Rule> rules_;
+  /// Frames seen per directed link (key = source << 32 | target for real
+  /// node ids; links are identified by their endpoints).
+  std::unordered_map<std::uint64_t, std::uint64_t> frame_counts_;
+  Stats stats_;
+};
+
+}  // namespace genas::net

@@ -1,5 +1,8 @@
 #include "net/remote_client.hpp"
 
+#include <algorithm>
+#include <random>
+#include <thread>
 #include <utility>
 #include <variant>
 
@@ -10,21 +13,77 @@
 
 namespace genas::net {
 
-RemoteBrokerClient::RemoteBrokerClient(const std::string& host,
-                                       std::uint16_t port,
-                                       SocketTimeouts timeouts)
-    : channel_(SocketChannel::connect_to(host, port, timeouts)) {
-  // Handshake: the first frame must be the service schema; everything the
-  // client encodes or decodes afterwards validates against it.
+namespace {
+
+std::uint64_t random_session_id() {
+  std::random_device rd;
+  std::uint64_t id =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+  return id == 0 ? 1 : id;
+}
+
+/// Reads and validates the server's schema handshake on a fresh channel.
+SchemaPtr read_schema_handshake(SocketChannel& channel,
+                                std::chrono::milliseconds read_timeout) {
   std::optional<std::vector<std::uint8_t>> frame =
-      channel_.read_frame(timeouts.read);
+      channel.read_frame(read_timeout);
   GENAS_REQUIRE(frame.has_value(), ErrorCode::kState,
                 "remote broker: server closed before the schema handshake");
   wire::Message message = wire::decode_message(*frame, nullptr);
   auto* schema_msg = std::get_if<wire::SchemaMsg>(&message);
   GENAS_REQUIRE(schema_msg != nullptr, ErrorCode::kState,
                 "remote broker: expected a schema handshake frame");
-  schema_ = schema_msg->schema;
+  return schema_msg->schema;
+}
+
+/// Sends kHello and reads the kHelloAck; returns the server's publish
+/// watermark for this session.
+wire::HelloAckMsg hello_handshake(SocketChannel& channel,
+                                  const SchemaPtr& schema,
+                                  std::uint64_t session_id,
+                                  std::chrono::milliseconds read_timeout) {
+  channel.write_frame(wire::frame_hello(session_id));
+  std::optional<std::vector<std::uint8_t>> frame =
+      channel.read_frame(read_timeout);
+  GENAS_REQUIRE(frame.has_value(), ErrorCode::kState,
+                "remote broker: server closed before the hello ack");
+  wire::Message message = wire::decode_message(*frame, schema);
+  auto* ack = std::get_if<wire::HelloAckMsg>(&message);
+  GENAS_REQUIRE(ack != nullptr, ErrorCode::kState,
+                "remote broker: expected a hello ack frame");
+  GENAS_REQUIRE(ack->session_id == session_id || session_id == 0,
+                ErrorCode::kState,
+                "remote broker: hello ack for a different session");
+  return *ack;
+}
+
+}  // namespace
+
+RemoteBrokerClient::RemoteBrokerClient(const std::string& host,
+                                       std::uint16_t port,
+                                       SocketTimeouts timeouts)
+    : RemoteBrokerClient(host, port, ClientOptions{timeouts}) {}
+
+RemoteBrokerClient::RemoteBrokerClient(const std::string& host,
+                                       std::uint16_t port,
+                                       ClientOptions options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      channel_(SocketChannel::connect_to(host, port, options.timeouts)) {
+  // Handshake: the first frame must be the service schema; everything the
+  // client encodes or decodes afterwards validates against it.
+  schema_ = read_schema_handshake(channel_, options_.timeouts.read);
+  if (options_.reconnect) {
+    session_id_ = options_.session_id != 0 ? options_.session_id
+                                           : random_session_id();
+    const wire::HelloAckMsg ack = hello_handshake(
+        channel_, schema_, session_id_, options_.timeouts.read);
+    // A resumed session (same explicit id, fresh client process) continues
+    // the sequence from the server's watermark so new publishes are not
+    // mistaken for replayed duplicates.
+    publish_seq_ = ack.publish_watermark;
+  }
   connected_.store(true);
   reader_ = std::thread([this] { run_reader(); });
 }
@@ -37,7 +96,13 @@ void RemoteBrokerClient::close() {
     return;
   }
   connected_.store(false);
-  channel_.shutdown();  // wakes the reader's blocked read with EOF
+  {
+    // A reconnect episode owns the channel under write_mutex_; it aborts
+    // promptly on closing_, after which the shutdown below wakes a reader
+    // blocked in read_frame.
+    const std::scoped_lock lock(write_mutex_);
+    channel_.shutdown();
+  }
   if (reader_.joinable()) reader_.join();
   channel_.close();
   flush_cv_.notify_all();
@@ -48,6 +113,7 @@ void RemoteBrokerClient::fail(const std::string& why) {
     const std::scoped_lock lock(state_mutex_);
     if (last_error_.empty()) last_error_ = why;
   }
+  failed_.store(true);
   connected_.store(false);
   channel_.shutdown();
   flush_cv_.notify_all();
@@ -58,14 +124,57 @@ std::string RemoteBrokerClient::last_error() const {
   return last_error_;
 }
 
-void RemoteBrokerClient::send_frame(const std::vector<std::uint8_t>& frame) {
-  GENAS_REQUIRE(connected_.load(), ErrorCode::kState,
+void RemoteBrokerClient::send_frame(const Frame& frame) {
+  GENAS_REQUIRE(!failed_.load() && !closing_.load() &&
+                    (connected_.load() || options_.reconnect),
+                ErrorCode::kState,
                 "remote broker: connection is down" +
                     (last_error().empty() ? "" : " (" + last_error() + ")"));
   const std::scoped_lock lock(write_mutex_);
+  GENAS_REQUIRE(!failed_.load() && !closing_.load(), ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
   try {
     channel_.write_frame(frame);
   } catch (const std::exception& e) {
+    if (options_.reconnect) {
+      // The reader notices the dead stream and redials; state registered
+      // before this send is in the mirror and will be re-sent.
+      connected_.store(false);
+      channel_.shutdown();
+      return;
+    }
+    fail(e.what());
+    throw;
+  }
+}
+
+void RemoteBrokerClient::send_subscription(SubscriptionId key, Frame frame,
+                                           bool composite) {
+  GENAS_REQUIRE(!failed_.load() && !closing_.load() &&
+                    (connected_.load() || options_.reconnect),
+                ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
+  const std::scoped_lock lock(write_mutex_);
+  GENAS_REQUIRE(!failed_.load() && !closing_.load(), ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
+  // Mirror first, under the same hold: a reconnect (which also owns
+  // write_mutex_) either sees this key in the mirror after its frame went
+  // out, or not at all — never a half-registered subscription.
+  if (options_.reconnect) {
+    auto& mirror = composite ? csub_frames_ : sub_frames_;
+    mirror.emplace(key, frame);
+  }
+  try {
+    channel_.write_frame(frame);
+  } catch (const std::exception& e) {
+    if (options_.reconnect) {
+      connected_.store(false);
+      channel_.shutdown();  // the mirror entry replays on reconnect
+      return;
+    }
     fail(e.what());
     throw;
   }
@@ -86,7 +195,7 @@ SubscriptionId RemoteBrokerClient::subscribe(Profile profile,
                                 std::move(callback)));
   }
   try {
-    send_frame(wire::frame_subscribe(key, profile));
+    send_subscription(key, wire::frame_subscribe(key, profile), false);
   } catch (...) {
     const std::scoped_lock lock(state_mutex_);
     callbacks_.erase(key);
@@ -106,6 +215,12 @@ void RemoteBrokerClient::unsubscribe(SubscriptionId id) {
     GENAS_REQUIRE(callbacks_.erase(id) == 1, ErrorCode::kNotFound,
                   "remote broker: unknown subscription " + std::to_string(id));
   }
+  {
+    const std::scoped_lock lock(write_mutex_);
+    sub_frames_.erase(id);
+  }
+  // A lost unsubscribe is safe either way: the server retracts everything
+  // on disconnect, and the reconnect mirror no longer holds the key.
   send_frame(wire::frame_unsubscribe(id));
 }
 
@@ -122,7 +237,8 @@ SubscriptionId RemoteBrokerClient::subscribe_composite(
         key, std::make_shared<const CompositeCallback>(std::move(callback)));
   }
   try {
-    send_frame(wire::frame_composite_subscribe(key, *expression));
+    send_subscription(key, wire::frame_composite_subscribe(key, *expression),
+                      true);
   } catch (...) {
     const std::scoped_lock lock(state_mutex_);
     composite_callbacks_.erase(key);
@@ -144,27 +260,69 @@ void RemoteBrokerClient::unsubscribe_composite(SubscriptionId id) {
                   "remote broker: unknown composite subscription " +
                       std::to_string(id));
   }
+  {
+    const std::scoped_lock lock(write_mutex_);
+    csub_frames_.erase(id);
+  }
   send_frame(wire::frame_composite_unsubscribe(id));
 }
 
 void RemoteBrokerClient::publish(const Event& event) {
   GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
                 "remote broker: event schema differs from service schema");
-  send_frame(wire::frame_event(event));
+  if (!options_.reconnect) {
+    send_frame(wire::frame_event(event));
+    return;
+  }
+  GENAS_REQUIRE(!failed_.load() && !closing_.load(), ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
+  const std::scoped_lock lock(write_mutex_);
+  GENAS_REQUIRE(!failed_.load() && !closing_.load(), ErrorCode::kState,
+                "remote broker: connection is down" +
+                    (last_error().empty() ? "" : " (" + last_error() + ")"));
+  // Sequence assignment, window append, and the send share one hold so the
+  // server observes strictly increasing sequences.
+  const std::uint64_t seq = ++publish_seq_;
+  Frame envelope = wire::frame_link(seq, wire::frame_event(event));
+  sent_window_.emplace(seq, envelope);
+  while (sent_window_.size() > options_.publish_window) {
+    sent_window_.erase(sent_window_.begin());
+  }
+  try {
+    channel_.write_frame(envelope);
+  } catch (const std::exception&) {
+    // Buffered for replay; the reader redials and re-sends it.
+    connected_.store(false);
+    channel_.shutdown();
+  }
 }
 
 void RemoteBrokerClient::publish(std::string_view event_text, Timestamp time) {
   publish(parse_event(schema_, event_text, time));
 }
 
-void RemoteBrokerClient::flush() {
+void RemoteBrokerClient::flush() { flush(std::chrono::milliseconds{-1}); }
+
+void RemoteBrokerClient::flush(std::chrono::milliseconds timeout) {
   const std::uint64_t token =
       next_flush_token_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(state_mutex_);
+    if (token > highest_flush_token_) highest_flush_token_ = token;
+  }
   send_frame(wire::frame_flush(token));
   std::unique_lock<std::mutex> lock(state_mutex_);
-  flush_cv_.wait(lock, [&] {
-    return flush_acked_ >= token || !connected_.load();
-  });
+  const auto settled = [&] {
+    return flush_acked_ >= token || failed_.load() || closing_.load();
+  };
+  if (timeout.count() < 0) {
+    flush_cv_.wait(lock, settled);
+  } else if (!flush_cv_.wait_for(lock, timeout, settled)) {
+    throw_error(ErrorCode::kTimeout,
+                "remote broker: flush deadline expired after " +
+                    std::to_string(timeout.count()) + "ms");
+  }
   if (flush_acked_ < token) {
     throw_error(ErrorCode::kState,
                 "remote broker: connection dropped during flush" +
@@ -173,59 +331,143 @@ void RemoteBrokerClient::flush() {
 }
 
 void RemoteBrokerClient::run_reader() {
-  try {
-    for (;;) {
-      std::optional<std::vector<std::uint8_t>> frame = channel_.read_frame();
-      if (!frame) {
-        if (!closing_.load()) fail("remote broker: server closed the stream");
-        return;
-      }
-      wire::Message message = wire::decode_message(*frame, schema_);
-
-      if (auto* delivery = std::get_if<wire::DeliveryMsg>(&message)) {
-        std::shared_ptr<const NotificationCallback> callback;
-        {
-          const std::scoped_lock lock(state_mutex_);
-          const auto it = callbacks_.find(delivery->key);
-          if (it != callbacks_.end()) callback = it->second;
-          // Unknown key: the delivery raced its own unsubscribe — drop.
-        }
-        if (callback != nullptr) {
-          deliveries_.fetch_add(1, std::memory_order_relaxed);
-          (*callback)(Notification{delivery->key, std::move(delivery->event)});
-        }
-        continue;
-      }
-
-      if (auto* firing = std::get_if<wire::CompositeFiringMsg>(&message)) {
-        std::shared_ptr<const CompositeCallback> callback;
-        {
-          const std::scoped_lock lock(state_mutex_);
-          const auto it = composite_callbacks_.find(firing->key);
-          if (it != composite_callbacks_.end()) callback = it->second;
-        }
-        if (callback != nullptr) {
-          firings_.fetch_add(1, std::memory_order_relaxed);
-          (*callback)(CompositeFiring{firing->key, firing->time});
-        }
-        continue;
-      }
-
-      if (auto* done = std::get_if<wire::FlushDoneMsg>(&message)) {
-        {
-          const std::scoped_lock lock(state_mutex_);
-          if (done->token > flush_acked_) flush_acked_ = done->token;
-        }
-        flush_cv_.notify_all();
-        continue;
-      }
-
-      throw_error(ErrorCode::kState,
-                  "remote broker: unexpected frame from the server");
+  for (;;) {
+    std::string why = "remote broker: server closed the stream";
+    try {
+      read_loop();
+    } catch (const std::exception& e) {
+      why = e.what();
     }
-  } catch (const std::exception& e) {
-    if (!closing_.load()) fail(e.what());
+    if (closing_.load()) return;
+    connected_.store(false);
+    if (!options_.reconnect) {
+      fail(why);
+      return;
+    }
+    if (!reconnect_session()) {
+      if (!closing_.load()) {
+        fail("remote broker: session lost after " +
+             std::to_string(options_.max_redials) + " redials (" + why + ")");
+      }
+      return;
+    }
   }
+}
+
+void RemoteBrokerClient::read_loop() {
+  for (;;) {
+    std::optional<Frame> frame = channel_.read_frame();
+    if (!frame) return;  // end of stream
+    wire::Message message = wire::decode_message(*frame, schema_);
+
+    if (auto* delivery = std::get_if<wire::DeliveryMsg>(&message)) {
+      std::shared_ptr<const NotificationCallback> callback;
+      {
+        const std::scoped_lock lock(state_mutex_);
+        const auto it = callbacks_.find(delivery->key);
+        if (it != callbacks_.end()) callback = it->second;
+        // Unknown key: the delivery raced its own unsubscribe — drop.
+      }
+      if (callback != nullptr) {
+        deliveries_.fetch_add(1, std::memory_order_relaxed);
+        (*callback)(Notification{delivery->key, std::move(delivery->event)});
+      }
+      continue;
+    }
+
+    if (auto* firing = std::get_if<wire::CompositeFiringMsg>(&message)) {
+      std::shared_ptr<const CompositeCallback> callback;
+      {
+        const std::scoped_lock lock(state_mutex_);
+        const auto it = composite_callbacks_.find(firing->key);
+        if (it != composite_callbacks_.end()) callback = it->second;
+      }
+      if (callback != nullptr) {
+        firings_.fetch_add(1, std::memory_order_relaxed);
+        (*callback)(CompositeFiring{firing->key, firing->time});
+      }
+      continue;
+    }
+
+    if (auto* done = std::get_if<wire::FlushDoneMsg>(&message)) {
+      {
+        const std::scoped_lock lock(state_mutex_);
+        if (done->token > flush_acked_) flush_acked_ = done->token;
+      }
+      flush_cv_.notify_all();
+      continue;
+    }
+
+    throw_error(ErrorCode::kState,
+                "remote broker: unexpected frame from the server");
+  }
+}
+
+bool RemoteBrokerClient::reconnect_session() {
+  // Own the write side for the whole episode: API writes queue behind the
+  // recovery and resume on the fresh channel.
+  const std::scoped_lock lock(write_mutex_);
+  auto backoff = options_.redial_backoff;
+  for (std::size_t attempt = 0; attempt < options_.max_redials; ++attempt) {
+    if (closing_.load()) return false;
+    if (attempt > 0) {
+      // Sleep in slices so close() is never stuck behind a long backoff.
+      auto remaining = backoff;
+      while (remaining.count() > 0 && !closing_.load()) {
+        const auto slice = std::min(remaining, std::chrono::milliseconds{10});
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+      backoff = std::min(backoff * 2, options_.redial_backoff_cap);
+      if (closing_.load()) return false;
+    }
+    try {
+      SocketChannel fresh =
+          SocketChannel::connect_to(host_, port_, options_.timeouts);
+      const SchemaPtr schema =
+          read_schema_handshake(fresh, options_.timeouts.read);
+      (void)schema;  // decodes against the adopted schema_; shape validated
+      const wire::HelloAckMsg ack = hello_handshake(
+          fresh, schema_, session_id_, options_.timeouts.read);
+      channel_ = std::move(fresh);
+
+      // Resubscribe from the mirror, byte-for-byte.
+      for (const auto& [key, frame] : sub_frames_) {
+        channel_.write_frame(frame);
+      }
+      for (const auto& [key, frame] : csub_frames_) {
+        channel_.write_frame(frame);
+      }
+      // Prune publishes the server already has; replay the rest in order.
+      for (auto it = sent_window_.begin(); it != sent_window_.end();) {
+        if (it->first <= ack.publish_watermark) {
+          it = sent_window_.erase(it);
+          continue;
+        }
+        channel_.write_frame(it->second);
+        replayed_publishes_.fetch_add(1, std::memory_order_relaxed);
+        ++it;
+      }
+      // A flush whose token (or reply) died with the old stream would wait
+      // forever; re-arm the barrier at the highest outstanding token.
+      std::uint64_t outstanding = 0;
+      {
+        const std::scoped_lock state(state_mutex_);
+        if (highest_flush_token_ > flush_acked_) {
+          outstanding = highest_flush_token_;
+        }
+      }
+      if (outstanding != 0) {
+        channel_.write_frame(wire::frame_flush(outstanding));
+      }
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      connected_.store(true);
+      return true;
+    } catch (const std::exception&) {
+      continue;  // next attempt after backoff
+    }
+  }
+  return false;
 }
 
 }  // namespace genas::net

@@ -18,25 +18,63 @@
 // (the retraction is in flight to the server), mirroring the local
 // broker's snapshot semantics.
 //
-// Failure model: when the connection drops — server gone, stream corrupt,
-// write timeout — the client transitions to disconnected: pending and
-// future flush() calls throw Error{kState}, sends throw, callbacks stop.
-// last_error() keeps the reason.
+// Failure model without reconnect (the default): when the connection drops
+// — server gone, stream corrupt, write timeout — the client transitions to
+// disconnected: pending and future flush() calls throw Error{kState},
+// sends throw, callbacks stop. last_error() keeps the reason.
+//
+// Reconnect mode (ClientOptions::reconnect): the client holds a session.
+// On connect it sends a kHello carrying a random nonzero session id; the
+// server acknowledges with kHelloAck{resumed, id, publish watermark}.
+// Publishes travel in kLinkFrame envelopes carrying a per-session monotone
+// sequence and are retained in a bounded replay window. When the stream
+// dies the reader redials with capped exponential backoff, re-performs the
+// schema + hello handshake, re-sends every live subscription byte-for-byte
+// from the local mirror, and replays buffered publishes above the server's
+// watermark. Against a live server (session resumed) the watermark makes
+// replayed publishes exactly-once; against a restarted server (session
+// unknown, adopted fresh) replays are at-least-once — duplicates are
+// bounded by the window, counted by the server, and composite detection
+// stays exact because the per-publish dedup token (a mix of session id and
+// sequence, both stable across reconnects) lets the broker's composite
+// ingress drop redelivered stimuli. API calls during a redial block on the
+// write lock until the session is re-established or abandoned; only after
+// the last redial fails does the client transition to disconnected.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "ens/broker.hpp"
 #include "net/socket_channel.hpp"
 
 namespace genas::net {
+
+struct ClientOptions {
+  SocketTimeouts timeouts{};
+  /// Survive connection loss: redial, resubscribe, replay (see above).
+  bool reconnect = false;
+  /// Redial attempts per disconnect episode before giving up.
+  std::size_t max_redials = 8;
+  /// First redial backoff; doubles per attempt up to redial_backoff_cap.
+  std::chrono::milliseconds redial_backoff{10};
+  std::chrono::milliseconds redial_backoff_cap{1000};
+  /// Sequenced publishes retained for replay. Older entries fall off: a
+  /// reconnect replays at most this many publishes.
+  std::size_t publish_window = 256;
+  /// Session identity; 0 derives a random nonzero id. Pass an explicit id
+  /// to resume a session across client restarts.
+  std::uint64_t session_id = 0;
+};
 
 class RemoteBrokerClient {
  public:
@@ -44,6 +82,9 @@ class RemoteBrokerClient {
   /// timeouts.connect + timeouts.read).
   RemoteBrokerClient(const std::string& host, std::uint16_t port,
                      SocketTimeouts timeouts = {});
+  /// Connects with full options (reconnect mode lives here).
+  RemoteBrokerClient(const std::string& host, std::uint16_t port,
+                     ClientOptions options);
   ~RemoteBrokerClient();
 
   RemoteBrokerClient(const RemoteBrokerClient&) = delete;
@@ -73,6 +114,10 @@ class RemoteBrokerClient {
   /// instants (the server calls flush_composites). Throws Error{kState}
   /// when the connection is (or goes) down. Not callable from a callback.
   void flush();
+  /// flush() with a deadline: throws Error{kTimeout} when the barrier
+  /// reply does not arrive within `timeout` (the connection stays up — a
+  /// later flush can still succeed). Negative means wait forever.
+  void flush(std::chrono::milliseconds timeout);
 
   bool connected() const noexcept { return connected_.load(); }
   /// Why the connection ended (empty while connected / after close()).
@@ -82,6 +127,15 @@ class RemoteBrokerClient {
   std::uint64_t deliveries() const noexcept { return deliveries_.load(); }
   /// Composite firings dispatched to this client.
   std::uint64_t firings() const noexcept { return firings_.load(); }
+  /// Successful session re-establishments (reconnect mode).
+  std::uint64_t reconnects() const noexcept { return reconnects_.load(); }
+  /// Publishes re-sent during reconnects — an upper bound on the
+  /// at-least-once duplicates this client can have caused.
+  std::uint64_t replayed_publishes() const noexcept {
+    return replayed_publishes_.load();
+  }
+  /// The session identity (0 unless reconnect mode).
+  std::uint64_t session_id() const noexcept { return session_id_; }
 
   /// Graceful teardown: stops the reader and closes the socket. The server
   /// retracts this client's subscriptions on disconnect. Idempotent; not
@@ -89,16 +143,38 @@ class RemoteBrokerClient {
   void close();
 
  private:
+  using Frame = std::vector<std::uint8_t>;
+
   void run_reader();
-  void send_frame(const std::vector<std::uint8_t>& frame);
+  /// Drains the stream; returns on end-of-stream, throws on errors.
+  void read_loop();
+  /// Redials, re-handshakes, resubscribes, and replays. Holds write_mutex_
+  /// for the whole episode so API writes queue behind the recovery.
+  bool reconnect_session();
+  void send_frame(const Frame& frame);
+  /// Sends under one write_mutex_ hold and mirrors the frame for
+  /// resubscribe-on-reconnect (composite selects the mirror map).
+  void send_subscription(SubscriptionId key, Frame frame, bool composite);
   void fail(const std::string& why);
 
   SchemaPtr schema_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
+  std::uint64_t session_id_ = 0;  // fixed after construction
   SocketChannel channel_;
 
   std::mutex write_mutex_;
   std::atomic<bool> connected_{false};
   std::atomic<bool> closing_{false};
+  std::atomic<bool> failed_{false};
+
+  // Session mirror and replay window (guarded by write_mutex_): the exact
+  // frames a reconnect must re-send.
+  std::unordered_map<SubscriptionId, Frame> sub_frames_;
+  std::unordered_map<SubscriptionId, Frame> csub_frames_;
+  std::uint64_t publish_seq_ = 0;
+  std::map<std::uint64_t, Frame> sent_window_;  // seq -> envelope
 
   mutable std::mutex state_mutex_;  // callbacks map + flush bookkeeping + error
   std::unordered_map<SubscriptionId,
@@ -108,12 +184,15 @@ class RemoteBrokerClient {
       composite_callbacks_;
   std::condition_variable flush_cv_;
   std::uint64_t flush_acked_ = 0;
+  std::uint64_t highest_flush_token_ = 0;  // re-flushed after a reconnect
   std::string last_error_;
 
   std::atomic<std::uint64_t> next_key_{1};
   std::atomic<std::uint64_t> next_flush_token_{1};
   std::atomic<std::uint64_t> deliveries_{0};
   std::atomic<std::uint64_t> firings_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> replayed_publishes_{0};
 
   std::thread reader_;
 };

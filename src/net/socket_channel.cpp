@@ -9,11 +9,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::net {
@@ -123,6 +126,36 @@ SocketChannel SocketChannel::connect_to(const std::string& host,
     socket_fail("connect to " + host + ":" + service, last_errno);
   }
   return SocketChannel(fd, timeouts);
+}
+
+SocketChannel connect_with_retry(const std::string& host, std::uint16_t port,
+                                 std::size_t attempts,
+                                 SocketTimeouts timeouts,
+                                 std::chrono::milliseconds backoff,
+                                 std::chrono::milliseconds backoff_cap,
+                                 std::uint64_t jitter_seed) {
+  GENAS_REQUIRE(attempts >= 1, ErrorCode::kInvalidArgument,
+                "socket: connect_with_retry needs at least one attempt");
+  std::uint64_t jitter_state = jitter_seed ^ 0x6A09E667F3BCC908ULL;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return SocketChannel::connect_to(host, port, timeouts);
+    } catch (const Error&) {
+      if (attempt >= attempts) throw;
+    }
+    // Full backoff plus up to 50% jitter so restarting clients don't all
+    // redial in lockstep.
+    const auto base = std::min(
+        backoff * static_cast<std::int64_t>(
+                      1LL << std::min<std::size_t>(attempt - 1, 20)),
+        backoff_cap);
+    const auto jitter = std::chrono::milliseconds(
+        base.count() > 0 ? static_cast<std::int64_t>(
+                               splitmix64(jitter_state) %
+                               static_cast<std::uint64_t>(base.count() / 2 + 1))
+                         : 0);
+    std::this_thread::sleep_for(base + jitter);
+  }
 }
 
 SocketChannel::~SocketChannel() { close(); }

@@ -98,6 +98,18 @@ class SocketChannel {
   std::size_t consumed_ = 0;          ///< bytes of buffer_ already returned
 };
 
+/// connect_to with capped exponential backoff: up to `attempts` dials, the
+/// n-th preceded by a wait of `backoff * 2^(n-1)` (capped at `backoff_cap`)
+/// plus deterministic jitter derived from `jitter_seed` — so a thundering
+/// herd of restarting clients spreads out, reproducibly. Throws the last
+/// attempt's Error when every dial fails; `attempts` must be >= 1.
+SocketChannel connect_with_retry(
+    const std::string& host, std::uint16_t port, std::size_t attempts,
+    SocketTimeouts timeouts = {},
+    std::chrono::milliseconds backoff = std::chrono::milliseconds{10},
+    std::chrono::milliseconds backoff_cap = std::chrono::milliseconds{1000},
+    std::uint64_t jitter_seed = 0);
+
 /// Loopback TCP listener (binds 127.0.0.1 — the mesh transport is not an
 /// exposed service; front it with real infrastructure for anything else).
 class SocketListener {

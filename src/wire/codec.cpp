@@ -21,6 +21,10 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::kDelivery:             return "delivery";
     case MessageType::kFlush:                return "flush";
     case MessageType::kFlushDone:            return "flushdone";
+    case MessageType::kLinkFrame:            return "linkframe";
+    case MessageType::kLinkAck:              return "linkack";
+    case MessageType::kHello:                return "hello";
+    case MessageType::kHelloAck:             return "helloack";
   }
   return "?";
 }
@@ -39,7 +43,7 @@ FrameProbe probe_frame(std::span<const std::uint8_t> data) noexcept {
   }
   if (data.size() >= 4 &&
       (data[3] < static_cast<std::uint8_t>(MessageType::kSchema) ||
-       data[3] > static_cast<std::uint8_t>(MessageType::kFlushDone))) {
+       data[3] > kMaxMessageType)) {
     return {FrameStatus::kCorrupt, 0, "unknown message type"};
   }
   if (data.size() < kFrameHeaderSize) {
@@ -149,6 +153,14 @@ std::string Reader::str() {
     s[i] = static_cast<char>(u8());
   }
   return s;
+}
+
+std::vector<std::uint8_t> Reader::bytes(std::size_t n) {
+  if (n > remaining()) parse_fail("truncated buffer");
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
 }
 
 void Reader::expect_done() const {
@@ -502,6 +514,42 @@ std::vector<std::uint8_t> frame_flush_done(std::uint64_t token) {
   return end_frame(w, at);
 }
 
+std::vector<std::uint8_t> frame_link(std::uint64_t sequence,
+                                     std::span<const std::uint8_t> inner) {
+  GENAS_REQUIRE(!inner.empty(), ErrorCode::kInvalidArgument,
+                "a link frame must wrap a nested frame");
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kLinkFrame);
+  w.u64(sequence);
+  for (const std::uint8_t b : inner) w.u8(b);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_link_ack(std::uint64_t sequence) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kLinkAck);
+  w.u64(sequence);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_hello(std::uint64_t session_id) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kHello);
+  w.u64(session_id);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_hello_ack(bool resumed,
+                                          std::uint64_t session_id,
+                                          std::uint64_t publish_watermark) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kHelloAck);
+  w.u8(resumed ? 1 : 0);
+  w.u64(session_id);
+  w.u64(publish_watermark);
+  return end_frame(w, at);
+}
+
 namespace {
 
 MessageType read_header(Reader& r, std::size_t frame_size) {
@@ -512,7 +560,7 @@ MessageType read_header(Reader& r, std::size_t frame_size) {
   }
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kSchema) ||
-      type > static_cast<std::uint8_t>(MessageType::kFlushDone)) {
+      type > kMaxMessageType) {
     parse_fail("unknown message type " + std::to_string(type));
   }
   const std::uint32_t length = r.u32();
@@ -590,6 +638,37 @@ Message decode_message(std::span<const std::uint8_t> frame,
     }
     case MessageType::kFlushDone: {
       FlushDoneMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kLinkFrame: {
+      const std::uint64_t sequence = r.u64();
+      LinkFrameMsg msg{sequence, r.bytes(r.remaining())};
+      // The envelope must wrap exactly one well-formed frame; a receiver
+      // decodes the inner bytes only after the dedup check passes, so the
+      // header sanity happens here, once, at envelope-decode time.
+      const FrameProbe probe = probe_frame(msg.inner);
+      if (probe.status != FrameStatus::kComplete ||
+          probe.size != msg.inner.size()) {
+        parse_fail("link frame does not wrap exactly one frame");
+      }
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kLinkAck: {
+      LinkAckMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kHello: {
+      HelloMsg msg{r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kHelloAck: {
+      const std::uint8_t resumed = r.u8();
+      if (resumed > 1) parse_fail("helloack resumed flag must be 0 or 1");
+      HelloAckMsg msg{resumed == 1, r.u64(), r.u64()};
       r.expect_done();
       return msg;
     }

@@ -44,6 +44,18 @@
 //   flushdone    u64 token (server -> client: the flush with this token
 //                completed; every delivery caused by the client's earlier
 //                frames precedes it on the stream)
+//   linkframe    u64 sequence number, then one complete nested frame
+//                (header + payload) — the at-least-once envelope: a link
+//                retransmits it until the sequence is cumulatively acked
+//   linkack      u64 sequence (cumulative: every linkframe with sequence
+//                <= this value has been received and processed)
+//   hello        u64 session id (client -> server, first frame on a
+//                connection that wants session resume; 0 = fresh session)
+//   helloack     u8 resumed (1 when the server recognized the session),
+//                u64 session id (assigned on fresh connect, echoed on
+//                resume), u64 publish watermark (highest client publish
+//                sequence the server has processed; the client replays
+//                everything above it)
 //
 // Events and profiles are encoded against a schema both ends share (the
 // mesh distributes it out of band or via a kSchema frame); decode_* take
@@ -89,7 +101,16 @@ enum class MessageType : std::uint8_t {
   kDelivery = 9,
   kFlush = 10,
   kFlushDone = 11,
+  kLinkFrame = 12,
+  kLinkAck = 13,
+  kHello = 14,
+  kHelloAck = 15,
 };
+
+/// Highest valid MessageType value; probe_frame/read_header reject types
+/// beyond it. Keep in sync when adding message types.
+inline constexpr std::uint8_t kMaxMessageType =
+    static_cast<std::uint8_t>(MessageType::kHelloAck);
 
 std::string_view to_string(MessageType type) noexcept;
 
@@ -159,6 +180,7 @@ class Reader {
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
   std::string str();
+  std::vector<std::uint8_t> bytes(std::size_t n);  ///< n raw bytes
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return pos_ == data_.size(); }
@@ -202,6 +224,15 @@ std::vector<std::uint8_t> frame_delivery(std::uint64_t key,
                                          const Event& event);
 std::vector<std::uint8_t> frame_flush(std::uint64_t token);
 std::vector<std::uint8_t> frame_flush_done(std::uint64_t token);
+/// Wraps one complete inner frame in an at-least-once envelope; the inner
+/// bytes must themselves be a valid frame (validated on decode, not here).
+std::vector<std::uint8_t> frame_link(std::uint64_t sequence,
+                                     std::span<const std::uint8_t> inner);
+std::vector<std::uint8_t> frame_link_ack(std::uint64_t sequence);
+std::vector<std::uint8_t> frame_hello(std::uint64_t session_id);
+std::vector<std::uint8_t> frame_hello_ack(bool resumed,
+                                          std::uint64_t session_id,
+                                          std::uint64_t publish_watermark);
 
 /// Decoded frame contents.
 struct SchemaMsg {
@@ -241,10 +272,28 @@ struct FlushMsg {
 struct FlushDoneMsg {
   std::uint64_t token;
 };
+struct LinkFrameMsg {
+  std::uint64_t sequence;
+  /// The envelope's nested frame, still encoded: the receiver dedups by
+  /// sequence first and only then pays for decoding the inner message.
+  std::vector<std::uint8_t> inner;
+};
+struct LinkAckMsg {
+  std::uint64_t sequence;  ///< cumulative: all sequences <= this are acked
+};
+struct HelloMsg {
+  std::uint64_t session_id;  ///< 0 requests a fresh session
+};
+struct HelloAckMsg {
+  bool resumed;
+  std::uint64_t session_id;
+  std::uint64_t publish_watermark;
+};
 using Message =
     std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg,
                  CompositeSubscribeMsg, CompositeUnsubscribeMsg,
-                 CompositeFiringMsg, DeliveryMsg, FlushMsg, FlushDoneMsg>;
+                 CompositeFiringMsg, DeliveryMsg, FlushMsg, FlushDoneMsg,
+                 LinkFrameMsg, LinkAckMsg, HelloMsg, HelloAckMsg>;
 
 /// Frame type without decoding the payload; throws Error{kParse} on a
 /// malformed header.

@@ -338,5 +338,90 @@ TEST_F(CompositeBrokerTest, NotificationTimestampDrivesDetectionNotArrival) {
   EXPECT_TRUE(fired_.empty());
 }
 
+TEST_F(CompositeBrokerTest, TokenedRedeliveryNeverDoubleFires) {
+  // At-least-once transports may hand the broker the same event twice.
+  // With a dedup window armed, a tokened redelivery is invisible to
+  // composite detection: the conj fires exactly once.
+  broker_.set_composite_dedup_window(32);
+  broker_.subscribe_composite(
+      conj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+
+  Event both = Event::from_pairs(
+      schema_, {{"temperature", 40}, {"humidity", 95}, {"radiation", 1}});
+  both.set_time(5);
+  broker_.publish(both, 9001);
+  broker_.publish(both, 9001);  // redelivery, same token
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{5}));
+}
+
+TEST_F(CompositeBrokerTest, UntokenedPublishesBypassTheDedupWindow) {
+  // Token 0 (and the plain publish overload) stay untracked even with a
+  // window armed — local publishers are exactly-once by construction.
+  broker_.set_composite_dedup_window(32);
+  broker_.subscribe_composite(
+      conj(primitive(parse_profile(schema_, "temperature >= 35")),
+           primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+
+  Event both = Event::from_pairs(
+      schema_, {{"temperature", 40}, {"humidity", 95}, {"radiation", 1}});
+  both.set_time(3);
+  Event later = both;
+  later.set_time(4);
+  broker_.publish(both, 0);  // untracked: both instants fire
+  broker_.publish(later, 0);
+
+  Event tracked = both;
+  tracked.set_time(5);
+  Event tracked_redelivery = both;
+  tracked_redelivery.set_time(6);
+  broker_.publish(tracked, 500);
+  broker_.publish(tracked_redelivery, 500);  // same token: deduped
+
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{3, 4, 5}));
+}
+
+TEST_F(CompositeBrokerTest, DedupDoesNotSuppressPlainDeliveries) {
+  // The window guards composite state only; plain subscribers see every
+  // publish (at-least-once duplicates surface as counted deliveries).
+  broker_.set_composite_dedup_window(32);
+  int delivered = 0;
+  broker_.subscribe(parse_profile(schema_, "temperature >= 35"),
+                    [&](const Notification&) { ++delivered; });
+  Event hot = Event::from_pairs(
+      schema_, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  hot.set_time(1);
+  broker_.publish(hot, 77);
+  broker_.publish(hot, 77);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(CompositeBrokerTest, BatchPublishThreadsPerEventTokens) {
+  broker_.set_composite_dedup_window(32);
+  broker_.subscribe_composite(
+      seq(primitive(parse_profile(schema_, "temperature >= 35")),
+          primitive(parse_profile(schema_, "humidity >= 90")), 10),
+      recorder());
+
+  Event a = Event::from_pairs(
+      schema_, {{"temperature", 40}, {"humidity", 0}, {"radiation", 1}});
+  a.set_time(1);
+  Event b = Event::from_pairs(
+      schema_, {{"temperature", 0}, {"humidity", 95}, {"radiation", 1}});
+  b.set_time(4);
+  const std::vector<Event> events{a, b, a, b};  // redeliveries inline
+  const std::vector<std::uint64_t> tokens{11, 12, 11, 12};
+  broker_.publish_batch(events, tokens);
+  broker_.flush_composites();
+  EXPECT_EQ(fired_, (std::vector<Timestamp>{4}));
+
+  EXPECT_THROW(broker_.publish_batch(events, std::vector<std::uint64_t>{1}),
+               Error);
+}
+
 }  // namespace
 }  // namespace genas

@@ -1,0 +1,247 @@
+// Remote fault-tolerance plumbing: flush deadlines against unresponsive
+// servers, half-open / slow-loris eviction under client_idle_timeout, and
+// connect_with_retry's capped-backoff redial helper. The larger recovery
+// story (session resume, replay, crash-restart) lives in
+// test_hostile_scenarios.cpp; these are the focused unit drills.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ens/broker.hpp"
+#include "net/broker_server.hpp"
+#include "net/remote_client.hpp"
+#include "net/socket_channel.hpp"
+#include "test_util.hpp"
+#include "wire/codec.hpp"
+
+namespace genas {
+namespace {
+
+using net::BrokerServer;
+using net::RemoteBrokerClient;
+using net::ServerOptions;
+using net::SocketChannel;
+using net::SocketListener;
+using net::SocketTimeouts;
+using namespace std::chrono_literals;
+
+bool eventually(const std::function<bool()>& condition) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return condition();
+}
+
+/// A protocol-speaking fake that completes the schema handshake and then
+/// ignores (or selectively answers) flush barriers — the "unresponsive
+/// server" a flush deadline exists for. `answer_from` is the 1-based index
+/// of the first flush to acknowledge; defaults to never answering.
+class StallingServer {
+ public:
+  explicit StallingServer(SchemaPtr schema, std::size_t answer_from = SIZE_MAX)
+      : schema_(std::move(schema)), listener_(0) {
+    thread_ = std::thread([this, answer_from] { serve(answer_from); });
+  }
+  ~StallingServer() {
+    listener_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint64_t flushes_seen() const noexcept { return flushes_.load(); }
+
+ private:
+  void serve(std::size_t answer_from) {
+    try {
+      std::optional<SocketChannel> channel = listener_.accept(5s);
+      if (!channel) return;
+      channel->write_frame(wire::frame_schema(*schema_));
+      while (true) {
+        std::optional<std::vector<std::uint8_t>> frame =
+            channel->read_frame();
+        if (!frame) return;
+        const wire::Message message = wire::decode_message(*frame, schema_);
+        if (const auto* flush = std::get_if<wire::FlushMsg>(&message)) {
+          const std::uint64_t n = flushes_.fetch_add(1) + 1;
+          if (n >= answer_from) {
+            channel->write_frame(wire::frame_flush_done(flush->token));
+          }
+        }
+      }
+    } catch (const Error&) {
+      // Listener closed or peer went away: test teardown.
+    }
+  }
+
+  SchemaPtr schema_;
+  SocketListener listener_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+// ---------------------------------------------------------------------------
+// flush(deadline)
+
+TEST(FlushDeadline, TimesOutAgainstASilentServerWithoutDroppingTheLink) {
+  const SchemaPtr schema = testutil::example1_schema();
+  StallingServer server(schema);
+  RemoteBrokerClient client("127.0.0.1", server.port());
+
+  const auto before = std::chrono::steady_clock::now();
+  try {
+    client.flush(150ms);
+    FAIL() << "expected Error{kTimeout}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+  EXPECT_GE(std::chrono::steady_clock::now() - before, 150ms);
+
+  // The deadline abandoned the barrier, not the connection.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(eventually([&] { return server.flushes_seen() >= 1; }));
+}
+
+TEST(FlushDeadline, ALaterFlushSucceedsOnceTheServerCatchesUp) {
+  const SchemaPtr schema = testutil::example1_schema();
+  StallingServer server(schema, /*answer_from=*/2);
+  RemoteBrokerClient client("127.0.0.1", server.port());
+
+  EXPECT_THROW(client.flush(100ms), Error);
+  client.flush(5000ms);  // the second barrier is acknowledged
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(FlushDeadline, GenerousDeadlineBehavesLikeAPlainFlush) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  BrokerServer server(broker, {});
+  server.start();
+
+  RemoteBrokerClient client("127.0.0.1", server.port());
+  std::atomic<int> delivered{0};
+  client.subscribe("temperature >= 35",
+                   [&](const Notification&) { ++delivered; });
+  client.flush(5000ms);
+  client.publish("temperature = 40; humidity = 0; radiation = 1", 1);
+  client.flush(5000ms);
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Half-open and slow-loris eviction.
+
+TEST(IdleEviction, HalfOpenClientIsEvictedWhileAHealthyOneKeepsWorking) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  ServerOptions options;
+  options.client_idle_timeout = 200ms;
+  BrokerServer server(broker, options);
+  server.start();
+
+  RemoteBrokerClient healthy("127.0.0.1", server.port());
+  std::atomic<int> delivered{0};
+  healthy.subscribe("temperature >= 35",
+                    [&](const Notification&) { ++delivered; });
+  healthy.flush();
+
+  // A connection that completes the handshake and then never starts a
+  // frame: the classic half-open peer.
+  SocketChannel half_open = SocketChannel::connect_to("127.0.0.1",
+                                                      server.port());
+  ASSERT_TRUE(half_open.read_frame(5000ms).has_value());  // schema
+  ASSERT_TRUE(eventually([&] { return server.active_connections() == 2; }));
+
+  // The idle bound evicts it. The healthy client keeps traffic flowing
+  // (each flush round-trip restarts its idle clock), so it survives.
+  EXPECT_TRUE(eventually([&] {
+    healthy.flush();
+    return server.active_connections() == 1;
+  }));
+  healthy.publish("temperature = 40; humidity = 0; radiation = 1", 1);
+  healthy.flush();
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_TRUE(healthy.connected());
+  EXPECT_TRUE(server.first_error().empty());  // eviction is lifecycle
+}
+
+TEST(IdleEviction, SlowLorisPartialFrameIsCutOffByTheReadTimeout) {
+  const SchemaPtr schema = testutil::example1_schema();
+  Broker broker(schema);
+  ServerOptions options;
+  options.timeouts.read = 200ms;        // bounds the mid-frame stall
+  options.client_idle_timeout = 1000ms;
+  BrokerServer server(broker, options);
+  server.start();
+
+  // Drip three bytes of a legitimate frame header, then stall forever.
+  SocketChannel loris = SocketChannel::connect_to("127.0.0.1", server.port());
+  ASSERT_TRUE(loris.read_frame(5000ms).has_value());
+  const std::vector<std::uint8_t> whole = wire::frame_flush(1);
+  loris.write_bytes(std::span(whole.data(), 3));
+
+  ASSERT_TRUE(eventually([&] { return server.active_connections() == 1; }));
+  EXPECT_TRUE(eventually([&] { return server.active_connections() == 0; }));
+  EXPECT_TRUE(server.first_error().empty());
+}
+
+// ---------------------------------------------------------------------------
+// connect_with_retry
+
+TEST(ConnectWithRetry, GivesUpAfterTheAttemptCap) {
+  // Grab an ephemeral port and release it: nothing is listening there.
+  std::uint16_t dead_port = 0;
+  {
+    SocketListener probe(0);
+    dead_port = probe.port();
+  }
+  try {
+    net::connect_with_retry("127.0.0.1", dead_port, 3, SocketTimeouts{},
+                            5ms, 20ms);
+    FAIL() << "expected the last dial's Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kState);
+  }
+}
+
+TEST(ConnectWithRetry, RejectsAZeroAttemptBudget) {
+  try {
+    net::connect_with_retry("127.0.0.1", 1, 0);
+    FAIL() << "expected Error{kInvalidArgument}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ConnectWithRetry, SucceedsWhenTheListenerAppearsMidBackoff) {
+  std::uint16_t port = 0;
+  {
+    SocketListener probe(0);
+    port = probe.port();
+  }
+
+  std::thread late_server([port] {
+    std::this_thread::sleep_for(120ms);
+    SocketListener listener(port);
+    std::optional<SocketChannel> accepted = listener.accept(5s);
+    EXPECT_TRUE(accepted.has_value());
+  });
+
+  SocketChannel channel = net::connect_with_retry(
+      "127.0.0.1", port, /*attempts=*/50, SocketTimeouts{}, 10ms, 50ms,
+      /*jitter_seed=*/7);
+  EXPECT_TRUE(channel.valid());
+  late_server.join();
+}
+
+}  // namespace
+}  // namespace genas
