@@ -10,7 +10,12 @@
 //   * broker "mutex" vs "snapshot" aggregate events/sec at 1 and 4
 //     publisher threads (the concurrency win — meaningful only when the
 //     host grants ≥4 hardware threads, see hardware_threads);
-//   * snapshot_batch256_events_per_sec — the amortized batch pipeline.
+//   * snapshot_batch256_events_per_sec — the amortized batch pipeline;
+//   * delivery_latency_p50_ns / p99 — publish-to-callback latency from the
+//     broker's trace histogram (trace period 1 for the measurement window);
+//   * obs_overhead_pct — what the default trace sampling costs the
+//     single-thread snapshot path (vs. tracing disabled); the observability
+//     acceptance budget is a few percent.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +28,8 @@
 
 #include "bench_ens_util.hpp"
 #include "match/tree_matcher.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -139,6 +146,34 @@ int main(int argc, char** argv) {
   const double snapshot_1t = measure_threaded_rate(1, budget, publish_snapshot);
   const double snapshot_4t = measure_threaded_rate(4, budget, publish_snapshot);
 
+  // Observability overhead: the same single-thread loop with trace sampling
+  // off, against the headline run's default period. Positive = sampling
+  // cost; small negative values are run-to-run noise.
+  fixture.snapshot_broker->set_trace_period(0);
+  const double snapshot_1t_untraced =
+      measure_threaded_rate(1, budget, publish_snapshot);
+  const double obs_overhead_pct =
+      snapshot_1t_untraced > 0
+          ? 100.0 * (1.0 - snapshot_1t / snapshot_1t_untraced)
+          : 0.0;
+
+  // Delivery latency quantiles: trace every publish for one window, then
+  // read the publish-to-callback histogram.
+  fixture.snapshot_broker->set_trace_period(1);
+  measure_threaded_rate(1, budget, publish_snapshot);
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  {
+    const obs::StatsSnapshot snap =
+        fixture.snapshot_broker->metrics().snapshot();
+    if (const obs::MetricSnapshot* delivery =
+            snap.find("genas_broker_delivery_latency_ns")) {
+      latency_p50 = obs::quantile(*delivery, 0.5);
+      latency_p99 = obs::quantile(*delivery, 0.99);
+    }
+  }
+  fixture.snapshot_broker->set_trace_period(obs::kDefaultTracePeriod);
+
   constexpr std::size_t kBatch = 256;
   const double batch_rate =
       kBatch * measure_rate(budget, [&](std::size_t i) {
@@ -152,10 +187,13 @@ int main(int argc, char** argv) {
   os << "{\n";
   os << "  \"workload\": \"10000 equality profiles, 3x[0,99] schema, "
         "gauss events\",\n";
-  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-     << ",\n";
-  os << "  \"note\": \"multi-thread ratios are meaningful only when "
-        "hardware_threads >= 4; see README 'Performance harness'\",\n";
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  os << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  if (hardware_threads < 4) {
+    os << "  \"note\": \"this host grants only " << hardware_threads
+       << " hardware thread(s); multi-thread ratios are not meaningful "
+          "here — see README 'Performance harness'\",\n";
+  }
   put(os, "matcher_node_events_per_sec", node_rate);
   put(os, "matcher_flat_events_per_sec", flat_rate);
   put(os, "matcher_flat_span_events_per_sec", flat_span_rate);
@@ -166,7 +204,10 @@ int main(int argc, char** argv) {
   put(os, "broker_snapshot_4thread_events_per_sec", snapshot_4t);
   put(os, "snapshot_over_mutex_4thread_speedup",
       mutex_4t > 0 ? snapshot_4t / mutex_4t : 0);
-  put(os, "snapshot_batch256_events_per_sec", batch_rate, true);
+  put(os, "snapshot_batch256_events_per_sec", batch_rate);
+  put(os, "delivery_latency_p50_ns", latency_p50);
+  put(os, "delivery_latency_p99_ns", latency_p99);
+  put(os, "obs_overhead_pct", obs_overhead_pct, true);
   os << "}\n";
   std::cout << "wrote " << output << "\n";
   return 0;

@@ -27,6 +27,11 @@
 //
 //   genas_cli mesh <topology> <config> [--mode flooding|routing|covered]
 //                  [--events N] [--dist NAME] [--seed S] [--auto-watermark]
+//                  [--stats-json]
+//
+// --stats-json appends a JSON document to stdout at the end of the run:
+// per-node overlay counters, per-link counters, and the merged
+// observability snapshot (see README "Observability").
 //
 // The socket transport pair (see README "Socket transport"):
 //
@@ -37,6 +42,9 @@
 //   genas_cli connect <host> <port>       interactive shell over a
 //                                         RemoteBrokerClient: sub/unsub/
 //                                         csub/cunsub/pub/pubat/flush/quit
+//   genas_cli stats <host> <port>         scrape a serving broker's metrics
+//                                         (kStatsRequest round trip) and
+//                                         print the Prometheus exposition
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -57,6 +65,7 @@
 #include "net/broker_server.hpp"
 #include "net/remote_client.hpp"
 #include "net/socket_channel.hpp"
+#include "obs/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
 
@@ -284,6 +293,44 @@ quit
 // ---------------------------------------------------------------------------
 // `mesh` subcommand: run a workload through the concurrent broker mesh.
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one observability snapshot as a JSON array of metric objects.
+void print_metrics_json(std::ostream& os, const obs::StatsSnapshot& snapshot,
+                        std::string_view indent) {
+  os << "[";
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const obs::MetricSnapshot& m = snapshot.metrics[i];
+    os << (i == 0 ? "\n" : ",\n") << indent << "  {\"name\": \""
+       << json_escape(m.name) << "\", \"kind\": \"" << obs::to_string(m.kind)
+       << "\"";
+    if (m.kind == obs::MetricKind::kHistogram) {
+      os << ", \"count\": " << m.count() << ", \"sum\": " << m.sum
+         << ", \"bounds\": [";
+      for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+        os << (b == 0 ? "" : ", ") << m.bounds[b];
+      }
+      os << "], \"counts\": [";
+      for (std::size_t b = 0; b < m.counts.size(); ++b) {
+        os << (b == 0 ? "" : ", ") << m.counts[b];
+      }
+      os << "]";
+    } else {
+      os << ", \"value\": " << m.value;
+    }
+    os << "}";
+  }
+  os << "\n" << indent << "]";
+}
+
 int run_mesh(int argc, char** argv) {
   std::string topology_path;
   std::string config_path;
@@ -292,11 +339,13 @@ int run_mesh(int argc, char** argv) {
   std::string dist_name = "equal";
   std::uint64_t seed = 1;
   bool auto_watermark = false;
+  bool stats_json = false;
 
   const auto usage = [] {
     std::cerr << "usage: genas_cli mesh <topology> <config> "
                  "[--mode flooding|routing|covered] [--events N] "
-                 "[--dist NAME] [--seed S] [--auto-watermark]\n";
+                 "[--dist NAME] [--seed S] [--auto-watermark] "
+                 "[--stats-json]\n";
     return 2;
   };
   for (int i = 2; i < argc; ++i) {
@@ -319,6 +368,8 @@ int run_mesh(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--auto-watermark") {
       auto_watermark = true;  // all traffic drives composite watermarks
+    } else if (arg == "--stats-json") {
+      stats_json = true;
     } else if (topology_path.empty()) {
       topology_path = arg;
     } else if (config_path.empty()) {
@@ -399,6 +450,16 @@ int run_mesh(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const net::OverlayStats stats = net.stats();
+  std::vector<net::OverlayStats> per_node;
+  std::vector<std::vector<mesh::LinkStats>> per_link;
+  obs::StatsSnapshot obs_snapshot;
+  if (stats_json) {
+    for (std::size_t n = 0; n < topology.nodes; ++n) {
+      per_node.push_back(net.node_stats(n));
+      per_link.push_back(net.link_stats(n));
+    }
+    obs_snapshot = net.stats_snapshot();
+  }
   net.shutdown();
 
   std::cout << "mesh: " << topology.nodes << " nodes, "
@@ -426,10 +487,54 @@ int run_mesh(int argc, char** argv) {
                    elapsed > 0 ? static_cast<double>(event_count) / elapsed
                                : 0)
             << " events/sec\n";
+  if (stats_json) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"nodes\": [";
+    for (std::size_t n = 0; n < topology.nodes; ++n) {
+      const net::OverlayStats& one = per_node[n];
+      os << (n == 0 ? "\n" : ",\n") << "    {\"id\": " << n
+         << ", \"events_published\": " << one.events_published
+         << ", \"event_messages\": " << one.event_messages
+         << ", \"profile_messages\": " << one.profile_messages
+         << ", \"filter_operations\": " << one.filter_operations
+         << ", \"deliveries\": " << one.deliveries << ", \"links\": [";
+      for (std::size_t l = 0; l < per_link[n].size(); ++l) {
+        const mesh::LinkStats& link = per_link[n][l];
+        os << (l == 0 ? "" : ", ") << "{\"peer\": " << link.peer
+           << ", \"event_messages\": " << link.event_messages
+           << ", \"routing_entries\": " << link.routing_entries
+           << ", \"retransmits\": " << link.retransmits
+           << ", \"dup_frames\": " << link.dup_frames
+           << ", \"gap_frames\": " << link.gap_frames << "}";
+      }
+      os << "]}";
+    }
+    os << "\n  ],\n  \"metrics\": ";
+    print_metrics_json(os, obs_snapshot, "  ");
+    os << "\n}\n";
+  }
   if (!net.first_error().empty()) {
     std::cerr << "worker error: " << net.first_error() << "\n";
     return 1;
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `stats` subcommand: scrape a serving broker and print the exposition.
+
+int run_stats(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: genas_cli stats <host> <port>\n";
+    return 2;
+  }
+  const std::string host = argv[2];
+  const auto port = static_cast<std::uint16_t>(std::stoul(argv[3]));
+  net::RemoteBrokerClient client(host, port);
+  const obs::StatsSnapshot snapshot =
+      client.stats(std::chrono::milliseconds{10000});
+  client.close();
+  std::cout << obs::render_prometheus(snapshot);
   return 0;
 }
 
@@ -603,6 +708,14 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "mesh") {
     try {
       return run_mesh(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (argc > 1 && std::string(argv[1]) == "stats") {
+    try {
+      return run_stats(argc, argv);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;

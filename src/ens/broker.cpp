@@ -73,12 +73,57 @@ std::uint64_t next_broker_id() {
 
 }  // namespace
 
-Broker::Broker(SchemaPtr schema, EngineOptions options)
+Broker::Broker(SchemaPtr schema, EngineOptions options,
+               std::shared_ptr<obs::Registry> metrics)
     : schema_(schema),
       engine_(schema, std::move(options)),
-      broker_id_(next_broker_id()) {
+      broker_id_(next_broker_id()),
+      metrics_(metrics != nullptr ? std::move(metrics)
+                                  : std::make_shared<obs::Registry>()) {
   GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
                 "broker requires a schema");
+  register_metrics();
+}
+
+void Broker::register_metrics() {
+  obs::Registry& reg = *metrics_;
+  const auto latency = obs::default_latency_bounds();
+  events_published_ = reg.counter("genas_broker_events_published_total",
+                                  "events accepted by publish");
+  events_matched_ = reg.counter("genas_broker_events_matched_total",
+                                "events matching >= 1 profile");
+  notifications_ = reg.counter("genas_broker_notifications_total",
+                               "(event, subscription) deliveries");
+  operations_ = reg.counter("genas_broker_filter_operations_total",
+                            "predicate comparisons performed");
+  snapshot_rebuilds_ = reg.counter("genas_broker_snapshot_rebuilds_total",
+                                   "read-side snapshot rebuilds");
+  adaptive_rebuilds_ = reg.counter("genas_broker_adaptive_rebuilds_total",
+                                   "adaptive-engine tree rebuilds");
+  match_latency_ = reg.histogram("genas_broker_match_latency_ns", latency,
+                                 "sampled publish->match latency");
+  delivery_latency_ = reg.histogram("genas_broker_delivery_latency_ns",
+                                    latency,
+                                    "sampled publish->deliver latency");
+  rebuild_pause_ = reg.histogram("genas_broker_rebuild_pause_ns", latency,
+                                 "snapshot rebuild pause duration");
+  composite_firings_ = reg.counter("genas_composite_firings_total",
+                                   "composite subscriptions fired");
+  composite_dedup_drops_ =
+      reg.counter("genas_composite_dedup_drops_total",
+                  "redelivered stimuli dropped by the dedup window");
+  composite_expired_ = reg.counter("genas_composite_expired_total",
+                                   "armed operator timestamps expired by GC");
+  composite_firing_latency_ =
+      reg.histogram("genas_composite_firing_latency_ns", latency,
+                    "sampled publish->composite-firing latency");
+  composite_reorder_depth_ = reg.gauge("genas_composite_reorder_depth",
+                                       "instants held in the reorder stage");
+  composite_armed_ = reg.gauge("genas_composite_armed",
+                               "operator nodes holding an armed timestamp");
+  composite_watermark_lag_ =
+      reg.gauge("genas_composite_watermark_lag",
+                "logical-time span the reorder stage holds back");
 }
 
 SubscriptionId Broker::subscribe(Profile profile,
@@ -315,6 +360,9 @@ void Broker::set_composite_index_enabled(bool enabled) {
 void Broker::flush_composites() {
   std::unique_lock<std::mutex> lock(composite_mutex_);
   composite_ingress_.flush();
+  composite_armed_.set(
+      static_cast<std::int64_t>(composite_detector_.armed_count()));
+  update_composite_gauges_locked();
   dispatch_composite_firings(lock);
 }
 
@@ -330,19 +378,50 @@ void Broker::advance_watermark(Timestamp now) {
   if (mark != kCompositeNever &&
       (composite_expired_horizon_ == kCompositeNever ||
        mark > composite_expired_horizon_)) {
-    composite_detector_.expire_before(mark);
+    composite_expired_.add(composite_detector_.expire_before(mark));
     composite_expired_horizon_ = mark;
   }
+  composite_armed_.set(
+      static_cast<std::int64_t>(composite_detector_.armed_count()));
+  update_composite_gauges_locked();
   dispatch_composite_firings(lock);
 }
 
 void Broker::composite_ingest(ProfileId profile, Timestamp time) {
+  static thread_local std::uint32_t trace_countdown = 0;
+  const bool traced = trace_.sample(trace_countdown);
   std::unique_lock<std::mutex> lock(composite_mutex_);
   if (!composite_ingress_.push(profile, time, current_dedup_token)) {
+    composite_dedup_drops_.add(1);
     return;  // redelivered stimulus dropped by the dedup window
   }
+  if (traced) {
+    // Bounded FIFO of sampled ingest stamps; a matching firing turns one
+    // into a publish->firing latency observation.
+    constexpr std::size_t kMaxTraceStamps = 256;
+    if (composite_trace_stamps_.size() >= kMaxTraceStamps) {
+      composite_trace_stamps_.erase(composite_trace_stamps_.begin());
+    }
+    composite_trace_stamps_.emplace_back(time, obs::now_ns());
+  }
+  update_composite_gauges_locked();
   if (composite_pending_.empty()) return;
   dispatch_composite_firings(lock);
+}
+
+void Broker::update_composite_gauges_locked() {
+  composite_reorder_depth_.set(
+      static_cast<std::int64_t>(composite_ingress_.buffered()));
+  const Timestamp oldest = composite_ingress_.oldest_buffered();
+  const Timestamp mark = composite_ingress_.watermark();
+  std::int64_t lag = 0;
+  if (oldest != kCompositeNever && mark != kCompositeNever) {
+    // Logical span the reorder stage holds back: newest seen stimulus
+    // (watermark + skew) minus the oldest instant still buffered.
+    const Timestamp newest = mark + composite_ingress_.skew();
+    if (newest > oldest) lag = newest - oldest;
+  }
+  composite_watermark_lag_.set(lag);
 }
 
 void Broker::set_composite_dedup_window(std::size_t capacity) {
@@ -366,6 +445,21 @@ void Broker::dispatch_composite_firings(std::unique_lock<std::mutex>& lock) {
     out.emplace_back(it->second.callback, firing);
   }
   composite_pending_.clear();
+  composite_firings_.add(out.size());
+  if (!out.empty() && !composite_trace_stamps_.empty()) {
+    // Match firings against the sampled ingest stamps (still locked: the
+    // stamp FIFO is composite_mutex_ state). A stamp is consumed by the
+    // first firing whose completion time equals the stimulus time.
+    const std::uint64_t now = obs::now_ns();
+    for (const auto& [callback, firing] : out) {
+      const auto stamp = std::find_if(
+          composite_trace_stamps_.begin(), composite_trace_stamps_.end(),
+          [&firing](const auto& s) { return s.first == firing.time; });
+      if (stamp == composite_trace_stamps_.end()) continue;
+      composite_firing_latency_.observe(now - stamp->second);
+      composite_trace_stamps_.erase(stamp);
+    }
+  }
   lock.unlock();
   for (const auto& [callback, firing] : out) (*callback)(firing);
 }
@@ -407,6 +501,9 @@ std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
   const std::scoped_lock lock(mutex_);
   const std::uint64_t current = version_.load(std::memory_order_relaxed);
   if (snapshot_ == nullptr || snapshot_->version != current) {
+    // The rebuild pause is the stop-the-world cost every reader behind this
+    // mutex pays; rebuilds are rare, so it is always timed (no sampling).
+    const std::uint64_t pause_start = obs::now_ns();
     auto fresh = std::make_shared<Snapshot>();
     fresh->version = current;
     const std::uint64_t builds_before = engine_.rebuild_count();
@@ -424,6 +521,8 @@ std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
       fresh->sinks.push_back(entry.callback);
     }
     snapshot_ = std::move(fresh);
+    snapshot_rebuilds_.add(1);
+    rebuild_pause_.observe(obs::now_ns() - pause_start);
   }
   slot->broker = broker_id_;
   slot->snapshot = snapshot_;
@@ -440,16 +539,23 @@ PublishResult Broker::publish(const Event& event) {
     return PublishResult{batch.notified, batch.operations, batch.rebuilt};
   }
 
+  // Sampled event-path trace: every Nth publish per thread stamps t0 and
+  // records publish->match and publish->deliver latency.
+  static thread_local std::uint32_t trace_countdown = 0;
+  const bool traced = trace_.sample(trace_countdown);
+  const std::uint64_t trace_start = traced ? obs::now_ns() : 0;
+
   PublishResult result;
   const std::shared_ptr<const Snapshot> snapshot =
       acquire_snapshot(&result.rebuilt);
   const FlatMatch match = snapshot->match->flat->match(event);
   result.operations = match.operations;
+  if (traced) match_latency_.observe(obs::now_ns() - trace_start);
 
-  events_published_.fetch_add(1, std::memory_order_relaxed);
-  operations_.fetch_add(match.operations, std::memory_order_relaxed);
+  events_published_.add(1);
+  operations_.add(match.operations);
   if (match.matched_count > 0) {
-    events_matched_.fetch_add(1, std::memory_order_relaxed);
+    events_matched_.add(1);
   }
 
   std::vector<Delivery> deliveries = take_delivery_scratch();
@@ -459,7 +565,7 @@ PublishResult Broker::publish(const Event& event) {
     deliveries.push_back(Delivery{route.callback.get(), route.subscription});
   }
   result.notified = deliveries.size();
-  notifications_.fetch_add(deliveries.size(), std::memory_order_relaxed);
+  notifications_.add(deliveries.size());
 
   for (const Delivery& delivery : deliveries) {
     const Notification notification{delivery.subscription, event};
@@ -467,6 +573,7 @@ PublishResult Broker::publish(const Event& event) {
     for (const auto& sink : snapshot->sinks) (*sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
+  if (traced) delivery_latency_.observe(obs::now_ns() - trace_start);
   return result;
 }
 
@@ -505,6 +612,13 @@ BatchPublishResult Broker::publish_batch_impl(
                   "event schema differs from broker schema");
   }
 
+  // One trace decision per batch: a sampled batch times the whole
+  // match-then-drain pipeline (stage latencies are per batch, not per
+  // event — the batch is the unit the caller waits on).
+  static thread_local std::uint32_t trace_countdown = 0;
+  const bool traced = trace_.sample(trace_countdown);
+  const std::uint64_t trace_start = traced ? obs::now_ns() : 0;
+
   std::vector<Delivery> deliveries = take_delivery_scratch();
 
   // Keeps callback objects alive across the drain even if a re-entrant
@@ -540,6 +654,7 @@ BatchPublishResult Broker::publish_batch_impl(
       result.operations = outcome.operations;
       result.matched_events = outcome.matched_events;
       result.rebuilt = outcome.rebuilt;
+      if (outcome.rebuilt) adaptive_rebuilds_.add(1);
       for (std::size_t i = 0; i < events.size(); ++i) {
         for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
           const auto sub_it = by_profile_.find(matched[k]);
@@ -570,10 +685,11 @@ BatchPublishResult Broker::publish_batch_impl(
     }
   }
 
-  events_published_.fetch_add(events.size(), std::memory_order_relaxed);
-  events_matched_.fetch_add(result.matched_events, std::memory_order_relaxed);
-  operations_.fetch_add(result.operations, std::memory_order_relaxed);
-  notifications_.fetch_add(deliveries.size(), std::memory_order_relaxed);
+  if (traced) match_latency_.observe(obs::now_ns() - trace_start);
+  events_published_.add(events.size());
+  events_matched_.add(result.matched_events);
+  operations_.add(result.operations);
+  notifications_.add(deliveries.size());
   result.notified = deliveries.size();
 
   // Drain every notification in one pass, outside any lock.
@@ -596,15 +712,16 @@ BatchPublishResult Broker::publish_batch_impl(
     }
   }
   return_delivery_scratch(std::move(deliveries));
+  if (traced) delivery_latency_.observe(obs::now_ns() - trace_start);
   return result;
 }
 
 ServiceCounters Broker::counters() const {
   ServiceCounters counters;
-  counters.events_published = events_published_.load(std::memory_order_relaxed);
-  counters.events_matched = events_matched_.load(std::memory_order_relaxed);
-  counters.notifications = notifications_.load(std::memory_order_relaxed);
-  counters.operations = operations_.load(std::memory_order_relaxed);
+  counters.events_published = events_published_.value();
+  counters.events_matched = events_matched_.value();
+  counters.notifications = notifications_.value();
+  counters.operations = operations_.value();
   return counters;
 }
 

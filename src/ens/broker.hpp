@@ -43,6 +43,8 @@
 #include "core/filter_engine.hpp"
 #include "ens/composite.hpp"
 #include "ens/statistics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace genas {
 
@@ -78,7 +80,13 @@ struct BatchPublishResult {
 
 class Broker {
  public:
-  explicit Broker(SchemaPtr schema, EngineOptions options = {});
+  /// `metrics` is the obs registry this broker instruments (counters,
+  /// latency histograms, composite gauges); when null the broker creates a
+  /// private one. A host embedding several brokers (the mesh) passes
+  /// per-node registries with distinguishing labels so their snapshots
+  /// merge without name collisions.
+  explicit Broker(SchemaPtr schema, EngineOptions options = {},
+                  std::shared_ptr<obs::Registry> metrics = nullptr);
 
   /// Registers a profile with its delivery callback.
   SubscriptionId subscribe(Profile profile, NotificationCallback callback);
@@ -201,6 +209,22 @@ class Broker {
   /// excluded; see composite_count() for composites).
   std::size_t subscription_count() const;
 
+  /// The obs registry this broker instruments (scrape with
+  /// metrics().snapshot() or obs::render_prometheus).
+  obs::Registry& metrics() const noexcept { return *metrics_; }
+  const std::shared_ptr<obs::Registry>& metrics_ptr() const noexcept {
+    return metrics_;
+  }
+
+  /// Event-path trace sampling: every Nth publish per thread records
+  /// publish→match and publish→deliver latency (and composite ingest
+  /// stamps for publish→firing latency). 0 disables tracing; the default
+  /// is obs::kDefaultTracePeriod. Reconfigurable under live traffic.
+  void set_trace_period(std::uint32_t period) noexcept {
+    trace_.set_period(period);
+  }
+  std::uint32_t trace_period() const noexcept { return trace_.period(); }
+
   /// Profile-side statistics (P_p) over the current subscriptions.
   ProfileStatistics profile_statistics() const;
 
@@ -249,6 +273,10 @@ class Broker {
   /// Feeds one internal leaf firing into the composite runtime, then
   /// dispatches any completed composite callbacks outside composite_mutex_.
   void composite_ingest(ProfileId profile, Timestamp time);
+  /// Registers this broker's metrics in metrics_ (constructor helper).
+  void register_metrics();
+  /// Refreshes the composite depth/lag gauges (composite_mutex_ held).
+  void update_composite_gauges_locked();
   /// Moves composite_pending_ out (composite_mutex_ must be held by `lock`),
   /// releases the lock, and invokes the subscribers' callbacks.
   void dispatch_composite_firings(std::unique_lock<std::mutex>& lock);
@@ -312,11 +340,32 @@ class Broker {
   };
   std::unordered_map<std::string, LeafRegistration> composite_leaves_;
 
-  // Service counters (atomic so the lock-free publish path can bump them).
-  std::atomic<std::uint64_t> events_published_{0};
-  std::atomic<std::uint64_t> events_matched_{0};
-  std::atomic<std::uint64_t> notifications_{0};
-  std::atomic<std::uint64_t> operations_{0};
+  // Observability. Service counters live in the obs registry (sharded
+  // relaxed atomics, so the lock-free publish path can bump them without
+  // contention); the trace sampler decides which publishes pay for stage
+  // timestamps. Handles are registered once in the constructor.
+  std::shared_ptr<obs::Registry> metrics_;
+  obs::TraceSampler trace_;
+  obs::Counter events_published_;
+  obs::Counter events_matched_;
+  obs::Counter notifications_;
+  obs::Counter operations_;
+  obs::Counter snapshot_rebuilds_;
+  obs::Counter adaptive_rebuilds_;
+  obs::Histogram match_latency_;
+  obs::Histogram delivery_latency_;
+  obs::Histogram rebuild_pause_;
+  obs::Counter composite_firings_;
+  obs::Counter composite_dedup_drops_;
+  obs::Counter composite_expired_;
+  obs::Histogram composite_firing_latency_;
+  obs::Gauge composite_reorder_depth_;
+  obs::Gauge composite_armed_;
+  obs::Gauge composite_watermark_lag_;
+  /// Sampled composite ingest stamps: (logical stimulus time, wall ns),
+  /// bounded FIFO; guarded by composite_mutex_. dispatch_composite_firings
+  /// matches firings against them for publish→firing latency.
+  std::vector<std::pair<Timestamp, std::uint64_t>> composite_trace_stamps_;
 };
 
 }  // namespace genas

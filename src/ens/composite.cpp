@@ -545,7 +545,7 @@ void CompositeDetector::on_event(std::span<const ProfileId> profiles,
   affected_scratch_slot() = std::move(affected);
 }
 
-void CompositeDetector::expire_before(Timestamp horizon) {
+std::size_t CompositeDetector::expire_before(Timestamp horizon) {
   const auto expired = [horizon](Timestamp armed, Timestamp window) {
     // Unsigned difference: exact even when the span exceeds the signed
     // range (armed can sit anywhere in the timestamp domain).
@@ -554,6 +554,7 @@ void CompositeDetector::expire_before(Timestamp horizon) {
                    static_cast<std::uint64_t>(armed) >
                static_cast<std::uint64_t>(window);
   };
+  std::size_t cleared = 0;
   for (EntryData& entry : entries_) {
     if (!entry.live) continue;
     for (std::size_t n = 0; n < entry.nodes.size(); ++n) {
@@ -565,12 +566,15 @@ void CompositeDetector::expire_before(Timestamp horizon) {
       NodeState& state = entry.states[n];
       if (expired(state.left_fired, expr.window())) {
         state.left_fired = kCompositeNever;
+        ++cleared;
       }
       if (expired(state.right_fired, expr.window())) {
         state.right_fired = kCompositeNever;
+        ++cleared;
       }
     }
   }
+  return cleared;
 }
 
 std::size_t CompositeDetector::armed_count() const noexcept {

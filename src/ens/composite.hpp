@@ -182,8 +182,9 @@ class CompositeDetector {
   /// off any in-order stimulus at time >= horizon). Late (out-of-order)
   /// stimuli older than the horizon may miss combinations the cleared state
   /// would have completed — exactly the detector's out-of-order contract.
-  /// Call with the watermark when one advances.
-  void expire_before(Timestamp horizon);
+  /// Call with the watermark when one advances. Returns the number of
+  /// armed timestamps cleared (memory-accounting / obs signal).
+  std::size_t expire_before(Timestamp horizon);
 
   /// Operator nodes currently holding an armed timestamp (bounded-state
   /// introspection for tests and memory accounting).
@@ -304,6 +305,12 @@ class CompositeIngress {
 
   /// Instants currently held back.
   std::size_t buffered() const noexcept { return pending_.size(); }
+
+  /// Timestamp of the oldest instant held back, or kCompositeNever when
+  /// nothing is buffered (watermark-lag introspection).
+  Timestamp oldest_buffered() const noexcept {
+    return pending_.empty() ? kCompositeNever : pending_.begin()->first;
+  }
 
  private:
   void release_below(Timestamp watermark);

@@ -30,25 +30,29 @@ class Mailbox {
   explicit Mailbox(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
   /// Blocks while the mailbox is full. Returns false (dropping the item)
-  /// when the mailbox closed before space appeared.
-  bool push(T item) {
+  /// when the mailbox closed before space appeared. When `depth` is given
+  /// it receives the queue depth right after the push (high-water probes
+  /// get it for free, under the lock already held).
+  bool push(T item, std::size_t* depth = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (depth != nullptr) *depth = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push; on failure (full or closed) the item is left
-  /// untouched in `item`.
-  bool try_push(T& item) {
+  /// untouched in `item`. `depth` as in push().
+  bool try_push(T& item, std::size_t* depth = nullptr) {
     {
       const std::scoped_lock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (depth != nullptr) *depth = items_.size();
     }
     not_empty_.notify_one();
     return true;

@@ -46,7 +46,19 @@ struct PublishMsg {
   Event event;
   /// Redelivery token forwarded to Broker::publish(event, token); 0 = none.
   std::uint64_t token = 0;
+  /// Wall stamp (obs::now_ns) set when the publish was trace-sampled at
+  /// enqueue; 0 = unsampled. Drives the mesh ingress-wait and
+  /// publish-to-route histograms across the producer/worker thread hop.
+  std::uint64_t trace_stamp = 0;
 };
+
+/// Relaxed high-water update (monitoring-grade; lost races are benign).
+void update_max(std::atomic<std::uint64_t>& mark, std::uint64_t v) {
+  std::uint64_t cur = mark.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !mark.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 struct LocalSubscribeMsg {
   SubscriptionId key = 0;
   Profile profile;
@@ -105,6 +117,9 @@ struct MeshNetwork::Node {
     std::atomic<std::uint64_t> retransmits{0};
     std::atomic<std::uint64_t> dup_frames{0};
     std::atomic<std::uint64_t> gap_frames{0};
+    /// Deepest the staging outbox toward this peer has grown (frames held
+    /// back by a full peer mailbox) — the mesh backpressure signal.
+    std::atomic<std::uint64_t> outbox_hwm{0};
   };
   std::vector<std::unique_ptr<Peer>> peers;
 
@@ -138,6 +153,9 @@ struct MeshNetwork::Node {
   std::atomic<std::uint64_t> profile_messages{0};
   std::atomic<std::uint64_t> filter_operations{0};
   std::atomic<std::uint64_t> deliveries{0};
+  /// Deepest this node's mailbox has grown (probed under the mailbox lock
+  /// at push time, so the high-water costs no extra synchronization).
+  std::atomic<std::uint64_t> mailbox_hwm{0};
 
   // Per-batch scratch (worker-owned): events collected from the drained
   // mailbox batch, the link each arrived on (kExternal for publishes), and
@@ -146,13 +164,26 @@ struct MeshNetwork::Node {
   std::vector<Event> batch_events;
   std::vector<NodeId> batch_sources;
   std::vector<std::uint64_t> batch_tokens;
+  /// Earliest trace stamp of a sampled publish in the current batch; timed
+  /// against the publish-to-route histogram once route_events() returns.
+  std::uint64_t batch_trace_stamp = 0;
 
 };
 
 MeshNetwork::MeshNetwork(SchemaPtr schema, MeshOptions options)
-    : schema_(std::move(schema)), options_(std::move(options)) {
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      metrics_(std::make_shared<obs::Registry>()),
+      trace_(options_.trace_period) {
   GENAS_REQUIRE(schema_ != nullptr, ErrorCode::kInvalidArgument,
                 "mesh requires a schema");
+  ingress_wait_ = metrics_->histogram(
+      "genas_mesh_ingress_wait_ns", obs::default_latency_bounds(),
+      "sampled wait of external publishes from enqueue to worker drain");
+  publish_to_route_ = metrics_->histogram(
+      "genas_mesh_publish_to_route_ns", obs::default_latency_bounds(),
+      "sampled latency from publish enqueue to the ingress node finishing "
+      "local delivery and link forwarding of the containing batch");
 }
 
 MeshNetwork::~MeshNetwork() {
@@ -188,7 +219,13 @@ NodeId MeshNetwork::add_node() {
   EngineOptions engine_options;
   engine_options.policy = options_.policy;
   engine_options.prior = options_.event_distribution;
-  node->broker = std::make_unique<Broker>(schema_, std::move(engine_options));
+  // Each node's broker gets its own registry labeled with the node id, so
+  // stats_snapshot() can merge all of them without name collisions.
+  node->broker = std::make_unique<Broker>(
+      schema_, std::move(engine_options),
+      std::make_shared<obs::Registry>("node=\"" + std::to_string(node->id) +
+                                      "\""));
+  node->broker->set_trace_period(options_.trace_period);
   node->broker->set_composite_skew(options_.composite_skew);
   node->broker->set_composite_dedup_window(options_.composite_dedup_window);
   Node* raw = node.get();
@@ -354,7 +391,10 @@ void MeshNetwork::publish(NodeId node, Event event,
   validate_node(node);
   GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
                 "event schema differs from mesh schema");
-  enqueue(node, NodeMsg{PublishMsg{std::move(event), dedup_token}});
+  static thread_local std::uint32_t trace_countdown = 0;
+  const std::uint64_t stamp =
+      trace_.sample(trace_countdown) ? obs::now_ns() : 0;
+  enqueue(node, NodeMsg{PublishMsg{std::move(event), dedup_token, stamp}});
 }
 
 void MeshNetwork::enqueue(NodeId node, NodeMsg message) {
@@ -364,12 +404,14 @@ void MeshNetwork::enqueue(NodeId node, NodeMsg message) {
                   "mesh is not accepting work (not started, or shut down)");
     inflight_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!nodes_[node]->mailbox.push(std::move(message))) {
+  std::size_t depth = 0;
+  if (!nodes_[node]->mailbox.push(std::move(message), &depth)) {
     // Unreachable by construction (mailboxes close only at zero in-flight),
     // but never leak an in-flight count.
     messages_done(1);
     throw_error(ErrorCode::kState, "mesh mailbox closed during shutdown");
   }
+  update_max(nodes_[node]->mailbox_hwm, depth);
 }
 
 void MeshNetwork::messages_done(std::uint64_t n) {
@@ -590,10 +632,14 @@ void MeshNetwork::send_frame(Node& node, std::size_t peer_index,
   // Per-link FIFO: while earlier frames are staged, later ones must queue
   // behind them — overtaking would reorder subscribe/unsubscribe frames and
   // covering state depends on install order.
+  std::size_t depth = 0;
   if (!peer.outbox.empty() ||
-      !nodes_[peer.node]->mailbox.try_push(message)) {
+      !nodes_[peer.node]->mailbox.try_push(message, &depth)) {
     peer.outbox.push_back(std::move(message));
+    update_max(peer.outbox_hwm, peer.outbox.size());
+    return;
   }
+  update_max(nodes_[peer.node]->mailbox_hwm, depth);
 }
 
 void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
@@ -612,6 +658,10 @@ void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
   } catch (const std::exception& e) {
     record_error(e.what());
   }
+  if (node.batch_trace_stamp != 0) {
+    publish_to_route_.observe(obs::now_ns() - node.batch_trace_stamp);
+    node.batch_trace_stamp = 0;
+  }
   // One cumulative ack per link that received envelopes this batch — acks
   // are unsequenced and idempotent, and they take the fault plan too (a
   // lost ack is recovered by retransmit -> duplicate -> re-ack).
@@ -628,6 +678,12 @@ void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
 void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
   if (auto* publish = std::get_if<PublishMsg>(&message.payload)) {
     node.events_published.fetch_add(1, std::memory_order_relaxed);
+    if (publish->trace_stamp != 0) {
+      ingress_wait_.observe(obs::now_ns() - publish->trace_stamp);
+      if (node.batch_trace_stamp == 0) {
+        node.batch_trace_stamp = publish->trace_stamp;
+      }
+    }
     node.batch_events.push_back(std::move(publish->event));
     node.batch_sources.push_back(kExternal);
     node.batch_tokens.push_back(publish->token);
@@ -959,6 +1015,65 @@ std::vector<LinkStats> MeshNetwork::link_stats(NodeId node) const {
         peer->gap_frames.load(std::memory_order_relaxed)});
   }
   return stats;
+}
+
+obs::StatsSnapshot MeshNetwork::stats_snapshot() const {
+  obs::StatsSnapshot out = metrics_->snapshot();
+
+  // The worker-maintained overlay/link atomics are the single source of
+  // truth on the hot path; they become labeled metrics only here, at read
+  // time, so instrumentation adds no second counter bump per event.
+  const auto synthesize = [&out](std::string name, std::string_view labels,
+                                 obs::MetricKind kind, std::uint64_t value) {
+    obs::MetricSnapshot m;
+    m.name = std::move(name);
+    m.name += labels;
+    m.kind = kind;
+    m.value = static_cast<std::int64_t>(value);
+    out.metrics.push_back(std::move(m));
+  };
+
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = *nodes_[id];
+    out.merge(n.broker->metrics().snapshot());
+
+    const std::string node_labels = "{node=\"" + std::to_string(id) + "\"}";
+    const auto load = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    synthesize("genas_mesh_events_published_total", node_labels,
+               obs::MetricKind::kCounter, load(n.events_published));
+    synthesize("genas_mesh_event_messages_total", node_labels,
+               obs::MetricKind::kCounter, load(n.event_messages));
+    synthesize("genas_mesh_profile_messages_total", node_labels,
+               obs::MetricKind::kCounter, load(n.profile_messages));
+    synthesize("genas_mesh_filter_operations_total", node_labels,
+               obs::MetricKind::kCounter, load(n.filter_operations));
+    synthesize("genas_mesh_deliveries_total", node_labels,
+               obs::MetricKind::kCounter, load(n.deliveries));
+    synthesize("genas_mesh_mailbox_depth_highwater", node_labels,
+               obs::MetricKind::kGauge, load(n.mailbox_hwm));
+
+    for (const auto& peer : n.peers) {
+      const std::string link_labels = "{node=\"" + std::to_string(id) +
+                                      "\",peer=\"" +
+                                      std::to_string(peer->node) + "\"}";
+      synthesize("genas_mesh_link_event_messages_total", link_labels,
+                 obs::MetricKind::kCounter, load(peer->event_messages));
+      synthesize("genas_mesh_link_routing_entries", link_labels,
+                 obs::MetricKind::kGauge, load(peer->routing_entries));
+      synthesize("genas_mesh_link_retransmits_total", link_labels,
+                 obs::MetricKind::kCounter, load(peer->retransmits));
+      synthesize("genas_mesh_link_dup_frames_total", link_labels,
+                 obs::MetricKind::kCounter, load(peer->dup_frames));
+      synthesize("genas_mesh_link_gap_frames_total", link_labels,
+                 obs::MetricKind::kCounter, load(peer->gap_frames));
+      synthesize("genas_mesh_link_outbox_depth_highwater", link_labels,
+                 obs::MetricKind::kGauge, load(peer->outbox_hwm));
+    }
+  }
+  out.sort();
+  return out;
 }
 
 std::size_t MeshNetwork::routing_entries(NodeId node) const {

@@ -89,6 +89,8 @@
 #include "ens/broker.hpp"
 #include "net/fault.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::mesh {
@@ -156,6 +158,15 @@ struct MeshOptions {
   /// e.g. replays from a reconnecting socket client — be dropped before
   /// they restimulate composite detection. 0 (default) disables dedup.
   std::size_t composite_dedup_window = 0;
+
+  // --- Observability ------------------------------------------------------
+
+  /// Event-path trace sampling period, applied to every node's broker and
+  /// to the mesh's own ingress histograms: every Nth publish is stamped at
+  /// enqueue and timed through drain and routing (0 disables tracing; see
+  /// obs::TraceSampler). Sampling keeps the per-event cost at one
+  /// thread_local countdown decrement.
+  std::uint32_t trace_period = obs::kDefaultTracePeriod;
 };
 
 /// Delivery callback: subscription `key` at `node` matched `event`.
@@ -267,6 +278,14 @@ class MeshNetwork {
   OverlayStats node_stats(NodeId node) const;
   /// Per-link counters of one node.
   std::vector<LinkStats> link_stats(NodeId node) const;
+  /// Merged observability snapshot: every node's broker registry (labeled
+  /// `node="N"`), the mesh-level trace histograms, plus the overlay/link
+  /// counters and queue high-waters synthesized as labeled metrics
+  /// (`genas_mesh_*{node="N"}`, `genas_mesh_link_*{node="N",peer="M"}`).
+  /// Safe to call while the mesh runs (relaxed reads, monitoring-grade).
+  obs::StatsSnapshot stats_snapshot() const;
+  /// The mesh-level registry (ingress wait / publish-to-route histograms).
+  obs::Registry& metrics() const noexcept { return *metrics_; }
   /// Profiles installed across all of `node`'s link tables.
   std::size_t routing_entries(NodeId node) const;
   /// Live local subscriptions at `node`.
@@ -321,6 +340,13 @@ class MeshNetwork {
 
   SchemaPtr schema_;
   MeshOptions options_;
+  /// Mesh-level metrics (cross-thread event-path latencies; per-node and
+  /// per-link counters are synthesized from the worker atomics at snapshot
+  /// time instead of being double-counted on the hot path).
+  std::shared_ptr<obs::Registry> metrics_;
+  obs::TraceSampler trace_;
+  obs::Histogram ingress_wait_;      ///< publish enqueue -> worker drain
+  obs::Histogram publish_to_route_;  ///< publish enqueue -> batch routed
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<NodeId> forest_;  // union-find parent for cycle detection
 

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::net {
@@ -42,6 +43,10 @@ struct BrokerServer::Connection {
   std::atomic<bool> cleaned{false};  ///< lifecycle cleanup ran (exactly once)
   std::thread thread;
 
+  /// Server-registry handles (copied in at accept; inert until then).
+  obs::Counter frames_written;
+  obs::Counter bytes_written;
+
   /// Client-chosen key -> service-side id (handler-thread-owned).
   std::unordered_map<std::uint64_t, std::uint64_t> subs;
   std::unordered_map<std::uint64_t, std::uint64_t> csubs;
@@ -58,6 +63,8 @@ struct BrokerServer::Connection {
     if (!open.load(std::memory_order_relaxed)) return false;
     try {
       channel.write_frame(frame);
+      frames_written.add(1);
+      bytes_written.add(frame.size());
       return true;
     } catch (...) {
       open.store(false, std::memory_order_release);
@@ -83,7 +90,22 @@ struct BrokerServer::Impl {
 
   mutable std::mutex connections_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
-  std::atomic<std::uint64_t> accepted{0};
+
+  /// Server-level metrics. The former plain service counters (accepted,
+  /// duplicate publishes) live here now — sharded registry counters are as
+  /// cheap as the atomics they replace, and the registry is what a
+  /// kStatsRequest scrape serializes.
+  std::shared_ptr<obs::Registry> metrics;
+  obs::Counter connections_total;
+  obs::Counter frames_read;
+  obs::Counter bytes_read;
+  obs::Counter frames_written;
+  obs::Counter bytes_written;
+  obs::Counter duplicates;
+  obs::Counter errors_parse;
+  obs::Counter errors_protocol;
+  obs::Counter errors_internal;
+  obs::Histogram flush_barrier;
 
   /// Resume-session registry: session id -> highest publish sequence
   /// processed. Outlives connections (that is the point); bounded by
@@ -92,13 +114,40 @@ struct BrokerServer::Impl {
   std::unordered_map<std::uint64_t, std::uint64_t> sessions;
   std::deque<std::uint64_t> session_order;
   std::atomic<std::uint64_t> next_session{1};
-  std::atomic<std::uint64_t> duplicate_publishes{0};
 
   mutable std::mutex error_mutex;
   std::string first_error;
 
   Impl(ServerOptions opts)
-      : options(opts), listener(opts.port) {}
+      : options(opts),
+        listener(opts.port),
+        metrics(std::make_shared<obs::Registry>()) {
+    connections_total = metrics->counter("genas_server_connections_total",
+                                         "client connections accepted");
+    frames_read = metrics->counter("genas_server_frames_read_total",
+                                   "wire frames read from clients");
+    bytes_read = metrics->counter("genas_server_bytes_read_total",
+                                  "frame payload bytes read from clients");
+    frames_written = metrics->counter("genas_server_frames_written_total",
+                                      "wire frames written to clients");
+    bytes_written = metrics->counter("genas_server_bytes_written_total",
+                                     "frame payload bytes written to clients");
+    duplicates = metrics->counter(
+        "genas_server_duplicate_publishes_total",
+        "sequenced publishes dropped as session replays");
+    errors_parse = metrics->counter(
+        "genas_server_errors_total{category=\"parse\"}",
+        "connections dropped on corrupt frames");
+    errors_protocol = metrics->counter(
+        "genas_server_errors_total{category=\"protocol\"}",
+        "connections dropped on protocol violations");
+    errors_internal = metrics->counter(
+        "genas_server_errors_total{category=\"internal\"}",
+        "connections dropped on internal service errors");
+    flush_barrier = metrics->histogram("genas_server_flush_barrier_ns",
+                                       obs::default_latency_bounds(),
+                                       "kFlush quiesce-and-ack latency");
+  }
 };
 
 BrokerServer::BrokerServer(Broker& broker, ServerOptions options)
@@ -187,11 +236,33 @@ std::size_t BrokerServer::active_connections() const {
 }
 
 std::uint64_t BrokerServer::connections_accepted() const noexcept {
-  return impl_->accepted.load();
+  return impl_->connections_total.value();
 }
 
 std::uint64_t BrokerServer::duplicate_publishes() const noexcept {
-  return impl_->duplicate_publishes.load();
+  return impl_->duplicates.value();
+}
+
+obs::Registry& BrokerServer::metrics() const noexcept {
+  return *impl_->metrics;
+}
+
+obs::StatsSnapshot BrokerServer::stats_snapshot() const {
+  obs::StatsSnapshot out = impl_->metrics->snapshot();
+  {
+    obs::MetricSnapshot active;
+    active.name = "genas_server_active_connections";
+    active.kind = obs::MetricKind::kGauge;
+    active.value = static_cast<std::int64_t>(active_connections());
+    out.metrics.push_back(std::move(active));
+  }
+  if (impl_->broker != nullptr) {
+    out.merge(impl_->broker->metrics().snapshot());
+  } else {
+    out.merge(impl_->mesh->stats_snapshot());
+  }
+  out.sort();
+  return out;
 }
 
 std::string BrokerServer::first_error() const {
@@ -232,8 +303,10 @@ void BrokerServer::run_accept_loop() {
       if (!channel) continue;
       if (impl_->stopping.load()) return;  // raced stop(); drop the socket
       auto connection = std::make_shared<Connection>(std::move(*channel));
+      connection->frames_written = impl_->frames_written;
+      connection->bytes_written = impl_->bytes_written;
       impl_->connections.push_back(connection);
-      impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+      impl_->connections_total.add(1);
       connection->thread =
           std::thread([this, connection] { run_connection(connection); });
     }
@@ -251,6 +324,8 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
       std::optional<Frame> frame =
           c.channel.read_frame(impl.options.client_idle_timeout);
       if (!frame) break;  // clean disconnect
+      impl.frames_read.add(1);
+      impl.bytes_read.add(frame->size());
       wire::Message message = wire::decode_message(*frame, impl.schema);
 
       if (auto* hello = std::get_if<wire::HelloMsg>(&message)) {
@@ -306,7 +381,7 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
           }
         }
         if (!fresh) {
-          impl.duplicate_publishes.fetch_add(1, std::memory_order_relaxed);
+          impl.duplicates.add(1);
           continue;
         }
         const std::uint64_t token =
@@ -412,14 +487,23 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
       if (auto* flush = std::get_if<wire::FlushMsg>(&message)) {
         // Everything this client sent earlier has been processed (in-order
         // handling); quiesce the service so the deliveries those frames
-        // caused are on the stream, then acknowledge.
+        // caused are on the stream, then acknowledge. Barriers are rare and
+        // slow by design, so every one is timed (no sampling).
+        const std::uint64_t flush_start = obs::now_ns();
         if (impl.mesh != nullptr) {
           impl.mesh->wait_idle();
           impl.mesh->flush_composites();
         } else {
           impl.broker->flush_composites();
         }
-        if (!c.write(wire::frame_flush_done(flush->token))) break;
+        const bool acked = c.write(wire::frame_flush_done(flush->token));
+        impl.flush_barrier.observe(obs::now_ns() - flush_start);
+        if (!acked) break;
+        continue;
+      }
+
+      if (std::get_if<wire::StatsRequestMsg>(&message) != nullptr) {
+        if (!c.write(wire::frame_stats_snapshot(stats_snapshot()))) break;
         continue;
       }
 
@@ -432,15 +516,28 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
   } catch (const Error& e) {
     // Peer-behavior socket kState (abrupt close mid-frame, resets,
     // timeouts) is normal client lifecycle; corrupt streams (kParse) and
-    // protocol violations are worth surfacing.
+    // protocol violations are worth surfacing — each categorized exactly
+    // once per dropped connection in the error counters.
     // (what() carries the "genas: [code]" prefix, hence find, not
     // starts_with.)
     const bool peer_lifecycle =
         e.code() == ErrorCode::kState &&
         std::string_view(e.what()).find("socket:") != std::string_view::npos;
-    if (!peer_lifecycle && !impl.stopping.load()) record_error(e.what());
+    if (!peer_lifecycle && !impl.stopping.load()) {
+      if (e.code() == ErrorCode::kParse) {
+        impl.errors_parse.add(1);
+      } else if (e.code() == ErrorCode::kState) {
+        impl.errors_protocol.add(1);
+      } else {
+        impl.errors_internal.add(1);
+      }
+      record_error(e.what());
+    }
   } catch (const std::exception& e) {
-    if (!impl.stopping.load()) record_error(e.what());
+    if (!impl.stopping.load()) {
+      impl.errors_internal.add(1);
+      record_error(e.what());
+    }
   }
   cleanup_connection(c);
   c.done.store(true, std::memory_order_release);

@@ -71,6 +71,7 @@
 #include "ens/broker.hpp"
 #include "mesh/mesh.hpp"
 #include "net/socket_channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace genas::net {
 
@@ -123,6 +124,15 @@ class BrokerServer {
   /// Sequenced publishes dropped as session duplicates (replays the
   /// watermark already covered).
   std::uint64_t duplicate_publishes() const noexcept;
+
+  /// Merged observability snapshot: the server's own registry
+  /// (genas_server_* connection/frame/byte/error counters, flush-barrier
+  /// latency) plus the served broker's registry — or, in mesh mode, the
+  /// whole mesh's stats_snapshot(). This is also what a kStatsRequest
+  /// frame returns to a remote scraper.
+  obs::StatsSnapshot stats_snapshot() const;
+  /// The server-level registry (for tests and local scraping).
+  obs::Registry& metrics() const noexcept;
 
   /// First internal/protocol error observed (empty when healthy). Client
   /// disconnects are normal lifecycle, not errors.

@@ -330,6 +330,33 @@ void RemoteBrokerClient::flush(std::chrono::milliseconds timeout) {
   }
 }
 
+obs::StatsSnapshot RemoteBrokerClient::stats(std::chrono::milliseconds timeout) {
+  const std::scoped_lock request_lock(stats_mutex_);
+  std::uint64_t seen;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    seen = stats_generation_;
+  }
+  send_frame(wire::frame_stats_request());
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  const auto settled = [&] {
+    return stats_generation_ > seen || failed_.load() || closing_.load();
+  };
+  if (timeout.count() < 0) {
+    flush_cv_.wait(lock, settled);
+  } else if (!flush_cv_.wait_for(lock, timeout, settled)) {
+    throw_error(ErrorCode::kTimeout,
+                "remote broker: stats deadline expired after " +
+                    std::to_string(timeout.count()) + "ms");
+  }
+  if (stats_generation_ <= seen) {
+    throw_error(ErrorCode::kState,
+                "remote broker: connection dropped during stats scrape" +
+                    (last_error_.empty() ? "" : " (" + last_error_ + ")"));
+  }
+  return stats_reply_;
+}
+
 void RemoteBrokerClient::run_reader() {
   for (;;) {
     std::string why = "remote broker: server closed the stream";
@@ -393,6 +420,16 @@ void RemoteBrokerClient::read_loop() {
       {
         const std::scoped_lock lock(state_mutex_);
         if (done->token > flush_acked_) flush_acked_ = done->token;
+      }
+      flush_cv_.notify_all();
+      continue;
+    }
+
+    if (auto* snap = std::get_if<wire::StatsSnapshotMsg>(&message)) {
+      {
+        const std::scoped_lock lock(state_mutex_);
+        stats_reply_ = std::move(snap->stats);
+        ++stats_generation_;
       }
       flush_cv_.notify_all();
       continue;

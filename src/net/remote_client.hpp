@@ -56,6 +56,7 @@
 
 #include "ens/broker.hpp"
 #include "net/socket_channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace genas::net {
 
@@ -118,6 +119,17 @@ class RemoteBrokerClient {
   /// reply does not arrive within `timeout` (the connection stays up — a
   /// later flush can still succeed). Negative means wait forever.
   void flush(std::chrono::milliseconds timeout);
+
+  /// Scrapes the service's observability snapshot (a kStatsRequest round
+  /// trip): the server-level genas_server_* metrics merged with the served
+  /// broker's — or whole mesh's — registries. Blocks until the snapshot
+  /// frame arrives; a non-negative `timeout` throws Error{kTimeout} on
+  /// expiry. Concurrent callers serialize (the request frame carries no
+  /// token, so one scrape is outstanding at a time). Not callable from a
+  /// callback; in reconnect mode a redial loses the in-flight request, so
+  /// pass a timeout there.
+  obs::StatsSnapshot stats(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{-1});
 
   bool connected() const noexcept { return connected_.load(); }
   /// Why the connection ended (empty while connected / after close()).
@@ -185,7 +197,15 @@ class RemoteBrokerClient {
   std::condition_variable flush_cv_;
   std::uint64_t flush_acked_ = 0;
   std::uint64_t highest_flush_token_ = 0;  // re-flushed after a reconnect
+  /// Stats scrape bookkeeping: the reader bumps the generation when a
+  /// snapshot frame lands; stats() waits for a generation newer than the
+  /// one it observed before sending its request.
+  std::uint64_t stats_generation_ = 0;
+  obs::StatsSnapshot stats_reply_;
   std::string last_error_;
+
+  /// Serializes stats() callers (one untokened request outstanding).
+  std::mutex stats_mutex_;
 
   std::atomic<std::uint64_t> next_key_{1};
   std::atomic<std::uint64_t> next_flush_token_{1};

@@ -1,0 +1,307 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace genas::obs {
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  detail::Metric* m = metric_;
+  if (m == nullptr) return;
+  const auto it = std::lower_bound(m->bounds.begin(), m->bounds.end(), v);
+  const auto b = static_cast<std::size_t>(it - m->bounds.begin());
+  const std::size_t shard = shard_index();
+  const std::size_t stride = m->bounds.size() + 1;
+  m->buckets[shard * stride + b].fetch_add(1, std::memory_order_relaxed);
+  m->cells[shard].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricSnapshot::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+const MetricSnapshot* StatsSnapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::int64_t StatsSnapshot::value(std::string_view name) const noexcept {
+  const MetricSnapshot* m = find(name);
+  return m == nullptr ? 0 : m->value;
+}
+
+void StatsSnapshot::merge(StatsSnapshot other) {
+  metrics.insert(metrics.end(), std::make_move_iterator(other.metrics.begin()),
+                 std::make_move_iterator(other.metrics.end()));
+  sort();
+}
+
+void StatsSnapshot::sort() {
+  std::sort(metrics.begin(), metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+}
+
+Registry::Registry(std::string labels) : labels_(std::move(labels)) {}
+
+std::string Registry::decorate(std::string_view name) const {
+  if (labels_.empty()) return std::string(name);
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    std::string decorated(name);
+    decorated += '{';
+    decorated += labels_;
+    decorated += '}';
+    return decorated;
+  }
+  // name{existing} -> name{registry_labels,existing}
+  std::string decorated(name.substr(0, brace + 1));
+  decorated += labels_;
+  decorated += ',';
+  decorated += name.substr(brace + 1);
+  return decorated;
+}
+
+detail::Metric* Registry::find_or_create(std::string_view name,
+                                         MetricKind kind,
+                                         std::span<const std::uint64_t> bounds,
+                                         std::string_view help) {
+  const std::string decorated = decorate(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_name_.find(std::string_view(decorated));
+      it != by_name_.end()) {
+    detail::Metric* existing = it->second;
+    GENAS_REQUIRE(existing->kind == kind, ErrorCode::kInvalidArgument,
+                  "metric '" + decorated + "' already registered as " +
+                      std::string(to_string(existing->kind)));
+    GENAS_REQUIRE(
+        kind != MetricKind::kHistogram ||
+            std::equal(existing->bounds.begin(), existing->bounds.end(),
+                       bounds.begin(), bounds.end()),
+        ErrorCode::kInvalidArgument,
+        "histogram '" + decorated + "' re-registered with different buckets");
+    return existing;
+  }
+  if (kind == MetricKind::kHistogram) {
+    GENAS_REQUIRE(!bounds.empty() && bounds.size() <= kMaxHistogramBuckets,
+                  ErrorCode::kInvalidArgument,
+                  "histogram '" + decorated + "' needs 1.." +
+                      std::to_string(kMaxHistogramBuckets) + " bucket bounds");
+    GENAS_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                      std::adjacent_find(bounds.begin(), bounds.end()) ==
+                          bounds.end(),
+                  ErrorCode::kInvalidArgument,
+                  "histogram '" + decorated +
+                      "' bucket bounds must be strictly ascending");
+  }
+  detail::Metric& metric = metrics_.emplace_back();
+  metric.name = decorated;
+  metric.help = std::string(help);
+  metric.kind = kind;
+  metric.bounds.assign(bounds.begin(), bounds.end());
+  if (kind != MetricKind::kGauge) {
+    metric.cells = std::vector<detail::Cell>(kShards);
+  }
+  if (kind == MetricKind::kHistogram) {
+    metric.buckets =
+        std::vector<std::atomic<std::uint64_t>>(kShards * (bounds.size() + 1));
+  }
+  by_name_.emplace(std::string_view(metric.name), &metric);
+  return &metric;
+}
+
+Counter Registry::counter(std::string_view name, std::string_view help) {
+  return Counter(find_or_create(name, MetricKind::kCounter, {}, help));
+}
+
+Gauge Registry::gauge(std::string_view name, std::string_view help) {
+  return Gauge(find_or_create(name, MetricKind::kGauge, {}, help));
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::span<const std::uint64_t> bounds,
+                              std::string_view help) {
+  return Histogram(find_or_create(name, MetricKind::kHistogram, bounds, help));
+}
+
+StatsSnapshot Registry::snapshot() const {
+  StatsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.metrics.reserve(metrics_.size());
+  for (const detail::Metric& m : metrics_) {
+    MetricSnapshot& out = snap.metrics.emplace_back();
+    out.name = m.name;
+    out.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const detail::Cell& cell : m.cells) {
+          total += cell.value.load(std::memory_order_relaxed);
+        }
+        out.value = static_cast<std::int64_t>(total);
+        break;
+      }
+      case MetricKind::kGauge:
+        out.value = m.gauge.load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        const std::size_t stride = m.bounds.size() + 1;
+        out.bounds = m.bounds;
+        out.counts.assign(stride, 0);
+        for (std::size_t shard = 0; shard < kShards; ++shard) {
+          for (std::size_t b = 0; b < stride; ++b) {
+            out.counts[b] += m.buckets[shard * stride + b].load(
+                std::memory_order_relaxed);
+          }
+          out.sum += m.cells[shard].value.load(std::memory_order_relaxed);
+        }
+        out.value = static_cast<std::int64_t>(out.count());
+        break;
+      }
+    }
+  }
+  snap.sort();
+  return snap;
+}
+
+std::span<const std::uint64_t> default_latency_bounds() noexcept {
+  // Powers of two, 512 ns .. 2^33 ns (~8.6 s).
+  static const std::array<std::uint64_t, 25> kBounds = [] {
+    std::array<std::uint64_t, 25> b{};
+    std::uint64_t v = 512;
+    for (std::size_t i = 0; i < b.size(); ++i, v <<= 1) b[i] = v;
+    return b;
+  }();
+  return kBounds;
+}
+
+double quantile(const MetricSnapshot& hist, double q) noexcept {
+  const std::uint64_t total = hist.count();
+  if (total == 0 || hist.counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const std::uint64_t in_bucket = hist.counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lo =
+          b == 0 ? 0.0 : static_cast<double>(hist.bounds[b - 1]);
+      // The +Inf bucket has no upper bound; report its lower edge.
+      const double hi = b < hist.bounds.size()
+                            ? static_cast<double>(hist.bounds[b])
+                            : lo;
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(hist.bounds.empty() ? 0 : hist.bounds.back());
+}
+
+namespace {
+
+/// Splits a decorated name into base and label list: `a{b="c"}` -> (a, b="c").
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) noexcept {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return {name, {}};
+  }
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+void append_labeled(std::string& out, std::string_view base,
+                    std::string_view suffix, std::string_view labels,
+                    std::string_view extra_label) {
+  out += base;
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string render_prometheus(const StatsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 64);
+  std::string last_base;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const auto [base, labels] = split_labels(m.name);
+    if (base != last_base) {
+      out += "# TYPE ";
+      out += base;
+      out += ' ';
+      out += to_string(m.kind);
+      out += '\n';
+      last_base = std::string(base);
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        append_labeled(out, base, "", labels, "");
+        out += ' ';
+        out += std::to_string(m.value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.counts.size(); ++b) {
+          cumulative += m.counts[b];
+          std::string le = b < m.bounds.size()
+                               ? "le=\"" + std::to_string(m.bounds[b]) + "\""
+                               : std::string("le=\"+Inf\"");
+          append_labeled(out, base, "_bucket", labels, le);
+          out += ' ';
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        append_labeled(out, base, "_sum", labels, "");
+        out += ' ';
+        append_u64(out, m.sum);
+        out += '\n';
+        append_labeled(out, base, "_count", labels, "");
+        out += ' ';
+        append_u64(out, cumulative);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace genas::obs

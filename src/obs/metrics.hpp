@@ -1,0 +1,249 @@
+// GENAS — low-overhead metrics: named counters, gauges, and fixed-bucket
+// latency histograms behind one registry, scrapeable locally or over the
+// wire (kStatsRequest/kStatsSnapshot) and renderable as Prometheus text.
+//
+// Design: the hot path takes no locks and performs no shared RMW beyond a
+// relaxed fetch_add on a per-thread shard. Every counter and histogram
+// bucket is split into kShards cache-line-sized cells; a thread picks its
+// shard once (round-robin at first use, cached in a thread_local) and all
+// its increments land there, so concurrent publishers on different cores
+// never contend on a metric cell. Reads aggregate across shards with
+// relaxed loads — a snapshot is a consistent-enough sum for monitoring,
+// not a linearizable cut (the oracle tests quiesce writers first, where
+// the sums are exact).
+//
+// Gauges are last-write-wins (set/add/update_max on one relaxed atomic);
+// they record queue depths and high-waters, which are maintained at points
+// that already pay a lock or run on one thread, so sharding them would buy
+// nothing.
+//
+// Registration is the cold path: registry lookups take a mutex and return
+// stable lightweight handles (a single pointer; default-constructed
+// handles are inert no-ops). Metrics live as long as their Registry;
+// handles must not outlive it. Re-requesting a name returns the existing
+// metric — mismatched kind or bucket bounds throw Error{kInvalidArgument}.
+//
+// A registry may carry a label set (e.g. `node="3"`) stamped into every
+// metric name it registers, so per-node registries merge into one snapshot
+// without name collisions (Prometheus-style `name{labels}` keys).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace genas::obs {
+
+/// Shard count per counter/histogram metric (power of two; 8 shards of one
+/// cache line bound the per-metric footprint while de-contending the
+/// realistic worker counts).
+inline constexpr std::size_t kShards = 8;
+
+/// Upper bound on histogram bucket-bound counts, enforced at registration
+/// and on wire decode (a hostile snapshot frame cannot over-allocate).
+inline constexpr std::size_t kMaxHistogramBuckets = 64;
+
+/// The calling thread's shard slot (assigned round-robin at first use).
+inline std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+std::string_view to_string(MetricKind kind) noexcept;
+
+namespace detail {
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Storage of one registered metric. Counters use cells[shard]; gauges use
+/// the single `gauge` atomic; histograms use buckets[shard * stride + b]
+/// plus per-shard sums in cells[shard].
+struct Metric {
+  std::string name;  ///< decorated name (labels included)
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<std::uint64_t> bounds;  ///< histogram upper bounds, ascending
+  std::vector<Cell> cells;            ///< counter shards / histogram sums
+  std::atomic<std::int64_t> gauge{0};
+  /// Histogram bucket cells, kShards * (bounds.size() + 1) relaxed atomics;
+  /// the last bucket per shard is +Inf.
+  std::vector<std::atomic<std::uint64_t>> buckets;
+};
+
+}  // namespace detail
+
+/// Monotone event count. add() is one relaxed fetch_add on the caller's
+/// shard; value() sums shards.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (metric_ != nullptr) {
+      metric_->cells[shard_index()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t value() const noexcept {
+    if (metric_ == nullptr) return 0;
+    std::uint64_t total = 0;
+    for (const auto& cell : metric_->cells) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::Metric* metric) : metric_(metric) {}
+  detail::Metric* metric_ = nullptr;
+};
+
+/// Instantaneous level (queue depth, high-water, lag). Not sharded:
+/// set/update_max race benignly under relaxed ordering.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) noexcept {
+    if (metric_ != nullptr) metric_->gauge.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (metric_ != nullptr) {
+      metric_->gauge.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  /// Raises the gauge to `v` if above the current value (high-water mark).
+  void update_max(std::int64_t v) noexcept {
+    if (metric_ == nullptr) return;
+    std::int64_t cur = metric_->gauge.load(std::memory_order_relaxed);
+    while (v > cur && !metric_->gauge.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    return metric_ == nullptr ? 0
+                              : metric_->gauge.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::Metric* metric) : metric_(metric) {}
+  detail::Metric* metric_ = nullptr;
+};
+
+/// Fixed-bucket distribution (cumulative `le` semantics: bucket b counts
+/// observations <= bounds[b]; the implicit last bucket is +Inf). observe()
+/// is a bounds binary search plus two relaxed fetch_adds on the caller's
+/// shard.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t v) noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::Metric* metric) : metric_(metric) {}
+  detail::Metric* metric_ = nullptr;
+};
+
+/// Aggregated value of one metric, as captured by Registry::snapshot() or
+/// decoded from a kStatsSnapshot frame.
+struct MetricSnapshot {
+  std::string name;  ///< decorated name (labels included)
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;             ///< counter total or gauge level
+  std::vector<std::uint64_t> bounds;  ///< histogram only
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries (+Inf)
+  std::uint64_t sum = 0;              ///< histogram sum of observations
+
+  /// Histogram observation count (sum of buckets).
+  std::uint64_t count() const noexcept;
+
+  bool operator==(const MetricSnapshot&) const = default;
+};
+
+/// One scrape: every metric of a registry (or several merged registries),
+/// sorted by name.
+struct StatsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(std::string_view name) const noexcept;
+  /// Counter/gauge value by decorated name; 0 when absent.
+  std::int64_t value(std::string_view name) const noexcept;
+  /// Appends another snapshot's metrics and restores name order.
+  void merge(StatsSnapshot other);
+  /// Restores the sorted-by-name invariant after manual appends.
+  void sort();
+
+  bool operator==(const StatsSnapshot&) const = default;
+};
+
+/// Names and owns metrics. Thread-safe; registration is mutexed, handles
+/// are lock-free. See the header comment for the sharding contract.
+class Registry {
+ public:
+  /// `labels` (e.g. `node="3"`) is stamped into every registered metric
+  /// name: `name` becomes `name{labels}`, and names that already carry
+  /// labels become `name{labels,existing}`.
+  explicit Registry(std::string labels = "");
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter counter(std::string_view name, std::string_view help = {});
+  Gauge gauge(std::string_view name, std::string_view help = {});
+  /// `bounds` are the ascending bucket upper bounds (1..kMaxHistogramBuckets
+  /// entries; Error{kInvalidArgument} otherwise). The +Inf bucket is
+  /// implicit.
+  Histogram histogram(std::string_view name,
+                      std::span<const std::uint64_t> bounds,
+                      std::string_view help = {});
+
+  /// Aggregates every metric across shards (relaxed reads).
+  StatsSnapshot snapshot() const;
+
+ private:
+  detail::Metric* find_or_create(std::string_view name, MetricKind kind,
+                                 std::span<const std::uint64_t> bounds,
+                                 std::string_view help);
+  std::string decorate(std::string_view name) const;
+
+  const std::string labels_;
+  mutable std::mutex mutex_;
+  std::deque<detail::Metric> metrics_;  ///< stable addresses for handles
+  std::unordered_map<std::string_view, detail::Metric*> by_name_;
+};
+
+/// The default latency bucket bounds (nanoseconds): powers of two from
+/// 512 ns to ~8.6 s — 25 buckets spanning a cache miss to a stuck flush.
+std::span<const std::uint64_t> default_latency_bounds() noexcept;
+
+/// Quantile estimate from a histogram snapshot (linear interpolation
+/// within the containing bucket; q clamped to [0,1]). 0 when empty.
+double quantile(const MetricSnapshot& hist, double q) noexcept;
+
+/// Prometheus text exposition (# TYPE lines, _bucket/_sum/_count expansion
+/// for histograms, labels preserved and merged with `le`).
+std::string render_prometheus(const StatsSnapshot& snapshot);
+
+}  // namespace genas::obs

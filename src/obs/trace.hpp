@@ -1,0 +1,67 @@
+// GENAS — sampled event-path tracing.
+//
+// Latency histograms are cheap to record but now() calls are not free at
+// millions of events per second, so stage timing is sampled: every Nth
+// publish *per thread* stamps a wall-clock (steady) timestamp and records
+// the publish→match→route→deliver stage latencies into the obs histograms;
+// the other N-1 publishes pay one relaxed load and one thread-local
+// increment (~1 ns). N is the trace period — configurable per component
+// (Broker::set_trace_period, MeshOptions::trace_period), 0 disables
+// tracing entirely.
+//
+// The per-thread countdown lives at the call site (a `thread_local
+// std::uint32_t` the caller passes in), not in the sampler: a member
+// thread_local is impossible and a shared counter would put one contended
+// RMW back on the hot path — the very thing the sharded metrics avoid.
+// Sampling is therefore per-thread periodic, which is statistically
+// equivalent for latency distributions and deterministic per thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace genas::obs {
+
+/// Default trace period: 1 of every 64 publishes per thread is timed.
+inline constexpr std::uint32_t kDefaultTracePeriod = 64;
+
+/// Monotonic wall clock in nanoseconds (steady_clock; comparable only
+/// within one process).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Decides which calls are traced. Thread-safe: the period is one relaxed
+/// atomic, reconfigurable while traffic runs.
+class TraceSampler {
+ public:
+  explicit TraceSampler(std::uint32_t period = kDefaultTracePeriod) noexcept
+      : period_(period) {}
+
+  void set_period(std::uint32_t period) noexcept {
+    period_.store(period, std::memory_order_relaxed);
+  }
+  std::uint32_t period() const noexcept {
+    return period_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts one call against `countdown` (a call-site `thread_local`);
+  /// true when this call is the sampled one. Period 0 never samples;
+  /// period 1 samples every call.
+  bool sample(std::uint32_t& countdown) const noexcept {
+    const std::uint32_t p = period_.load(std::memory_order_relaxed);
+    if (p == 0) return false;
+    if (++countdown < p) return false;
+    countdown = 0;
+    return true;
+  }
+
+ private:
+  std::atomic<std::uint32_t> period_;
+};
+
+}  // namespace genas::obs

@@ -1,5 +1,6 @@
 #include "wire/codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -25,6 +26,8 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::kLinkAck:              return "linkack";
     case MessageType::kHello:                return "hello";
     case MessageType::kHelloAck:             return "helloack";
+    case MessageType::kStatsRequest:         return "statsreq";
+    case MessageType::kStatsSnapshot:        return "statssnap";
   }
   return "?";
 }
@@ -550,6 +553,35 @@ std::vector<std::uint8_t> frame_hello_ack(bool resumed,
   return end_frame(w, at);
 }
 
+std::vector<std::uint8_t> frame_stats_request() {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kStatsRequest);
+  return end_frame(w, at);
+}
+
+std::vector<std::uint8_t> frame_stats_snapshot(
+    const obs::StatsSnapshot& stats) {
+  Writer w;
+  const std::size_t at = begin_frame(w, MessageType::kStatsSnapshot);
+  w.u32(static_cast<std::uint32_t>(stats.metrics.size()));
+  for (const obs::MetricSnapshot& m : stats.metrics) {
+    w.str(m.name);
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.i64(m.value);
+    const bool hist = m.kind == obs::MetricKind::kHistogram;
+    GENAS_REQUIRE(!hist || m.counts.size() == m.bounds.size() + 1,
+                  ErrorCode::kInvalidArgument,
+                  "histogram snapshot needs bounds+1 bucket counts");
+    w.u32(hist ? static_cast<std::uint32_t>(m.bounds.size()) : 0);
+    if (hist) {
+      for (const std::uint64_t b : m.bounds) w.u64(b);
+      for (const std::uint64_t c : m.counts) w.u64(c);
+      w.u64(m.sum);
+    }
+  }
+  return end_frame(w, at);
+}
+
 namespace {
 
 MessageType read_header(Reader& r, std::size_t frame_size) {
@@ -669,6 +701,46 @@ Message decode_message(std::span<const std::uint8_t> frame,
       const std::uint8_t resumed = r.u8();
       if (resumed > 1) parse_fail("helloack resumed flag must be 0 or 1");
       HelloAckMsg msg{resumed == 1, r.u64(), r.u64()};
+      r.expect_done();
+      return msg;
+    }
+    case MessageType::kStatsRequest: {
+      r.expect_done();
+      return StatsRequestMsg{};
+    }
+    case MessageType::kStatsSnapshot: {
+      StatsSnapshotMsg msg;
+      // Each metric is at least a str length + kind + value + bound count.
+      const std::uint32_t metrics = r.count(r.u32(), 4 + 1 + 8 + 4);
+      msg.stats.metrics.reserve(metrics);
+      for (std::uint32_t i = 0; i < metrics; ++i) {
+        obs::MetricSnapshot& m = msg.stats.metrics.emplace_back();
+        m.name = r.str();
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+          parse_fail("unknown metric kind " + std::to_string(kind));
+        }
+        m.kind = static_cast<obs::MetricKind>(kind);
+        m.value = r.i64();
+        const std::uint32_t bounds = r.count(r.u32(), 8);
+        const bool hist = m.kind == obs::MetricKind::kHistogram;
+        if (hist != (bounds != 0) || bounds > obs::kMaxHistogramBuckets) {
+          parse_fail("metric '" + m.name + "' has inconsistent bucket count " +
+                     std::to_string(bounds));
+        }
+        if (hist) {
+          m.bounds.reserve(bounds);
+          for (std::uint32_t b = 0; b < bounds; ++b) m.bounds.push_back(r.u64());
+          if (!std::is_sorted(m.bounds.begin(), m.bounds.end()) ||
+              std::adjacent_find(m.bounds.begin(), m.bounds.end()) !=
+                  m.bounds.end()) {
+            parse_fail("metric '" + m.name + "' bucket bounds not ascending");
+          }
+          m.counts.reserve(bounds + 1);
+          for (std::uint32_t b = 0; b <= bounds; ++b) m.counts.push_back(r.u64());
+          m.sum = r.u64();
+        }
+      }
       r.expect_done();
       return msg;
     }

@@ -56,6 +56,12 @@
 //                resume), u64 publish watermark (highest client publish
 //                sequence the server has processed; the client replays
 //                everything above it)
+//   statsreq     (empty payload; client -> server: scrape request)
+//   statssnap    u32 metric_count, then per metric: str name, u8 kind
+//                (obs::MetricKind), i64 value, u32 bound_count (0 unless
+//                histogram), bound_count * u64 bucket upper bounds,
+//                histogram only: (bound_count + 1) * u64 bucket counts
+//                (last = +Inf), u64 sum
 //
 // Events and profiles are encoded against a schema both ends share (the
 // mesh distributes it out of band or via a kSchema frame); decode_* take
@@ -78,6 +84,7 @@
 
 #include "ens/composite.hpp"
 #include "event/event.hpp"
+#include "obs/metrics.hpp"
 #include "profile/profile.hpp"
 
 namespace genas::wire {
@@ -105,12 +112,14 @@ enum class MessageType : std::uint8_t {
   kLinkAck = 13,
   kHello = 14,
   kHelloAck = 15,
+  kStatsRequest = 16,
+  kStatsSnapshot = 17,
 };
 
 /// Highest valid MessageType value; probe_frame/read_header reject types
 /// beyond it. Keep in sync when adding message types.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kHelloAck);
+    static_cast<std::uint8_t>(MessageType::kStatsSnapshot);
 
 std::string_view to_string(MessageType type) noexcept;
 
@@ -233,6 +242,8 @@ std::vector<std::uint8_t> frame_hello(std::uint64_t session_id);
 std::vector<std::uint8_t> frame_hello_ack(bool resumed,
                                           std::uint64_t session_id,
                                           std::uint64_t publish_watermark);
+std::vector<std::uint8_t> frame_stats_request();
+std::vector<std::uint8_t> frame_stats_snapshot(const obs::StatsSnapshot& stats);
 
 /// Decoded frame contents.
 struct SchemaMsg {
@@ -289,11 +300,16 @@ struct HelloAckMsg {
   std::uint64_t session_id;
   std::uint64_t publish_watermark;
 };
+struct StatsRequestMsg {};
+struct StatsSnapshotMsg {
+  obs::StatsSnapshot stats;
+};
 using Message =
     std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg,
                  CompositeSubscribeMsg, CompositeUnsubscribeMsg,
                  CompositeFiringMsg, DeliveryMsg, FlushMsg, FlushDoneMsg,
-                 LinkFrameMsg, LinkAckMsg, HelloMsg, HelloAckMsg>;
+                 LinkFrameMsg, LinkAckMsg, HelloMsg, HelloAckMsg,
+                 StatsRequestMsg, StatsSnapshotMsg>;
 
 /// Frame type without decoding the payload; throws Error{kParse} on a
 /// malformed header.

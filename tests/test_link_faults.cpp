@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "mesh/mesh.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
 #include "test_util.hpp"
 
 namespace genas {
@@ -331,6 +332,96 @@ TEST(ReliableLinks, ShutdownWaitsForUnackedFramesUnderLoss) {
 
   EXPECT_EQ(count, static_cast<std::size_t>(kEvents));
   EXPECT_EQ(mesh.first_error(), "");
+}
+
+TEST(ReliableLinks, FaultCountersSurfaceRetransmitsDupsAndGaps) {
+  // One seeded plan injecting both loss and duplication: after the burst
+  // drains, retransmits (sender gave a frame a second try), dup_frames
+  // (receiver discarded a redelivery), and gap_frames (a frame arrived
+  // ahead of a dropped predecessor) are all nonzero — and the same totals
+  // surface through the observability snapshot as labeled link metrics.
+  const SchemaPtr schema = testutil::example1_schema();
+  auto plan = std::make_shared<FaultPlan>(31);
+  plan->drop_chance(0, 1, 0.3, 20);
+  plan->duplicate_chance(0, 1, 0.3, 20);
+
+  MeshNetwork mesh(schema, reliable_options(plan));
+  mesh.add_node();
+  mesh.add_node();
+  mesh.connect(0, 1);
+  mesh.start();
+
+  std::mutex mutex;
+  std::size_t count = 0;
+  mesh.subscribe(1, "temperature >= 35",
+                 [&](mesh::NodeId, SubscriptionId, const Event&) {
+                   const std::scoped_lock lock(mutex);
+                   ++count;
+                 });
+  mesh.wait_idle();
+
+  constexpr int kEvents = 80;
+  for (int i = 0; i < kEvents; ++i) {
+    mesh.publish(0, make_event(schema, 40, i + 1));
+  }
+  mesh.wait_idle();
+
+  {
+    const std::scoped_lock lock(mutex);
+    EXPECT_EQ(count, static_cast<std::size_t>(kEvents));
+  }
+  EXPECT_GT(plan->stats().dropped, 0u);
+  EXPECT_GT(plan->stats().duplicated, 0u);
+
+  const std::uint64_t retransmits =
+      total(mesh, 2, &mesh::LinkStats::retransmits);
+  const std::uint64_t dups = total(mesh, 2, &mesh::LinkStats::dup_frames);
+  const std::uint64_t gaps = total(mesh, 2, &mesh::LinkStats::gap_frames);
+  EXPECT_GT(retransmits, 0u);
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(gaps, 0u);
+
+  // The obs snapshot synthesizes the same counters, per directed link.
+  const obs::StatsSnapshot snapshot = mesh.stats_snapshot();
+  const auto link_total = [&](const char* base) {
+    std::int64_t sum = 0;
+    for (const obs::MetricSnapshot& metric : snapshot.metrics) {
+      if (metric.name.rfind(base, 0) == 0) sum += metric.value;
+    }
+    return sum;
+  };
+  EXPECT_EQ(link_total("genas_mesh_link_retransmits_total"),
+            static_cast<std::int64_t>(retransmits));
+  EXPECT_EQ(link_total("genas_mesh_link_dup_frames_total"),
+            static_cast<std::int64_t>(dups));
+  EXPECT_EQ(link_total("genas_mesh_link_gap_frames_total"),
+            static_cast<std::int64_t>(gaps));
+
+  EXPECT_EQ(mesh.first_error(), "");
+  mesh.shutdown();
+}
+
+TEST(ReliableLinks, FaultCountersStayZeroOnACleanRun) {
+  const SchemaPtr schema = testutil::example1_schema();
+  MeshNetwork mesh(schema, reliable_options());
+  mesh.add_node();
+  mesh.add_node();
+  mesh.connect(0, 1);
+  mesh.start();
+
+  mesh.subscribe(1, "temperature >= 35",
+                 [](mesh::NodeId, SubscriptionId, const Event&) {});
+  mesh.wait_idle();
+  for (int i = 0; i < 20; ++i) {
+    mesh.publish(0, make_event(schema, 40, i + 1));
+  }
+  mesh.wait_idle();
+
+  EXPECT_EQ(total(mesh, 2, &mesh::LinkStats::retransmits), 0u);
+  EXPECT_EQ(total(mesh, 2, &mesh::LinkStats::dup_frames), 0u);
+  EXPECT_EQ(total(mesh, 2, &mesh::LinkStats::gap_frames), 0u);
+  EXPECT_EQ(mesh.first_error(), "");
+  mesh.shutdown();
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs the throughput + concurrency perf harness in Release and records the
-# results as BENCH_throughput.json (the repo's perf trajectory record).
+# results as BENCH_throughput.json (the repo's perf trajectory record),
+# including the observability numbers: delivery_latency_p50_ns/p99 from the
+# broker's trace histograms and obs_overhead_pct (what default trace
+# sampling costs the single-thread publish path).
 #
 #   tools/run_bench.sh              # full run -> BENCH_throughput.json
 #   tools/run_bench.sh --quick      # CI smoke (short measurement windows)
