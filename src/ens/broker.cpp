@@ -186,6 +186,28 @@ void Broker::remove_delivery_sink(SinkId id) {
   version_.fetch_add(1, std::memory_order_release);
 }
 
+DrainHookId Broker::add_drain_hook(DrainHook hook) {
+  GENAS_REQUIRE(hook != nullptr, ErrorCode::kInvalidArgument,
+                "drain hook requires a callable");
+  const std::scoped_lock lock(mutex_);
+  const DrainHookId id = next_drain_hook_id_++;
+  drain_hooks_.push_back(
+      DrainHookEntry{id, std::make_shared<const DrainHook>(std::move(hook))});
+  version_.fetch_add(1, std::memory_order_release);
+  return id;
+}
+
+void Broker::remove_drain_hook(DrainHookId id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = std::find_if(
+      drain_hooks_.begin(), drain_hooks_.end(),
+      [id](const DrainHookEntry& entry) { return entry.id == id; });
+  GENAS_REQUIRE(it != drain_hooks_.end(), ErrorCode::kNotFound,
+                "unknown drain hook " + std::to_string(id));
+  drain_hooks_.erase(it);
+  version_.fetch_add(1, std::memory_order_release);
+}
+
 void Broker::unsubscribe(SubscriptionId id) {
   const std::scoped_lock lock(mutex_);
   const auto it = subscriptions_.find(id);
@@ -520,6 +542,10 @@ std::shared_ptr<const Broker::Snapshot> Broker::acquire_snapshot(
     for (const SinkEntry& entry : sinks_) {
       fresh->sinks.push_back(entry.callback);
     }
+    fresh->drain_hooks.reserve(drain_hooks_.size());
+    for (const DrainHookEntry& entry : drain_hooks_) {
+      fresh->drain_hooks.push_back(entry.hook);
+    }
     snapshot_ = std::move(fresh);
     snapshot_rebuilds_.add(1);
     rebuild_pause_.observe(obs::now_ns() - pause_start);
@@ -573,6 +599,7 @@ PublishResult Broker::publish(const Event& event) {
     for (const auto& sink : snapshot->sinks) (*sink)(notification);
   }
   return_delivery_scratch(std::move(deliveries));
+  for (const auto& hook : snapshot->drain_hooks) (*hook)();
   if (traced) delivery_latency_.observe(obs::now_ns() - trace_start);
   return result;
 }
@@ -634,6 +661,10 @@ BatchPublishResult Broker::publish_batch_impl(
   const std::vector<std::shared_ptr<const NotificationCallback>>* sinks =
       &sink_storage;
 
+  std::vector<std::shared_ptr<const DrainHook>> hook_storage;
+  const std::vector<std::shared_ptr<const DrainHook>>* drain_hooks =
+      &hook_storage;
+
   if (engine_.adaptive_enabled()) {
     // Serialized matching (the adaptive estimator mutates per event), but
     // one lock acquisition for the whole batch and one drain pass after.
@@ -648,6 +679,10 @@ BatchPublishResult Broker::publish_batch_impl(
       sink_storage.reserve(sinks_.size());
       for (const SinkEntry& entry : sinks_) {
         sink_storage.push_back(entry.callback);
+      }
+      hook_storage.reserve(drain_hooks_.size());
+      for (const DrainHookEntry& entry : drain_hooks_) {
+        hook_storage.push_back(entry.hook);
       }
       const EngineBatchMatch outcome =
           engine_.match_batch(events, matched, offsets);
@@ -672,6 +707,7 @@ BatchPublishResult Broker::publish_batch_impl(
   } else {
     snapshot = acquire_snapshot(&result.rebuilt);
     sinks = &snapshot->sinks;
+    drain_hooks = &snapshot->drain_hooks;
     for (std::size_t i = 0; i < events.size(); ++i) {
       const FlatMatch match = snapshot->match->flat->match(events[i]);
       result.operations += match.operations;
@@ -712,6 +748,7 @@ BatchPublishResult Broker::publish_batch_impl(
     }
   }
   return_delivery_scratch(std::move(deliveries));
+  for (const auto& hook : *drain_hooks) (*hook)();
   if (traced) delivery_latency_.observe(obs::now_ns() - trace_start);
   return result;
 }

@@ -54,6 +54,13 @@ using SubscriptionId = std::uint64_t;
 /// Handle of one broker-wide delivery sink.
 using SinkId = std::uint64_t;
 
+/// Handle of one drain hook (see Broker::add_drain_hook).
+using DrainHookId = std::uint64_t;
+
+/// Invoked once per publish/publish_batch after all of its notifications
+/// have drained. See Broker::add_drain_hook.
+using DrainHook = std::function<void()>;
+
 /// Delivered to a subscriber when an event matches its profile.
 struct Notification {
   SubscriptionId subscription = 0;
@@ -204,6 +211,20 @@ class Broker {
   /// unknown handles.
   void remove_delivery_sink(SinkId id);
 
+  /// Installs a drain hook: invoked once per publish()/publish_batch(),
+  /// after every notification of that call (callbacks and sinks) has been
+  /// delivered, outside all broker locks, on the publishing thread. This is
+  /// the batching boundary for transports that stage per-notification
+  /// output: a sink appends, the drain hook flushes, so one publish emits
+  /// one frame regardless of how many subscriptions matched. A publish that
+  /// delivers nothing still runs the hooks (cheap, and it lets a stage
+  /// flush output that arrived through a different path). Hooks run in
+  /// installation order and may re-enter the broker.
+  DrainHookId add_drain_hook(DrainHook hook);
+  /// Removes a hook installed by add_drain_hook; Error{kNotFound} for
+  /// unknown handles.
+  void remove_drain_hook(DrainHookId id);
+
   ServiceCounters counters() const;
   /// Live user subscriptions (composite-internal leaf registrations are
   /// excluded; see composite_count() for composites).
@@ -257,6 +278,9 @@ class Broker {
     /// Broker-wide delivery observers, in installation order; empty when
     /// none are installed.
     std::vector<std::shared_ptr<const NotificationCallback>> sinks;
+    /// Post-drain hooks, in installation order; empty when none are
+    /// installed.
+    std::vector<std::shared_ptr<const DrainHook>> drain_hooks;
   };
 
   /// Returns the current snapshot: the thread-local cached handle when its
@@ -309,6 +333,14 @@ class Broker {
   SinkId next_sink_id_ = 1;
   /// Sink owned by set_delivery_sink (its explicit-swap slot); 0 when none.
   SinkId default_sink_id_ = 0;
+
+  /// Installed drain hooks, in installation order; guarded by mutex_.
+  struct DrainHookEntry {
+    DrainHookId id = 0;
+    std::shared_ptr<const DrainHook> hook;
+  };
+  std::vector<DrainHookEntry> drain_hooks_;
+  DrainHookId next_drain_hook_id_ = 1;
 
   /// Composite runtime. composite_mutex_ serializes detector and reorder
   /// state; it is never nested with mutex_ and never held while invoking

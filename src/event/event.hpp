@@ -42,6 +42,11 @@ class Event {
 
   const std::vector<DomainIndex>& indices() const noexcept { return indices_; }
 
+  /// Releases the index storage, leaving this event empty. Lets a decoder
+  /// arena recycle the heap allocation across batches (wire::EventArena);
+  /// the drained event must not be read again.
+  std::vector<DomainIndex> take_indices() noexcept { return std::move(indices_); }
+
   /// Typed value for attribute `id` (reconstructed from the index).
   Value value(AttributeId id) const;
 

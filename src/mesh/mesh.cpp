@@ -12,6 +12,7 @@
 #include "mesh/mailbox.hpp"
 #include "profile/parser.hpp"
 #include "profile/profile.hpp"
+#include "wire/batch.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::mesh {
@@ -51,6 +52,14 @@ struct PublishMsg {
   /// publish-to-route histograms across the producer/worker thread hop.
   std::uint64_t trace_stamp = 0;
 };
+/// A run of publishes riding one mailbox slot (MeshNetwork::publish_batch):
+/// the producer pays the ingress synchronization once per run.
+struct PublishBatchMsg {
+  std::vector<Event> events;
+  /// One token per event, or empty when none carries one.
+  std::vector<std::uint64_t> tokens;
+  std::uint64_t trace_stamp = 0;  ///< as PublishMsg; stamps the whole run
+};
 
 /// Relaxed high-water update (monitoring-grade; lost races are benign).
 void update_max(std::atomic<std::uint64_t>& mark, std::uint64_t v) {
@@ -79,8 +88,9 @@ struct LocalCompositeUnsubscribeMsg {
 }  // namespace
 
 struct NodeMsg {
-  std::variant<FrameMsg, PublishMsg, LocalSubscribeMsg, LocalUnsubscribeMsg,
-               LocalCompositeSubscribeMsg, LocalCompositeUnsubscribeMsg>
+  std::variant<FrameMsg, PublishMsg, PublishBatchMsg, LocalSubscribeMsg,
+               LocalUnsubscribeMsg, LocalCompositeSubscribeMsg,
+               LocalCompositeUnsubscribeMsg>
       payload;
 };
 
@@ -98,6 +108,10 @@ struct MeshNetwork::Node {
     NodeId node;
     net::LinkTable table;          // worker-owned routing state
     std::deque<NodeMsg> outbox;    // frames awaiting a full peer mailbox
+    /// Pending outgoing event batch (worker-owned): events routed toward
+    /// this link accumulate here and flush as one kEventBatch frame at
+    /// link_batch_max or at the drain-round boundary.
+    wire::EventBatchBuilder batch;
     std::atomic<std::uint64_t> event_messages{0};
     std::atomic<std::uint64_t> routing_entries{0};
 
@@ -156,6 +170,16 @@ struct MeshNetwork::Node {
   /// Deepest this node's mailbox has grown (probed under the mailbox lock
   /// at push time, so the high-water costs no extra synchronization).
   std::atomic<std::uint64_t> mailbox_hwm{0};
+  /// Frames currently staged across this node's link outboxes. With
+  /// MeshOptions::outbox_capacity set, ingress blocks while this is at the
+  /// cap (the worker itself keeps staging — admitted frames must go
+  /// somewhere — so the deque can overshoot by the traffic already in
+  /// flight toward this node).
+  std::atomic<std::uint64_t> outbox_total{0};
+  /// Receive-side index-vector recycler: decoded batch events draw their
+  /// storage here and return it after the round's publish_batch, so steady
+  /// state decodes allocate nothing per event (worker-owned).
+  wire::EventArena arena;
 
   // Per-batch scratch (worker-owned): events collected from the drained
   // mailbox batch, the link each arrived on (kExternal for publishes), and
@@ -184,6 +208,17 @@ MeshNetwork::MeshNetwork(SchemaPtr schema, MeshOptions options)
       "genas_mesh_publish_to_route_ns", obs::default_latency_bounds(),
       "sampled latency from publish enqueue to the ingress node finishing "
       "local delivery and link forwarding of the containing batch");
+  static constexpr std::uint64_t kPerFrameBounds[] = {1,  2,  4,   8,  16,
+                                                      32, 64, 128, 256};
+  events_per_frame_ = metrics_->histogram(
+      "genas_mesh_link_events_per_frame", kPerFrameBounds,
+      "events coalesced into each outgoing link frame");
+  flush_cap_ = metrics_->counter(
+      "genas_mesh_batch_flush_cap_total",
+      "link batches flushed by reaching link_batch_max");
+  flush_round_ = metrics_->counter(
+      "genas_mesh_batch_flush_round_total",
+      "link batches flushed at a drain-round boundary");
 }
 
 MeshNetwork::~MeshNetwork() {
@@ -397,9 +432,42 @@ void MeshNetwork::publish(NodeId node, Event event,
   enqueue(node, NodeMsg{PublishMsg{std::move(event), dedup_token, stamp}});
 }
 
+void MeshNetwork::publish_batch(NodeId node, std::vector<Event> events,
+                                std::vector<std::uint64_t> tokens) {
+  validate_node(node);
+  if (events.empty()) {
+    GENAS_REQUIRE(tokens.empty(), ErrorCode::kInvalidArgument,
+                  "publish_batch tokens without events");
+    return;
+  }
+  GENAS_REQUIRE(tokens.empty() || tokens.size() == events.size(),
+                ErrorCode::kInvalidArgument,
+                "publish_batch tokens must be one per event");
+  for (const Event& event : events) {
+    GENAS_REQUIRE(event.schema() == schema_, ErrorCode::kInvalidArgument,
+                  "event schema differs from mesh schema");
+  }
+  static thread_local std::uint32_t trace_countdown = 0;
+  const std::uint64_t stamp =
+      trace_.sample(trace_countdown) ? obs::now_ns() : 0;
+  enqueue(node, NodeMsg{PublishBatchMsg{std::move(events), std::move(tokens),
+                                        stamp}});
+}
+
 void MeshNetwork::enqueue(NodeId node, NodeMsg message) {
   {
-    const std::scoped_lock lock(idle_mutex_);
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (options_.outbox_capacity > 0) {
+      // Ingress backpressure: while the node's staged outboxes are at
+      // capacity (a stalled peer), external producers wait here before the
+      // message is admitted. Workers never wait — admitted traffic keeps
+      // draining and forwarding — so this cannot deadlock the mesh.
+      idle_cv_.wait(lock, [&] {
+        return !(running_ && accepting_) ||
+               nodes_[node]->outbox_total.load(std::memory_order_relaxed) <
+                   options_.outbox_capacity;
+      });
+    }
     GENAS_REQUIRE(running_ && accepting_, ErrorCode::kState,
                   "mesh is not accepting work (not started, or shut down)");
     inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -453,6 +521,9 @@ void MeshNetwork::shutdown() {
     }
     shutting_down_ = true;
     accepting_ = false;
+    // Wake producers parked on outbox backpressure: the gate is closed, so
+    // they must recheck and throw kState instead of waiting forever.
+    idle_cv_.notify_all();
     idle_cv_.wait(lock, [&] {
       return inflight_.load() == 0 && unacked_total_.load() == 0;
     });
@@ -477,6 +548,11 @@ void MeshNetwork::record_error(const std::string& what) {
 std::string MeshNetwork::first_error() const {
   const std::scoped_lock lock(error_mutex_);
   return first_error_;
+}
+
+Broker& MeshNetwork::node_broker(NodeId node) const {
+  validate_node(node);
+  return *nodes_[node]->broker;
 }
 
 // ---------------------------------------------------------------------------
@@ -515,6 +591,7 @@ void MeshNetwork::run_node(Node& node) {
           unacked += peer->unacked.size();
           peer->unacked.clear();
         }
+        node.outbox_total.store(0, std::memory_order_relaxed);
         record_error("mesh node " + std::to_string(node.id) +
                      ": staged frames dropped at close");
         messages_done(dropped);
@@ -529,12 +606,26 @@ void MeshNetwork::run_node(Node& node) {
 
 bool MeshNetwork::flush_outboxes(Node& node) {
   bool pending = false;
+  std::uint64_t drained = 0;
   for (const auto& peer : node.peers) {
     Mailbox<NodeMsg>& target = nodes_[peer->node]->mailbox;
     while (!peer->outbox.empty() && target.try_push(peer->outbox.front())) {
       peer->outbox.pop_front();
+      ++drained;
     }
     pending = pending || !peer->outbox.empty();
+  }
+  if (drained > 0) {
+    const std::uint64_t before =
+        node.outbox_total.fetch_sub(drained, std::memory_order_relaxed);
+    const std::size_t cap = options_.outbox_capacity;
+    if (cap > 0 && before >= cap && before - drained < cap) {
+      // The staged total just crossed back under the ingress cap: wake
+      // producers parked in enqueue() (mutex taken so a waiter between its
+      // predicate check and wait() cannot miss the notification).
+      const std::scoped_lock lock(idle_mutex_);
+      idle_cv_.notify_all();
+    }
   }
   return pending;
 }
@@ -636,6 +727,7 @@ void MeshNetwork::send_frame(Node& node, std::size_t peer_index,
   if (!peer.outbox.empty() ||
       !nodes_[peer.node]->mailbox.try_push(message, &depth)) {
     peer.outbox.push_back(std::move(message));
+    node.outbox_total.fetch_add(1, std::memory_order_relaxed);
     update_max(peer.outbox_hwm, peer.outbox.size());
     return;
   }
@@ -657,6 +749,10 @@ void MeshNetwork::handle_batch(Node& node, std::vector<NodeMsg>& batch) {
     route_events(node);
   } catch (const std::exception& e) {
     record_error(e.what());
+    // A half-built batch from the failed round must not leak into the next
+    // one: later events would ride a frame whose earlier entries were never
+    // accounted for.
+    for (auto& peer : node.peers) peer->batch.reset();
   }
   if (node.batch_trace_stamp != 0) {
     publish_to_route_.observe(obs::now_ns() - node.batch_trace_stamp);
@@ -690,7 +786,40 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
     return;
   }
 
+  if (auto* publish_run = std::get_if<PublishBatchMsg>(&message.payload)) {
+    const std::size_t n = publish_run->events.size();
+    node.events_published.fetch_add(n, std::memory_order_relaxed);
+    if (publish_run->trace_stamp != 0) {
+      ingress_wait_.observe(obs::now_ns() - publish_run->trace_stamp);
+      if (node.batch_trace_stamp == 0) {
+        node.batch_trace_stamp = publish_run->trace_stamp;
+      }
+    }
+    node.batch_events.insert(node.batch_events.end(),
+                             std::make_move_iterator(publish_run->events.begin()),
+                             std::make_move_iterator(publish_run->events.end()));
+    node.batch_sources.insert(node.batch_sources.end(), n, kExternal);
+    if (publish_run->tokens.empty()) {
+      node.batch_tokens.insert(node.batch_tokens.end(), n, 0);
+    } else {
+      node.batch_tokens.insert(node.batch_tokens.end(),
+                               publish_run->tokens.begin(),
+                               publish_run->tokens.end());
+    }
+    return;
+  }
+
   if (auto* frame = std::get_if<FrameMsg>(&message.payload)) {
+    // Hot path: a bare event batch decodes straight into the round's
+    // scratch through the arena — no wire::Message materialization and,
+    // once the arena is warm, no per-event allocation.
+    if (wire::peek_type(*frame->bytes) == wire::MessageType::kEventBatch) {
+      const std::size_t n =
+          wire::decode_event_batch(*frame->bytes, schema_, node.arena,
+                                   node.batch_events, node.batch_tokens);
+      node.batch_sources.insert(node.batch_sources.end(), n, frame->source);
+      return;
+    }
     wire::Message decoded = wire::decode_message(*frame->bytes, schema_);
 
     if (auto* link = std::get_if<wire::LinkFrameMsg>(&decoded)) {
@@ -719,6 +848,15 @@ void MeshNetwork::handle_message(Node& node, NodeMsg& message) {
         return;
       }
       ++from.expected_in;
+      // The envelope's usual cargo is an event batch: take the arena path
+      // without materializing a wire::Message.
+      if (wire::peek_type(link->inner) == wire::MessageType::kEventBatch) {
+        const std::size_t n =
+            wire::decode_event_batch(link->inner, schema_, node.arena,
+                                     node.batch_events, node.batch_tokens);
+        node.batch_sources.insert(node.batch_sources.end(), n, frame->source);
+        return;
+      }
       wire::Message inner = wire::decode_message(link->inner, schema_);
       GENAS_CHECK(!std::holds_alternative<wire::LinkFrameMsg>(inner) &&
                       !std::holds_alternative<wire::LinkAckMsg>(inner),
@@ -870,6 +1008,23 @@ void MeshNetwork::handle_link_payload(Node& node, NodeId source,
     return;
   }
 
+  if (auto* batch = std::get_if<wire::EventBatchMsg>(&decoded)) {
+    // Normally intercepted before the generic decode (see handle_message);
+    // kept for completeness so a batch decoded elsewhere still routes.
+    const std::size_t n = batch->events.size();
+    node.batch_events.insert(node.batch_events.end(),
+                             std::make_move_iterator(batch->events.begin()),
+                             std::make_move_iterator(batch->events.end()));
+    node.batch_sources.insert(node.batch_sources.end(), n, source);
+    if (batch->tokens.empty()) {
+      node.batch_tokens.insert(node.batch_tokens.end(), n, 0);
+    } else {
+      node.batch_tokens.insert(node.batch_tokens.end(), batch->tokens.begin(),
+                               batch->tokens.end());
+    }
+    return;
+  }
+
   std::size_t from_index = node.peers.size();
   for (std::size_t p = 0; p < node.peers.size(); ++p) {
     if (node.peers[p]->node == source) {
@@ -944,11 +1099,18 @@ void MeshNetwork::route_events(Node& node) {
     if (newest != kCompositeNever) node.broker->advance_watermark(newest);
   }
 
-  // Forwarding decision per event and link (minus the arrival link).
+  // Forwarding decision per event and link (minus the arrival link). A
+  // matching event is appended to the link's pending batch frame instead of
+  // traveling alone: the batch flushes at link_batch_max or at the round
+  // boundary below, so a busy round pays one frame — and on reliable links
+  // one sequenced envelope and one ack — per link instead of one per event.
+  // The event_messages counters keep counting events (the overlay's
+  // currency), so the mesh-vs-overlay oracles see identical numbers.
+  const std::size_t batch_cap = std::max<std::size_t>(options_.link_batch_max,
+                                                      1);
   for (std::size_t i = 0; i < node.batch_events.size(); ++i) {
     const Event& event = node.batch_events[i];
     const NodeId source = node.batch_sources[i];
-    Bytes encoded;  // lazily built, shared across links
     for (std::size_t p = 0; p < node.peers.size(); ++p) {
       Node::Peer& peer = *node.peers[p];
       if (peer.node == source) continue;
@@ -962,15 +1124,34 @@ void MeshNetwork::route_events(Node& node) {
         send = !routed.matched.empty();
       }
       if (!send) continue;
-      if (encoded == nullptr) encoded = share(wire::frame_event(event));
       node.event_messages.fetch_add(1, std::memory_order_relaxed);
       peer.event_messages.fetch_add(1, std::memory_order_relaxed);
-      send_link(node, p, encoded);
+      peer.batch.append(event);
+      if (peer.batch.pending() >= batch_cap) {
+        flush_cap_.add();
+        flush_link_batch(node, p);
+      }
     }
   }
-  node.batch_events.clear();
+  // Round boundary: every pending link batch flushes before the batch's
+  // acks go out, preserving the per-link event order the unbatched path
+  // had.
+  for (std::size_t p = 0; p < node.peers.size(); ++p) {
+    if (node.peers[p]->batch.empty()) continue;
+    flush_round_.add();
+    flush_link_batch(node, p);
+  }
+  // The drained events' index storage funds the next decode: recycling
+  // here is what makes the receive path allocation-free in steady state.
+  node.arena.recycle_all(node.batch_events);
   node.batch_sources.clear();
   node.batch_tokens.clear();
+}
+
+void MeshNetwork::flush_link_batch(Node& node, std::size_t peer_index) {
+  Node::Peer& peer = *node.peers[peer_index];
+  events_per_frame_.observe(peer.batch.pending());
+  send_link(node, peer_index, share(peer.batch.take_frame()));
 }
 
 // ---------------------------------------------------------------------------

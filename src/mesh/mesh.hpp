@@ -111,6 +111,21 @@ struct MeshOptions {
   std::optional<JointDistribution> event_distribution;
   /// Mailbox capacity per node; full mailboxes block external producers.
   std::size_t mailbox_capacity = 1024;
+  /// Events coalesced into one kEventBatch frame per link per drain round:
+  /// a link's pending batch flushes when it reaches this many events or at
+  /// the round boundary, whichever comes first. On reliable links the whole
+  /// batch rides one sequenced envelope (one seq/ack instead of one per
+  /// event). 1 reproduces the unbatched wire traffic exactly — each event
+  /// travels as a legacy kEvent frame, byte-identical to the pre-batching
+  /// mesh.
+  std::size_t link_batch_max = 256;
+  /// Cap on a node's staged outbox frames (frames held back by a full peer
+  /// mailbox), summed across its links. 0 = unbounded (the historical
+  /// behavior: a stalled peer lets the outbox deque grow without limit).
+  /// When the staged total is at the cap, ingress (publish/subscribe at
+  /// that node) blocks until the stalled peer drains — workers themselves
+  /// never block, so forwarding between busy nodes still cannot deadlock.
+  std::size_t outbox_capacity = 0;
   /// Watermark skew tolerance of every node's composite detector: mesh
   /// delivery is not globally ordered, so primitive firings reach a
   /// subscriber's detector with timestamp skew. An instant is evaluated
@@ -253,6 +268,15 @@ class MeshNetwork {
   /// and forwarding happen asynchronously.
   void publish(NodeId node, Event event);
 
+  /// Publishes a run of events at `node` as one mailbox message: the whole
+  /// batch counts once against the mailbox capacity and the worker drains
+  /// it in one step, so high-rate producers amortize the per-message
+  /// ingress synchronization. `tokens`, when non-empty, must carry one
+  /// dedup token per event (see publish(node, event, token)). Equivalent
+  /// to publishing each event in order.
+  void publish_batch(NodeId node, std::vector<Event> events,
+                     std::vector<std::uint64_t> tokens = {});
+
   /// publish() with an at-least-once redelivery token, forwarded to
   /// Broker::publish(event, dedup_token) at the ingress node: a transport
   /// that may replay the same publish (client reconnect) tags each event so
@@ -295,6 +319,12 @@ class MeshNetwork {
   /// crash the process: a poisoned message is dropped and recorded here.
   std::string first_error() const;
 
+  /// One node's broker, for transport-level wiring (delivery sinks, drain
+  /// hooks — e.g. BrokerServer flushing staged delivery batches at the end
+  /// of each worker drain round). The broker outlives every worker; sink
+  /// and hook registration is broker-synchronized.
+  Broker& node_broker(NodeId node) const;
+
  private:
   struct Node;
 
@@ -317,6 +347,9 @@ class MeshNetwork {
       const std::shared_ptr<const std::vector<std::uint8_t>>& raw,
       wire::Message& decoded);
   void route_events(Node& node);
+  /// Sends a link's pending event batch (one kEventBatch frame, or a plain
+  /// kEvent when it holds a single event) and resets the link's builder.
+  void flush_link_batch(Node& node, std::size_t peer_index);
   /// Sends one shared wire frame to every peer except `skip_index` (pass
   /// peers.size() to reach all peers).
   void broadcast_frame(Node& node, std::size_t skip_index,
@@ -347,6 +380,9 @@ class MeshNetwork {
   obs::TraceSampler trace_;
   obs::Histogram ingress_wait_;      ///< publish enqueue -> worker drain
   obs::Histogram publish_to_route_;  ///< publish enqueue -> batch routed
+  obs::Histogram events_per_frame_;  ///< events coalesced per link frame
+  obs::Counter flush_cap_;           ///< batches flushed at link_batch_max
+  obs::Counter flush_round_;         ///< batches flushed at round boundary
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<NodeId> forest_;  // union-find parent for cycle detection
 

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
+#include "wire/batch.hpp"
 #include "wire/codec.hpp"
 
 namespace genas::net {
@@ -55,12 +56,62 @@ struct BrokerServer::Connection {
   /// (0: plain connection, handler-thread-owned).
   std::uint64_t session_id = 0;
 
-  /// Writes one frame; false (and a wake of the reader via shutdown) when
-  /// the connection is closed, stalls past the write timeout, or errors.
+  /// Deliveries staged into the pending kDeliveryBatch frame; guarded by
+  /// write_mutex. The stage flushes when it reaches stage_max, before any
+  /// non-delivery frame (order preservation — kFlushDone and composite
+  /// firings never overtake the deliveries staged ahead of them), and at
+  /// the end of every publish via the served broker's drain hook.
+  wire::DeliveryBatchBuilder delivery_stage;
+  std::size_t stage_max = 1;
+  /// Drain hook this connection registered on the served broker (0: none).
+  DrainHookId drain_hook = 0;
+
+  /// Writes one frame, flushing staged deliveries ahead of it; false (and
+  /// a wake of the reader via shutdown) when the connection is closed,
+  /// stalls past the write timeout, or errors.
   bool write(const Frame& frame) noexcept {
     if (!open.load(std::memory_order_acquire)) return false;
     const std::scoped_lock lock(write_mutex);
     if (!open.load(std::memory_order_relaxed)) return false;
+    return flush_locked() && write_locked(frame);
+  }
+
+  /// Stages one delivery, emitting the batch frame when the stage fills.
+  bool write_delivery(std::uint64_t key, const Event& event) noexcept {
+    if (!open.load(std::memory_order_acquire)) return false;
+    const std::scoped_lock lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    try {
+      delivery_stage.append(key, event);
+    } catch (...) {
+      open.store(false, std::memory_order_release);
+      channel.shutdown();
+      return false;
+    }
+    if (delivery_stage.pending() < stage_max) return true;
+    return flush_locked();
+  }
+
+  /// Emits the staged delivery batch, if any (the drain-hook entry point).
+  bool flush_deliveries() noexcept {
+    if (!open.load(std::memory_order_acquire)) return false;
+    const std::scoped_lock lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    return flush_locked();
+  }
+
+  bool flush_locked() noexcept {
+    if (delivery_stage.empty()) return true;
+    try {
+      return write_locked(delivery_stage.take_frame());
+    } catch (...) {
+      open.store(false, std::memory_order_release);
+      channel.shutdown();
+      return false;
+    }
+  }
+
+  bool write_locked(const Frame& frame) noexcept {
     try {
       channel.write_frame(frame);
       frames_written.add(1);
@@ -305,6 +356,18 @@ void BrokerServer::run_accept_loop() {
       auto connection = std::make_shared<Connection>(std::move(*channel));
       connection->frames_written = impl_->frames_written;
       connection->bytes_written = impl_->bytes_written;
+      connection->stage_max =
+          std::max<std::size_t>(impl_->options.delivery_batch_max, 1);
+      if (connection->stage_max > 1) {
+        // The served broker's drain hook closes every publish by flushing
+        // this connection's staged deliveries, so a batch never outlives
+        // the publish that filled it. (Cap 1 flushes inline — no hook.)
+        Broker& broker = impl_->broker != nullptr
+                             ? *impl_->broker
+                             : impl_->mesh->node_broker(impl_->node);
+        connection->drain_hook = broker.add_drain_hook(
+            [connection] { connection->flush_deliveries(); });
+      }
       impl_->connections.push_back(connection);
       impl_->connections_total.add(1);
       connection->thread =
@@ -405,14 +468,14 @@ void BrokerServer::run_connection(std::shared_ptr<Connection> connection) {
           id = impl.broker->subscribe(
               std::move(sub->profile),
               [connection, client_key](const Notification& n) {
-                connection->write(wire::frame_delivery(client_key, n.event));
+                connection->write_delivery(client_key, n.event);
               });
         } else {
           id = impl.mesh->subscribe(
               impl.node, std::move(sub->profile),
               [connection, client_key](NodeId, SubscriptionId,
                                        const Event& event) {
-                connection->write(wire::frame_delivery(client_key, event));
+                connection->write_delivery(client_key, event);
               });
         }
         c.subs.emplace(client_key, id);
@@ -548,6 +611,17 @@ void BrokerServer::cleanup_connection(Connection& connection) {
   connection.open.store(false, std::memory_order_release);
   connection.channel.shutdown();
   Impl& impl = *impl_;
+  if (connection.drain_hook != 0) {
+    try {
+      Broker& broker = impl.broker != nullptr
+                           ? *impl.broker
+                           : impl.mesh->node_broker(impl.node);
+      broker.remove_drain_hook(connection.drain_hook);
+    } catch (const std::exception&) {
+      // A service already shut down discarded the hook wholesale.
+    }
+    connection.drain_hook = 0;
+  }
   // Retract everything the client registered — exactly once; composite
   // retraction drops the broker's refcounted leaves (and, in mesh mode,
   // the per-link routing entries) with it. A service already shut down

@@ -88,6 +88,13 @@ struct ServerOptions {
   std::chrono::milliseconds client_idle_timeout{-1};
   /// Resume-session registry bound; the oldest session falls out first.
   std::size_t max_sessions = 1024;
+  /// Deliveries staged into one kDeliveryBatch frame before it goes out.
+  /// The stage also flushes at the end of every publish (broker drain
+  /// hook) and before any non-delivery frame, so batching never delays a
+  /// notification past the publish that produced it or reorders it against
+  /// a flush barrier. 1 = every delivery rides its own legacy kDelivery
+  /// frame (the pre-batching wire traffic, byte for byte).
+  std::size_t delivery_batch_max = 64;
 };
 
 class BrokerServer {

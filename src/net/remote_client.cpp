@@ -402,6 +402,26 @@ void RemoteBrokerClient::read_loop() {
       continue;
     }
 
+    if (auto* batch = std::get_if<wire::DeliveryBatchMsg>(&message)) {
+      // One callback lookup per delivery: entries of one batch may belong
+      // to different subscriptions, and any of them may race its own
+      // unsubscribe independently.
+      for (std::size_t i = 0; i < batch->keys.size(); ++i) {
+        std::shared_ptr<const NotificationCallback> callback;
+        {
+          const std::scoped_lock lock(state_mutex_);
+          const auto it = callbacks_.find(batch->keys[i]);
+          if (it != callbacks_.end()) callback = it->second;
+        }
+        if (callback != nullptr) {
+          deliveries_.fetch_add(1, std::memory_order_relaxed);
+          (*callback)(
+              Notification{batch->keys[i], std::move(batch->events[i])});
+        }
+      }
+      continue;
+    }
+
     if (auto* firing = std::get_if<wire::CompositeFiringMsg>(&message)) {
       std::shared_ptr<const CompositeCallback> callback;
       {

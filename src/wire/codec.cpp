@@ -28,6 +28,8 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::kHelloAck:             return "helloack";
     case MessageType::kStatsRequest:         return "statsreq";
     case MessageType::kStatsSnapshot:        return "statssnap";
+    case MessageType::kEventBatch:           return "eventbatch";
+    case MessageType::kDeliveryBatch:        return "deliverybatch";
   }
   return "?";
 }
@@ -113,12 +115,21 @@ void Writer::str(std::string_view s) {
   buffer_.insert(buffer_.end(), s.begin(), s.end());
 }
 
+void Writer::raw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
 void Writer::patch_u32(std::size_t position, std::uint32_t v) {
   GENAS_CHECK(position + 4 <= buffer_.size(), "patch beyond buffer");
   for (int i = 0; i < 4; ++i) {
     buffer_[position + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(v >> (8 * i));
   }
+}
+
+void Writer::patch_u8(std::size_t position, std::uint8_t v) {
+  GENAS_CHECK(position < buffer_.size(), "patch beyond buffer");
+  buffer_[position] = v;
 }
 
 std::uint8_t Reader::u8() {
@@ -413,9 +424,8 @@ CompositeExprPtr decode_composite(Reader& r, const SchemaPtr& schema) {
   return as_parse([&] { return decode_composite_node(r, schema, 0); });
 }
 
-namespace {
+namespace detail {
 
-/// Starts a frame; returns the position of the length field to patch.
 std::size_t begin_frame(Writer& w, MessageType type) {
   w.u16(kMagic);
   w.u8(kWireVersion);
@@ -430,7 +440,10 @@ std::vector<std::uint8_t> end_frame(Writer& w, std::size_t length_at) {
   return w.take();
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::begin_frame;
+using detail::end_frame;
 
 std::vector<std::uint8_t> frame_schema(const Schema& schema) {
   Writer w;
@@ -583,6 +596,25 @@ std::vector<std::uint8_t> frame_stats_snapshot(
 }
 
 namespace {
+
+/// One packed batch element: attr_count * u64 index + i64 time, no
+/// per-event count prefix (the schema supplies it for the whole batch).
+Event decode_packed_event(Reader& r, const SchemaPtr& schema) {
+  const std::size_t attributes = schema->attribute_count();
+  std::vector<DomainIndex> indices;
+  indices.reserve(attributes);
+  for (std::size_t a = 0; a < attributes; ++a) {
+    const std::uint64_t raw = r.u64();
+    const std::int64_t domain_size = schema->attribute(a).domain.size();
+    if (raw >= static_cast<std::uint64_t>(domain_size)) {
+      parse_fail("event index " + std::to_string(raw) +
+                 " outside domain of '" + schema->attribute(a).name + "'");
+    }
+    indices.push_back(static_cast<DomainIndex>(raw));
+  }
+  const Timestamp time = r.i64();
+  return Event::from_indices(schema, std::move(indices), time);
+}
 
 MessageType read_header(Reader& r, std::size_t frame_size) {
   if (r.u16() != kMagic) parse_fail("bad magic");
@@ -743,6 +775,50 @@ Message decode_message(std::span<const std::uint8_t> frame,
       }
       r.expect_done();
       return msg;
+    }
+    case MessageType::kEventBatch: {
+      return as_parse([&]() -> Message {
+        GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                      "event decoding requires a schema");
+        const std::size_t event_bytes = schema->attribute_count() * 8 + 8;
+        const std::uint32_t events = r.count(r.u32(), event_bytes);
+        if (events == 0) parse_fail("empty event batch");
+        const std::uint8_t has_tokens = r.u8();
+        if (has_tokens > 1) {
+          parse_fail("event batch token flag must be 0 or 1");
+        }
+        EventBatchMsg msg;
+        msg.events.reserve(events);
+        for (std::uint32_t i = 0; i < events; ++i) {
+          msg.events.push_back(decode_packed_event(r, schema));
+        }
+        if (has_tokens == 1) {
+          msg.tokens.reserve(events);
+          for (std::uint32_t i = 0; i < events; ++i) {
+            msg.tokens.push_back(r.u64());
+          }
+        }
+        r.expect_done();
+        return msg;
+      });
+    }
+    case MessageType::kDeliveryBatch: {
+      return as_parse([&]() -> Message {
+        GENAS_REQUIRE(schema != nullptr, ErrorCode::kInvalidArgument,
+                      "event decoding requires a schema");
+        const std::size_t delivery_bytes = 8 + schema->attribute_count() * 8 + 8;
+        const std::uint32_t deliveries = r.count(r.u32(), delivery_bytes);
+        if (deliveries == 0) parse_fail("empty delivery batch");
+        DeliveryBatchMsg msg;
+        msg.keys.reserve(deliveries);
+        msg.events.reserve(deliveries);
+        for (std::uint32_t i = 0; i < deliveries; ++i) {
+          msg.keys.push_back(r.u64());
+          msg.events.push_back(decode_packed_event(r, schema));
+        }
+        r.expect_done();
+        return msg;
+      });
     }
   }
   parse_fail("unreachable message type");

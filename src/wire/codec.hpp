@@ -57,6 +57,15 @@
 //                sequence the server has processed; the client replays
 //                everything above it)
 //   statsreq     (empty payload; client -> server: scrape request)
+//   eventbatch   u32 event_count (>= 1), u8 has_tokens (0|1), then per
+//                event: attr_count * u64 domain index, i64 timestamp. The
+//                attribute count is taken from the shared schema once for
+//                the whole batch (no per-event count), so the events pack
+//                as contiguous index runs. When has_tokens is 1 the payload
+//                ends with event_count * u64 dedup tokens.
+//   deliverybatch u32 count (>= 1), then per delivery: u64 subscription
+//                key, attr_count * u64 domain index, i64 timestamp
+//                (server -> client: a coalesced run of notifications)
 //   statssnap    u32 metric_count, then per metric: str name, u8 kind
 //                (obs::MetricKind), i64 value, u32 bound_count (0 unless
 //                histogram), bound_count * u64 bucket upper bounds,
@@ -114,12 +123,14 @@ enum class MessageType : std::uint8_t {
   kHelloAck = 15,
   kStatsRequest = 16,
   kStatsSnapshot = 17,
+  kEventBatch = 18,
+  kDeliveryBatch = 19,
 };
 
 /// Highest valid MessageType value; probe_frame/read_header reject types
 /// beyond it. Keep in sync when adding message types.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kStatsSnapshot);
+    static_cast<std::uint8_t>(MessageType::kDeliveryBatch);
 
 std::string_view to_string(MessageType type) noexcept;
 
@@ -165,13 +176,18 @@ class Writer {
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v);
   void str(std::string_view s);  ///< u32 length + raw bytes
+  void raw(std::span<const std::uint8_t> bytes);  ///< bytes only, no length
 
   std::size_t size() const noexcept { return buffer_.size(); }
+  void clear() noexcept { buffer_.clear(); }  ///< reset, keeping capacity
   std::vector<std::uint8_t> take() { return std::move(buffer_); }
   const std::vector<std::uint8_t>& bytes() const noexcept { return buffer_; }
 
   /// Overwrites 4 bytes at `position` (frame length back-patching).
   void patch_u32(std::size_t position, std::uint32_t v);
+
+  /// Overwrites 1 byte at `position` (batch flag back-patching).
+  void patch_u8(std::size_t position, std::uint8_t v);
 
  private:
   std::vector<std::uint8_t> buffer_;
@@ -203,6 +219,15 @@ class Reader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+namespace detail {
+/// Writes a frame header with a zero length field; returns the position of
+/// the length field for end_frame to back-patch. Shared by codec.cpp's
+/// frame_* builders and the incremental batch builders in wire/batch.hpp.
+std::size_t begin_frame(Writer& w, MessageType type);
+/// Patches the frame length and releases the finished frame bytes.
+std::vector<std::uint8_t> end_frame(Writer& w, std::size_t length_at);
+}  // namespace detail
 
 // Payload codecs (no frame header).
 void encode_schema(Writer& w, const Schema& schema);
@@ -244,6 +269,17 @@ std::vector<std::uint8_t> frame_hello_ack(bool resumed,
                                           std::uint64_t publish_watermark);
 std::vector<std::uint8_t> frame_stats_request();
 std::vector<std::uint8_t> frame_stats_snapshot(const obs::StatsSnapshot& stats);
+/// Frames a run of events sharing one schema as a kEventBatch. `tokens`,
+/// when non-empty, must be one dedup token per event; an all-zero token run
+/// is omitted from the wire. A single token-free event degenerates to a
+/// plain kEvent frame (byte-identical to the unbatched path). Empty input
+/// is an error — there is no empty batch frame.
+std::vector<std::uint8_t> frame_event_batch(
+    std::span<const Event> events, std::span<const std::uint64_t> tokens = {});
+/// Frames a run of (subscription key, event) deliveries as a
+/// kDeliveryBatch; a single delivery degenerates to a plain kDelivery.
+std::vector<std::uint8_t> frame_delivery_batch(
+    std::span<const std::uint64_t> keys, std::span<const Event> events);
 
 /// Decoded frame contents.
 struct SchemaMsg {
@@ -304,12 +340,22 @@ struct StatsRequestMsg {};
 struct StatsSnapshotMsg {
   obs::StatsSnapshot stats;
 };
+struct EventBatchMsg {
+  std::vector<Event> events;
+  /// One dedup token per event, or empty when the frame carried none.
+  std::vector<std::uint64_t> tokens;
+};
+struct DeliveryBatchMsg {
+  std::vector<std::uint64_t> keys;  ///< one subscription key per event
+  std::vector<Event> events;
+};
 using Message =
     std::variant<SchemaMsg, EventMsg, ProfileMsg, SubscribeMsg, UnsubscribeMsg,
                  CompositeSubscribeMsg, CompositeUnsubscribeMsg,
                  CompositeFiringMsg, DeliveryMsg, FlushMsg, FlushDoneMsg,
                  LinkFrameMsg, LinkAckMsg, HelloMsg, HelloAckMsg,
-                 StatsRequestMsg, StatsSnapshotMsg>;
+                 StatsRequestMsg, StatsSnapshotMsg, EventBatchMsg,
+                 DeliveryBatchMsg>;
 
 /// Frame type without decoding the payload; throws Error{kParse} on a
 /// malformed header.

@@ -31,6 +31,10 @@ MeshOptions reliable_options(std::shared_ptr<FaultPlan> plan = nullptr) {
   options.reliable_links = true;
   options.fault_plan = std::move(plan);
   options.link_retransmit_interval = 500us;
+  // One event per frame: the fault plans here meter drops/dups/reorders in
+  // transmissions, and these tests size their bursts assuming each event is
+  // one. (Batched frames under faults are covered by BatchedLinks below.)
+  options.link_batch_max = 1;
   return options;
 }
 
@@ -282,7 +286,12 @@ TEST(ReliableLinks, SmallWindowStillDrainsUnderLoss) {
 
 TEST(ReliableLinks, StatsStayZeroOnAHealthyMesh) {
   const SchemaPtr schema = testutil::example1_schema();
-  MeshNetwork mesh(schema, reliable_options());
+  // A generous retransmit interval: this test asserts the counters stay
+  // zero, and a worker descheduled past a 500us timer under parallel test
+  // load would count a spurious (correct but unwanted here) retransmit.
+  MeshOptions options = reliable_options();
+  options.link_retransmit_interval = std::chrono::milliseconds(200);
+  MeshNetwork mesh(schema, options);
   mesh.add_node();
   mesh.add_node();
   mesh.connect(0, 1);
@@ -403,7 +412,11 @@ TEST(ReliableLinks, FaultCountersSurfaceRetransmitsDupsAndGaps) {
 
 TEST(ReliableLinks, FaultCountersStayZeroOnACleanRun) {
   const SchemaPtr schema = testutil::example1_schema();
-  MeshNetwork mesh(schema, reliable_options());
+  // See StatsStayZeroOnAHealthyMesh: zero-counter assertions need a timer
+  // that cannot fire from scheduling noise alone.
+  MeshOptions options = reliable_options();
+  options.link_retransmit_interval = std::chrono::milliseconds(200);
+  MeshNetwork mesh(schema, options);
   mesh.add_node();
   mesh.add_node();
   mesh.connect(0, 1);

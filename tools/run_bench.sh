@@ -11,6 +11,9 @@
 # Fails loudly: any missing bench binary or crashed run exits non-zero and
 # leaves the previous BENCH_throughput.json untouched (the report is staged
 # in a temp file and only moved into place once every stage succeeded).
+# Before the fresh report replaces the committed one, every *_per_sec key
+# is diffed against it and a >30% drop aborts the run (BENCH_SKIP_GUARD=1
+# re-baselines; see the guard below for the same-host caveat).
 #
 # Interpreting the numbers: see README.md "Performance harness".
 set -euo pipefail
@@ -59,6 +62,45 @@ done
   fail "bench_composite exited with status $?"
 
 [[ -s "$tmp_output" ]] || fail "bench run produced an empty report"
+
+# Regression guard: before the fresh report replaces the committed one,
+# compare every throughput key (*_per_sec — higher is better) against the
+# committed BENCH_throughput.json and fail loudly on a >30% drop. The
+# committed numbers are only meaningful on the host that produced them, so
+# a different machine (or a noisy CI neighbour) can trip this spuriously —
+# set BENCH_SKIP_GUARD=1 to record a fresh baseline instead of failing.
+if [[ -f "$output" && -z "${BENCH_SKIP_GUARD:-}" ]]; then
+  python3 - "$output" "$tmp_output" <<'PY' ||
+import json, sys
+
+THRESHOLD = 0.70  # fresh must reach 70% of committed, i.e. <=30% regression
+with open(sys.argv[1]) as f:
+    committed = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+regressions = []
+for key, base in committed.items():
+    if not key.endswith("_per_sec") or not isinstance(base, (int, float)):
+        continue
+    if base <= 0 or key not in fresh:
+        continue
+    now = fresh[key]
+    if now < base * THRESHOLD:
+        drop = (1.0 - now / base) * 100.0
+        regressions.append(f"  {key}: {base:.1f} -> {now:.1f} (-{drop:.0f}%)")
+
+if regressions:
+    print("bench regression(s) beyond 30% vs committed report:",
+          file=sys.stderr)
+    print("\n".join(regressions), file=sys.stderr)
+    print("(same-host caveat: baselines are host-specific; "
+          "BENCH_SKIP_GUARD=1 re-baselines)", file=sys.stderr)
+    sys.exit(1)
+PY
+    fail "throughput regressed past the 30% guard (see above)"
+fi
+
 mv "$tmp_output" "$output"
 trap - EXIT
 echo "--- $output ---"
